@@ -1,0 +1,31 @@
+# Convenience targets for the MNSIM reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+results: test bench
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

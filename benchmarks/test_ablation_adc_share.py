@@ -1,0 +1,68 @@
+"""Ablation: read-circuit dominance vs the parallelism degree.
+
+Sec. V.C cites the ISAAC observation that ADCs take about half of the
+area and energy of memristor DNN accelerators.  This ablation sweeps
+the parallelism degree and measures the read-circuit share with the
+breakdown model: fully-parallel designs are ADC-dominated, and sharing
+read circuits is the lever that moves the share — the motivation for
+exposing the parallelism degree as a first-class design variable.
+"""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.breakdown import accelerator_breakdown
+from repro.config import SimConfig
+from repro.nn.networks import large_bank_layer
+from repro.report import format_table
+
+BASE = SimConfig(
+    crossbar_size=128, cmos_tech=45, interconnect_tech=45,
+    weight_bits=8, signal_bits=8,
+)
+DEGREES = (0, 64, 16, 4, 1)  # 0 = fully parallel
+
+
+def test_ablation_adc_share(benchmark, write_result):
+    def sweep():
+        shares = {}
+        for degree in DEGREES:
+            accelerator = Accelerator(
+                BASE.replace(parallelism_degree=degree), large_bank_layer()
+            )
+            breakdown = accelerator_breakdown(accelerator)
+            shares[degree] = (
+                breakdown.area_fraction("read_circuit"),
+                breakdown.energy_fraction("read_circuit"),
+                breakdown.area_fraction("crossbar"),
+            )
+        return shares
+
+    shares = benchmark(sweep)
+
+    label = {0: "all-parallel"}
+    write_result(
+        "ablation_adc_share",
+        "Ablation: read-circuit (ADC) share vs parallelism degree\n"
+        + format_table(
+            ["degree", "ADC area share", "ADC energy share",
+             "crossbar area share"],
+            [
+                [label.get(d, str(d)), f"{a:.1%}", f"{e:.1%}", f"{x:.1%}"]
+                for d, (a, e, x) in shares.items()
+            ],
+        ),
+    )
+
+    area_shares = {d: a for d, (a, _e, _x) in shares.items()}
+
+    # The ISAAC claim at full parallelism: ADCs are the dominant area
+    # consumer (about half or more).
+    assert area_shares[0] > 0.40
+    # Sharing monotonically reduces the ADC area share...
+    ordered = [area_shares[d] for d in (0, 64, 16, 4, 1)]
+    assert ordered == sorted(ordered, reverse=True)
+    # ...down to a minor consumer at degree 1.
+    assert area_shares[1] < 0.25
+    # Crossbars themselves are never the area problem (they are dense).
+    assert all(x < 0.25 for _d, (_a, _e, x) in shares.items())

@@ -1,0 +1,78 @@
+"""Ablation: signed-weight mapping and device precision.
+
+Two mapping-level design choices (Sec. III.C.1 / III.B.2):
+
+1. weight polarity — the differential two-crossbar mapping doubles the
+   array cost of signed weights against an unsigned design;
+2. device precision — storing 8-bit weights on 4-bit cells doubles the
+   bit slices (and crossbars) against the 7-bit reference device, paid
+   in area and shift-add merge cost.
+"""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.nn.networks import mlp
+from repro.report import format_table
+from repro.units import MM2, UJ
+
+BASE = SimConfig(
+    crossbar_size=128, cmos_tech=45, interconnect_tech=45,
+    weight_bits=8, signal_bits=8, parallelism_degree=16,
+)
+NETWORK = mlp([1024, 512], name="ablation-layer")
+
+
+def test_ablation_polarity_precision(benchmark, write_result):
+    def build_variants():
+        return {
+            "signed, 7-bit cells": Accelerator(BASE, NETWORK),
+            "unsigned, 7-bit cells": Accelerator(
+                BASE.replace(weight_polarity=1, weight_bits=7), NETWORK
+            ),
+            "signed, 4-bit cells": Accelerator(
+                BASE.replace(memristor_model="RRAM-4BIT"), NETWORK
+            ),
+        }
+
+    variants = benchmark(build_variants)
+    summaries = {name: acc.summary() for name, acc in variants.items()}
+
+    write_result(
+        "ablation_polarity_precision",
+        "Ablation: weight polarity and device precision\n"
+        + format_table(
+            ["variant", "crossbars", "area mm^2", "energy uJ", "error"],
+            [
+                [
+                    name,
+                    acc.total_crossbars,
+                    f"{summaries[name].area / MM2:.3f}",
+                    f"{summaries[name].energy_per_sample / UJ:.3f}",
+                    f"{summaries[name].worst_error_rate:.2%}",
+                ]
+                for name, acc in variants.items()
+            ],
+        ),
+    )
+
+    signed = variants["signed, 7-bit cells"]
+    unsigned = variants["unsigned, 7-bit cells"]
+    sliced = variants["signed, 4-bit cells"]
+
+    # Polarity: the differential mapping exactly doubles the crossbars
+    # and costs commensurate area/energy.
+    assert signed.total_crossbars == 2 * unsigned.total_crossbars
+    assert summaries["signed, 7-bit cells"].area > (
+        summaries["unsigned, 7-bit cells"].area * 1.3
+    )
+
+    # Precision: 7 magnitude bits on 4-bit cells need two slices.
+    assert sliced.total_crossbars == 2 * signed.total_crossbars
+    assert summaries["signed, 4-bit cells"].area > (
+        summaries["signed, 7-bit cells"].area * 1.5
+    )
+    assert summaries["signed, 4-bit cells"].energy_per_sample > (
+        summaries["signed, 7-bit cells"].energy_per_sample
+    )

@@ -1,0 +1,84 @@
+"""Extension experiment: stuck-at fault tolerance of a deployed network.
+
+Trains a classifier, deploys it through the functional simulator, and
+sweeps the stuck-at defect rate — the yield-analysis curve a crossbar
+vendor needs.  Expected shape: a graceful plateau at low defect rates
+(the network's margin absorbs isolated corrupted weights) followed by a
+collapse toward chance as faults multiply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.functional import FunctionalAccelerator
+from repro.functional.faults import fault_study
+from repro.nn.networks import mlp
+from repro.nn.trainer import (
+    MlpTrainer,
+    classification_accuracy,
+    make_cluster_dataset,
+)
+from repro.report import format_table
+from repro.report_plot import scatter_plot
+
+FAULT_RATES = (0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3)
+CLASSES = 4
+
+
+def test_extension_fault_tolerance(benchmark, write_result):
+    rng = np.random.default_rng(2016)
+    x, y = make_cluster_dataset(
+        rng, features=16, classes=CLASSES, samples_per_class=60
+    )
+    network = mlp([16, 24, CLASSES], name="fault-study")
+    trainer = MlpTrainer(network, rng)
+    result = trainer.train(x[:180], y[:180], epochs=30)
+    x_test, y_test = x[180:], y[180:]
+    config = SimConfig(crossbar_size=32, weight_bits=8, signal_bits=8)
+
+    def build():
+        return FunctionalAccelerator(config, network, result.weights)
+
+    def score(accelerator):
+        return classification_accuracy(
+            lambda v: accelerator.forward(v)[-1], x_test, y_test
+        )
+
+    def run_study():
+        local_rng = np.random.default_rng(99)
+        return fault_study(build, score, FAULT_RATES, local_rng)
+
+    points = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    chart = scatter_plot(
+        [(p.fault_rate, p.accuracy) for p in points],
+        name="accuracy", width=50, height=12,
+        x_label="stuck-at fault rate", y_label="test accuracy",
+    )
+    write_result(
+        "extension_fault_tolerance",
+        "Extension: accuracy vs stuck-at defect rate (mapped classifier)\n"
+        + format_table(
+            ["fault rate", "cells flipped", "test accuracy"],
+            [
+                [f"{p.fault_rate:.1%}", p.cells_flipped,
+                 f"{p.accuracy:.1%}"]
+                for p in points
+            ],
+        )
+        + "\n\n" + chart,
+    )
+
+    by_rate = {p.fault_rate: p.accuracy for p in points}
+    chance = 1.0 / CLASSES
+
+    # Clean deployment is accurate.
+    assert by_rate[0.0] > 0.85
+    # Graceful degradation: sub-percent defect rates cost little.
+    assert by_rate[0.005] > by_rate[0.0] - 0.15
+    # Collapse: at 30 % defects the network approaches chance.
+    assert by_rate[0.3] < by_rate[0.0]
+    assert by_rate[0.3] < chance + 0.45
+    # Monotone-ish overall trend (allowing small-sample noise).
+    assert by_rate[0.3] <= by_rate[0.01] + 0.05

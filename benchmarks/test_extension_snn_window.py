@@ -1,0 +1,78 @@
+"""Extension experiment: SNN rate-coding window trade-off.
+
+Sweeps the observation window of a rate-coded SNN (Sec. II.B.2's
+network class) on the mapped accelerator: energy and latency rise
+linearly with the window while the coding error falls as 1/T — the
+operating curve a designer uses to pick the window for a target
+precision.
+"""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.nn.networks import mlp
+from repro.nn.snn import SnnTimingModel
+from repro.report import format_table
+from repro.report_plot import line_plot
+from repro.units import UJ, US
+
+WINDOWS = (8, 16, 32, 64, 128, 256)
+
+
+def test_extension_snn_window(benchmark, write_result):
+    config = SimConfig(
+        crossbar_size=128, cmos_tech=45, interconnect_tech=45,
+        parallelism_degree=16,
+    )
+    network = mlp([256, 128, 10], name="snn-window", activation="if",
+                  network_type="SNN")
+
+    def sweep():
+        model = SnnTimingModel(Accelerator(config, network))
+        return model, model.sweep(windows=WINDOWS)
+
+    model, points = benchmark(sweep)
+
+    chart = line_plot(
+        {
+            "energy uJ": [
+                (p.timesteps, p.energy_per_sample / UJ) for p in points
+            ],
+            "coding err %": [
+                (p.timesteps, p.rate_coding_error * 100) for p in points
+            ],
+        },
+        width=50, height=12, x_label="window T", y_label="value",
+        logx=True,
+    )
+    write_result(
+        "extension_snn_window",
+        "Extension: SNN rate-coding window trade-off\n"
+        + format_table(
+            ["window T", "eff. bits", "coding err", "energy uJ",
+             "latency us"],
+            [
+                [p.timesteps, f"{p.effective_bits:.0f}",
+                 f"{p.rate_coding_error:.3%}",
+                 f"{p.energy_per_sample / UJ:.3f}",
+                 f"{p.latency_per_sample / US:.2f}"]
+                for p in points
+            ],
+        )
+        + "\n\n" + chart,
+    )
+
+    energies = [p.energy_per_sample for p in points]
+    errors = [p.rate_coding_error for p in points]
+
+    # Linear cost in the window.
+    assert energies[-1] == pytest.approx(
+        energies[0] * WINDOWS[-1] / WINDOWS[0], rel=1e-9
+    )
+    # 1/T precision.
+    assert errors[-1] == pytest.approx(
+        errors[0] * WINDOWS[0] / WINDOWS[-1], rel=1e-9
+    )
+    # The window needed for 8-bit-equivalent coding is 256.
+    assert model.window_for_error(0.5 / 256) == 256

@@ -1,0 +1,77 @@
+"""Extension experiment: CMOS technology scaling of the same design.
+
+Holds the architecture fixed (the Table II validation workload at
+crossbar 128) and sweeps the CMOS node from 130 nm to 22 nm — the
+scaling study a released simulator is expected to include.  Expected
+shapes: digital area and energy fall monotonically with the node, while
+the crossbar's analog contribution (device-pitch-bound area, resistance-
+bound energy) does not scale, so the **analog share grows** at advanced
+nodes — the classic mixed-signal scaling wall.
+"""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.breakdown import accelerator_breakdown
+from repro.config import SimConfig
+from repro.nn.networks import validation_mlp
+from repro.report import format_table
+from repro.units import MM2, UJ
+
+NODES = (130, 90, 65, 45, 32, 22)
+
+
+def test_extension_tech_scaling(benchmark, write_result):
+    def sweep():
+        results = {}
+        for node in NODES:
+            config = SimConfig(
+                crossbar_size=128, cmos_tech=node, interconnect_tech=45,
+                weight_bits=8, signal_bits=8, parallelism_degree=16,
+            )
+            accelerator = Accelerator(config, validation_mlp())
+            summary = accelerator.summary()
+            breakdown = accelerator_breakdown(accelerator)
+            analog_area_share = (
+                breakdown.area_fraction("crossbar")
+                + breakdown.area_fraction("dac")
+                + breakdown.area_fraction("read_circuit")
+            )
+            results[node] = (summary, analog_area_share)
+        return results
+
+    results = benchmark(sweep)
+
+    rows = [
+        [
+            f"{node} nm",
+            f"{summary.area / MM2:.4f}",
+            f"{summary.energy_per_sample / UJ:.4f}",
+            f"{summary.power * 1e3:.2f}",
+            f"{share:.1%}",
+        ]
+        for node, (summary, share) in results.items()
+    ]
+    write_result(
+        "extension_tech_scaling",
+        "Extension: CMOS node scaling of the validation design "
+        "(128 crossbars, p=16)\n"
+        + format_table(
+            ["CMOS node", "area mm^2", "energy uJ", "power mW",
+             "analog area share"],
+            rows,
+        ),
+    )
+
+    areas = [results[node][0].area for node in NODES]
+    energies = [results[node][0].energy_per_sample for node in NODES]
+    shares = [results[node][1] for node in NODES]
+
+    # Digital scaling: total area and energy fall with the node.
+    assert areas == sorted(areas, reverse=True)
+    assert energies == sorted(energies, reverse=True)
+    # The mixed-signal wall: the analog share grows as digital shrinks.
+    assert shares[-1] > shares[0]
+    # Scaling from 130 nm to 22 nm buys a large factor, but far from
+    # the pure-digital (130/22)^2 ~ 35x because the analog floor stays.
+    assert 2 < areas[0] / areas[-1] < 35

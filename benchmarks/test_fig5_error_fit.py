@@ -1,0 +1,88 @@
+"""Fig. 5: output-voltage error-rate curves vs crossbar size per
+interconnect node, analytic fit against circuit-level points.
+
+The paper's scattered points are SPICE solves and the lines are the
+Eq.-11 fit with RMSE < 0.01; here the points come from the internal
+solver and the line from the fitted analytic model.
+"""
+
+import pytest
+
+from repro.accuracy.fitting import fit_wire_term
+from repro.accuracy.interconnect import analog_error_rate
+from repro.report import format_table
+from repro.tech import get_interconnect_node, get_memristor_model
+from repro.tech.memristor import CellType
+
+WIRE_NODES = (18, 28, 45, 90)
+SIZES = (8, 16, 32, 64)
+
+
+def test_fig5_error_fit(benchmark, write_result):
+    device = get_memristor_model("RRAM")
+    pitch = device.cell_pitch(CellType.ONE_T_ONE_R)
+    segments = {
+        node: get_interconnect_node(node).segment_resistance(pitch)
+        for node in WIRE_NODES
+    }
+
+    fit = benchmark.pedantic(
+        lambda: fit_wire_term(device, tuple(segments.values()), sizes=SIZES),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    curves = {}
+    for point in fit.points:
+        node = min(
+            segments, key=lambda n: abs(segments[n] - point.segment_resistance)
+        )
+        rows.append([
+            f"{node} nm",
+            point.size,
+            f"{point.solver_error:+.4f}",
+            f"{point.model_error:+.4f}",
+            f"{point.model_error - point.solver_error:+.5f}",
+        ])
+        curves.setdefault(f"{node}nm", []).append(
+            (point.size, point.model_error)
+        )
+
+    from repro.report_plot import line_plot
+
+    chart = line_plot(
+        curves, width=56, height=16, x_label="crossbar size",
+        y_label="signed error rate", logx=True,
+    )
+    write_result(
+        "fig5_error_fit",
+        "Fig. 5 reproduction: error-rate fit vs circuit-level points\n"
+        f"fitted kappa={fit.kappa:.4f}, beta={fit.beta:.4f}, "
+        f"RMSE={fit.rmse:.5f} (paper bound < 0.01)\n"
+        + format_table(
+            ["wire node", "size", "solver eps", "model eps", "residual"],
+            rows,
+        )
+        + "\n\n" + chart,
+    )
+
+    # Paper shape 1: the fit RMSE beats the 0.01 bound.
+    assert fit.rmse < 0.01
+    assert fit.max_abs_residual < 0.01
+
+    # Paper shape 2: at a fixed size, error grows as wires shrink
+    # (Fig. 5's curve ordering 18 nm > 28 nm > 45 nm).
+    size = 64
+    magnitudes = [
+        analog_error_rate(size, size, segments[node], device)
+        for node in (18, 28, 45)
+    ]
+    assert magnitudes[0] > magnitudes[1] > magnitudes[2]
+
+    # Paper shape 3: along a resistive wire node the error rises with
+    # crossbar size on the large-size branch.
+    big_wire = segments[18]
+    curve = [
+        analog_error_rate(s, s, big_wire, device) for s in (64, 128, 256)
+    ]
+    assert curve == sorted(curve)

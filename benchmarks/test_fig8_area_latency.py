@@ -1,0 +1,97 @@
+"""Fig. 8: the area-latency trade-off across parallelism degrees and
+crossbar sizes.
+
+Paper shapes: large area reductions are available at little latency
+cost near the fully-parallel end, and each crossbar size's curve has an
+inflection (knee) point after which latency explodes for marginal area
+gains.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.tradeoff import (
+    inflection_point,
+    parallelism_sweep,
+    pareto_frontier,
+)
+from repro.nn.networks import large_bank_layer
+from repro.report import format_table
+from repro.units import MM2, US
+
+BASE = SimConfig(
+    cmos_tech=45, interconnect_tech=45, weight_bits=4, signal_bits=8
+)
+SIZES = (64, 128, 256)
+
+
+def test_fig8_area_latency(benchmark, write_result):
+    network = large_bank_layer()
+    rows = benchmark(
+        lambda: parallelism_sweep(BASE, network, sizes=SIZES)
+    )
+
+    lines = ["Fig. 8 reproduction: area-latency trade-off with knees"]
+    knees = {}
+    for size in SIZES:
+        group = [r for r in rows if r.crossbar_size == size]
+        points = [(r.area, r.latency) for r in group]
+        knee = inflection_point(points)
+        knees[size] = knee
+        frontier = pareto_frontier(points)
+        lines.append(
+            f"\ncrossbar {size}: {len(frontier)}/{len(points)} points on "
+            f"the frontier, knee at area={knee[0] / MM2:.3f} mm^2, "
+            f"latency={knee[1] / US:.4f} us"
+        )
+        lines.append(format_table(
+            ["p", "area mm^2", "latency us"],
+            [
+                [r.parallelism_degree, f"{r.area / MM2:.3f}",
+                 f"{r.latency / US:.4f}"]
+                for r in sorted(group, key=lambda r: r.parallelism_degree)
+            ],
+        ))
+    from repro.report_plot import line_plot
+
+    curves = {
+        f"xbar{size}": [
+            (r.area / MM2, r.latency / US)
+            for r in rows
+            if r.crossbar_size == size
+        ]
+        for size in SIZES
+    }
+    lines.append("")
+    lines.append(
+        line_plot(curves, width=56, height=16, x_label="area (mm^2)",
+                  y_label="latency (us)")
+    )
+    write_result("fig8_area_latency", "\n".join(lines))
+
+    for size in SIZES:
+        group = sorted(
+            (r for r in rows if r.crossbar_size == size),
+            key=lambda r: r.parallelism_degree,
+        )
+        points = [(r.area, r.latency) for r in group]
+
+        # The sweep traces a proper trade-off: every point is Pareto
+        # non-dominated (area and latency move in opposite directions).
+        assert pareto_frontier(points) == sorted(points)
+
+        # The knee is interior: neither the fully-serial nor the
+        # fully-parallel extreme (the paper's inflection-point claim).
+        knee = knees[size]
+        extremes = {points[0], points[-1]}
+        assert knee not in extremes
+
+        # Large area reduction at small latency cost near the parallel
+        # end: halving the read circuits (last -> second-to-last degree)
+        # saves more area fraction than it costs latency fraction.
+        full = group[-1]
+        half = group[-2]
+        area_saving = 1 - half.area / full.area
+        latency_cost = half.latency / full.latency - 1
+        assert area_saving > 0
+        assert latency_cost < 1.0  # less than 2x latency for the first halving

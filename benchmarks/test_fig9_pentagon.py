@@ -1,0 +1,98 @@
+"""Fig. 9: normalized five-axis performance pentagons of the optimal
+designs — (a) the large computation bank, (b) the deep CNN.
+
+Paper shapes: each optimum dominates its own axis; optimising one
+factor leaves other factors low (the spread is large for the single
+layer); the CNN case shows a *smaller* spread between optimal designs.
+"""
+
+import statistics
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse import DesignSpace, explore, optimal_table, pentagon_factors
+from repro.nn.networks import large_bank_layer, vgg16
+from repro.report import format_table
+
+AXES = ("reciprocal_area", "energy_efficiency", "reciprocal_power", "speed")
+
+LARGE_BANK_SPACE = DesignSpace(
+    crossbar_sizes=(16, 32, 64, 128, 256, 512, 1024),
+    parallelism_degrees=(1, 4, 16, 64, 256),
+    interconnect_nodes=(18, 28, 45),
+)
+CNN_SPACE = DesignSpace(
+    crossbar_sizes=(32, 64, 128, 256, 512),
+    parallelism_degrees=(1, 4, 16, 64, 256),
+    interconnect_nodes=(18, 28, 45, 90),
+)
+
+
+def _pentagons(base, network, space, bound):
+    points = explore(base, network, space, max_error_rate=bound)
+    best = optimal_table(points)
+    return best, pentagon_factors(list(best.values()))
+
+
+def _axis_metric_map():
+    """Each optimization target and the pentagon axis it should win."""
+    return {
+        "area": "reciprocal_area",
+        "energy": "energy_efficiency",
+        "latency": "speed",
+    }
+
+
+def test_fig9_pentagon(benchmark, write_result):
+    base_bank = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+    base_cnn = SimConfig(cmos_tech=45, weight_bits=8, signal_bits=8)
+
+    (bank_best, bank_factors), (cnn_best, cnn_factors) = benchmark.pedantic(
+        lambda: (
+            _pentagons(base_bank, large_bank_layer(), LARGE_BANK_SPACE, 0.25),
+            _pentagons(base_cnn, vgg16(), CNN_SPACE, 0.50),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    def render(title, best, factors):
+        rows = [
+            [metric] + [f"{entry[a]:.3f}" for a in AXES]
+            + [f"{entry['accuracy']:.3f}"]
+            for (metric, _p), entry in zip(best.items(), factors)
+        ]
+        return f"{title}\n" + format_table(
+            ["optimised for", *AXES, "accuracy"], rows
+        )
+
+    write_result(
+        "fig9_pentagon",
+        render("Fig. 9(a) reproduction: large computation bank",
+               bank_best, bank_factors)
+        + "\n\n"
+        + render("Fig. 9(b) reproduction: VGG-16", cnn_best, cnn_factors),
+    )
+
+    for best, factors in ((bank_best, bank_factors), (cnn_best, cnn_factors)):
+        by_metric = dict(zip(best.keys(), factors))
+        # Each optimum scores 1.0 on its own axis.
+        for metric, axis in _axis_metric_map().items():
+            assert by_metric[metric][axis] == pytest.approx(1.0)
+        # The accuracy optimum has the best accuracy axis.
+        accuracies = {m: f["accuracy"] for m, f in by_metric.items()}
+        assert accuracies["accuracy"] == max(accuracies.values())
+
+    # The paper's Fig. 9 observation: optimising a single factor leaves
+    # others low for the single layer; the whole-network (CNN) case has
+    # a smaller spread between optimal designs.
+    def spread(factors):
+        values = [
+            entry[axis]
+            for entry in factors
+            for axis in AXES
+        ]
+        return statistics.pstdev(values)
+
+    assert spread(bank_factors) > 0.2  # strongly differentiated optima
+    assert spread(cnn_factors) <= spread(bank_factors) + 0.1

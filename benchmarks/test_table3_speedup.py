@@ -1,0 +1,80 @@
+"""Table III: simulation time of the circuit-level solve vs MNSIM.
+
+The paper reports >7000x speed-up of the behavior-level model over
+SPICE, growing with crossbar size.  Here the baseline is the internal
+nodal-analysis solver; the benchmark times the analytic model, and the
+solver is timed once per size (it is the slow side by construction).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.accuracy.interconnect import (
+    DEFAULT_SENSE_RESISTANCE,
+    analog_error_rate,
+)
+from repro.report import format_table
+from repro.spice.solver import CrossbarNetwork
+from repro.tech import get_interconnect_node, get_memristor_model
+from repro.tech.memristor import CellType
+
+SIZES = (16, 32, 64, 128)
+
+
+def _solver_time(device, size, segment) -> float:
+    resistances = np.full((size, size), device.r_min)
+    inputs = np.full(size, device.read_voltage)
+    network = CrossbarNetwork(
+        resistances, segment, DEFAULT_SENSE_RESISTANCE, device=device
+    )
+    start = time.perf_counter()
+    network.solve(inputs)
+    return time.perf_counter() - start
+
+
+def test_table3_speedup(benchmark, write_result):
+    device = get_memristor_model("RRAM")
+    segment = get_interconnect_node(45).segment_resistance(
+        device.cell_pitch(CellType.ONE_T_ONE_R)
+    )
+
+    # Timed side: one full sweep of behavior-level error evaluations.
+    def run_model_sweep():
+        return [
+            analog_error_rate(size, size, segment, device)
+            for size in SIZES
+        ]
+
+    benchmark(run_model_sweep)
+
+    # Per-size comparison.
+    rows = []
+    speedups = []
+    for size in SIZES:
+        solver_seconds = _solver_time(device, size, segment)
+        start = time.perf_counter()
+        repeats = 2000
+        for _ in range(repeats):
+            analog_error_rate(size, size, segment, device)
+        model_seconds = (time.perf_counter() - start) / repeats
+        speedup = solver_seconds / model_seconds
+        speedups.append(speedup)
+        rows.append([
+            size,
+            f"{solver_seconds:.4f}",
+            f"{model_seconds * 1e6:.2f}",
+            f"{speedup:,.0f}x",
+        ])
+    write_result(
+        "table3_speedup",
+        "Table III reproduction: circuit-level solve vs MNSIM model\n"
+        + format_table(
+            ["crossbar size", "solver (s)", "model (us)", "speed-up"], rows
+        ),
+    )
+
+    # Paper shape: huge speed-up (>1000x here), increasing with size.
+    assert all(s > 1000 for s in speedups)
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,75 @@
+"""Table IV: design-space exploration of the 2048x1024 computation bank.
+
+Traverses the paper's grid (crossbar sizes 4..1024, parallelism degrees
+1..256, interconnect {18, 22, 28, 36, 45} nm) under the 25 % worst-case
+error constraint and reports the optimum per optimization target.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse import DesignSpace, explore, optimal_table
+from repro.nn.networks import large_bank_layer
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+BASE = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+SPACE = DesignSpace()
+ERROR_BOUND = 0.25
+
+
+def test_table4_large_bank_dse(benchmark, write_result):
+    network = large_bank_layer()
+
+    points = benchmark(
+        lambda: explore(BASE, network, SPACE, max_error_rate=ERROR_BOUND)
+    )
+    assert points, "no feasible design under the 25% error bound"
+    best = optimal_table(points)
+
+    rows = []
+    for metric, point in best.items():
+        s = point.summary
+        rows.append([
+            metric,
+            f"{s.area / MM2:.3f}",
+            f"{s.energy_per_sample / UJ:.3f}",
+            f"{s.compute_latency / US:.4f}",
+            f"{s.worst_error_rate:.2%}",
+            f"{s.power:.3f}",
+            point.crossbar_size,
+            point.interconnect_tech,
+            point.parallelism_degree,
+        ])
+    write_result(
+        "table4_large_bank_dse",
+        f"Table IV reproduction: {len(SPACE)} designs, "
+        f"{len(points)} feasible (error <= {ERROR_BOUND:.0%})\n"
+        + format_table(
+            ["target", "area mm^2", "energy uJ", "latency us", "error",
+             "power W", "xbar", "wire nm", "p"],
+            rows,
+        ),
+    )
+
+    area_opt = best["area"]
+    energy_opt = best["energy"]
+    latency_opt = best["latency"]
+    accuracy_opt = best["accuracy"]
+
+    # Paper shapes:
+    # 1. Area-optimal: large crossbars, low parallelism degree, but it
+    #    pays in energy and latency ("the energy of the entire
+    #    computation grows back").
+    assert area_opt.crossbar_size >= 256
+    assert area_opt.parallelism_degree <= 32
+    assert area_opt.energy > energy_opt.energy
+    assert area_opt.latency > latency_opt.latency
+    # 2. Energy- and latency-optimal designs use high parallelism.
+    assert energy_opt.parallelism_degree >= 64
+    assert latency_opt.parallelism_degree >= 64
+    # 3. Accuracy-optimal uses a small-to-middle crossbar size, and is
+    #    paid for with area (Table IV: 117 mm^2 vs 12..29 mm^2).
+    assert accuracy_opt.crossbar_size <= 128
+    assert accuracy_opt.error_rate <= area_opt.error_rate
+    assert accuracy_opt.area > area_opt.area

@@ -1,0 +1,62 @@
+"""Table V: the trade-off between area, energy and accuracy over
+crossbar sizes {8 .. 256} at the 45 nm interconnect node.
+
+Paper shapes: area and energy fall monotonically as crossbars grow
+(fewer peripheral circuits per weight); the computing error rate is
+U-shaped with its minimum at a middle size (64 in the paper) because
+interconnect error grows with size while the nonlinear-device error
+grows as crossbars shrink.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.tradeoff import size_tradeoff
+from repro.nn.networks import large_bank_layer
+from repro.report import format_table
+from repro.units import MM2, UJ
+
+BASE = SimConfig(
+    cmos_tech=45, interconnect_tech=45, weight_bits=4, signal_bits=8,
+    parallelism_degree=0,
+)
+SIZES = (256, 128, 64, 32, 16, 8)
+
+
+def test_table5_size_tradeoff(benchmark, write_result):
+    network = large_bank_layer()
+    rows = benchmark(lambda: size_tradeoff(BASE, network, sizes=SIZES))
+
+    table = format_table(
+        ["crossbar size", "error rate", "area mm^2", "energy uJ"],
+        [
+            [r.crossbar_size, f"{r.error_rate:.2%}",
+             f"{r.area / MM2:.2f}", f"{r.energy / UJ:.2f}"]
+            for r in rows
+        ],
+    )
+    write_result(
+        "table5_size_tradeoff",
+        "Table V reproduction: trade-off vs crossbar size (45 nm wire)\n"
+        + table,
+    )
+
+    by_size = {r.crossbar_size: r for r in rows}
+    ascending = sorted(by_size)
+
+    # Area and energy fall monotonically with crossbar size.
+    areas = [by_size[s].area for s in ascending]
+    energies = [by_size[s].energy for s in ascending]
+    assert areas == sorted(areas, reverse=True)
+    assert energies == sorted(energies, reverse=True)
+
+    # Error rate is U-shaped with an interior minimum at a middle size.
+    errors = [by_size[s].error_rate for s in ascending]
+    minimum_index = errors.index(min(errors))
+    assert 0 < minimum_index < len(errors) - 1
+    assert ascending[minimum_index] in (32, 64, 128)
+
+    # The paper's headline: accuracy improves over the 256 design only
+    # when the crossbar size comes down to the middle of the range.
+    assert by_size[64].error_rate < by_size[256].error_rate
+    assert by_size[8].error_rate > by_size[64].error_rate

@@ -1,0 +1,77 @@
+"""Table VI: design-space exploration of the VGG-16 CNN case study.
+
+The paper relaxes the error constraint to 50 %, widens the interconnect
+range to 90 nm, and reports the optimum per target with latency defined
+per pipeline cycle (the slowest computation bank).
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse import DesignSpace, explore, optimal_table
+from repro.nn.networks import vgg16
+from repro.report import format_table
+from repro.units import MJ, MM2, US
+
+BASE = SimConfig(cmos_tech=45, weight_bits=8, signal_bits=8)
+SPACE = DesignSpace(
+    crossbar_sizes=(32, 64, 128, 256, 512),
+    parallelism_degrees=(1, 4, 16, 64, 256),
+    interconnect_nodes=(18, 22, 28, 36, 45, 65, 90),
+)
+ERROR_BOUND = 0.50
+
+
+def test_table6_vgg16_dse(benchmark, write_result):
+    network = vgg16()
+
+    points = benchmark(
+        lambda: explore(BASE, network, SPACE, max_error_rate=ERROR_BOUND)
+    )
+    assert points
+    best = optimal_table(points)
+
+    rows = []
+    for metric, point in best.items():
+        s = point.summary
+        rows.append([
+            metric,
+            f"{s.area / MM2:.1f}",
+            f"{s.energy_per_sample / MJ:.3f}",
+            f"{s.pipeline_cycle / US:.4f}",
+            f"{s.worst_error_rate:.2%}",
+            f"{s.power:.1f}",
+            point.crossbar_size,
+            point.interconnect_tech,
+            point.parallelism_degree,
+        ])
+    write_result(
+        "table6_vgg16_dse",
+        f"Table VI reproduction: VGG-16, {len(SPACE)} designs, "
+        f"{len(points)} feasible (error <= {ERROR_BOUND:.0%})\n"
+        + format_table(
+            ["target", "area mm^2", "energy mJ", "cycle us", "error",
+             "power W", "xbar", "wire nm", "p"],
+            rows,
+        ),
+    )
+
+    area_opt, energy_opt = best["area"], best["energy"]
+    latency_opt, accuracy_opt = best["latency"], best["accuracy"]
+
+    # Paper shapes for the CNN case:
+    # 1. Area-optimal reads sequentially; energy/latency-optimal designs
+    #    use high parallelism and are orders of magnitude faster.
+    assert area_opt.parallelism_degree <= 4
+    assert energy_opt.parallelism_degree >= 64
+    assert latency_opt.summary.pipeline_cycle < (
+        area_opt.summary.pipeline_cycle / 10
+    )
+    # 2. Accuracy-optimal uses smaller crossbars than the area optimum
+    #    (error accumulation over 16 layers pushes toward the accurate
+    #    middle sizes).
+    assert accuracy_opt.crossbar_size < area_opt.crossbar_size
+    assert accuracy_opt.error_rate < area_opt.error_rate
+    # 3. Multi-layer error accumulation: the CNN's worst error rates
+    #    exceed the single-layer case at the same bound.
+    assert area_opt.error_rate > 0.05

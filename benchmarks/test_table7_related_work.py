@@ -1,0 +1,52 @@
+"""Table VII: simulating PRIME and ISAAC through the customization
+interfaces.
+
+The paper notes the two columns are not comparable (different task
+scales); the reproduced shapes are the structural facts (4 vs 96
+crossbars), the ISAAC 22-cycle pipeline latency (2.2 us), and the
+relative ordering (the ISAAC tile dwarfs a PRIME FF-subarray).
+"""
+
+import pytest
+
+from repro.related import simulate_isaac, simulate_prime
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+
+def test_table7_related_work(benchmark, write_result):
+    prime, isaac = benchmark(lambda: (simulate_prime(), simulate_isaac()))
+
+    write_result(
+        "table7_related_work",
+        "Table VII reproduction: PRIME FF-subarray and ISAAC tile\n"
+        + format_table(
+            ["metric", "PRIME", "ISAAC"],
+            [
+                ["CMOS tech", "65 nm", "32 nm"],
+                ["crossbars", prime.crossbars, isaac.crossbars],
+                ["area (mm^2)", f"{prime.area / MM2:.3f}",
+                 f"{isaac.area / MM2:.3f}"],
+                ["energy per task (uJ)",
+                 f"{prime.energy_per_task / UJ:.3f}",
+                 f"{isaac.energy_per_task / UJ:.3f}"],
+                ["latency (us)", f"{prime.latency / US:.3f}",
+                 f"{isaac.latency / US:.3f}"],
+                ["accuracy", f"{prime.relative_accuracy:.1%}",
+                 f"{isaac.relative_accuracy:.1%}"],
+            ],
+        ),
+    )
+
+    # Structural facts from Sec. VII.E.
+    assert prime.crossbars == 4
+    assert isaac.crossbars == 96
+    # ISAAC's customised latency: 22 x 100 ns = 2.2 us (exact in paper).
+    assert isaac.latency / US == pytest.approx(2.2)
+    # Relative ordering and magnitude windows of Table VII.
+    assert isaac.area > prime.area
+    assert isaac.energy_per_task > prime.energy_per_task
+    assert 0.01 < prime.area / MM2 < 10
+    assert 0.05 < isaac.area / MM2 < 20
+    assert prime.relative_accuracy > 0.85
+    assert isaac.relative_accuracy > 0.85

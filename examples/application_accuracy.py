@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Application-level accuracy: train, deploy, and stress a classifier.
+
+Trains a small MLP on a synthetic clustering task (numpy SGD), deploys
+the trained weights onto the crossbar substrate through the functional
+simulator, and measures *classification accuracy* — the metric end
+users care about — across substrate conditions: wire nodes, device
+variation, and reduced weight precision.
+
+Run:  python examples/application_accuracy.py
+"""
+
+import numpy as np
+
+from repro import SimConfig, mlp
+from repro.functional import AnalogMode, FunctionalAccelerator
+from repro.nn.trainer import (
+    MlpTrainer,
+    classification_accuracy,
+    make_cluster_dataset,
+)
+from repro.report import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    x, y = make_cluster_dataset(
+        rng, features=32, classes=6, samples_per_class=80, spread=0.35
+    )
+    split = 360
+    x_train, y_train = x[:split], y[:split]
+    x_test, y_test = x[split:], y[split:]
+
+    network = mlp([32, 48, 6], name="cluster-classifier")
+    trainer = MlpTrainer(network, rng)
+    result = trainer.train(x_train, y_train, epochs=60, learning_rate=0.4)
+    float_acc = classification_accuracy(trainer.forward, x_test, y_test)
+    print(f"trained in {len(result.losses)} epochs; "
+          f"float test accuracy: {float_acc:.1%} "
+          f"(loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f})")
+
+    scenarios = [
+        ("reference (45 nm wire)", dict(interconnect_tech=45)),
+        ("resistive wires (18 nm)", dict(interconnect_tech=18)),
+        ("device variation 20%", dict(interconnect_tech=45,
+                                      device_sigma=0.2)),
+        ("4-bit weights", dict(interconnect_tech=45, weight_bits=4)),
+        ("4-bit weights + 18 nm", dict(interconnect_tech=18,
+                                       weight_bits=4)),
+    ]
+
+    rows = []
+    for label, overrides in scenarios:
+        settings = dict(crossbar_size=32, weight_bits=8, signal_bits=8)
+        settings.update(overrides)
+        config = SimConfig(**settings)
+        functional = FunctionalAccelerator(config, network, result.weights)
+        ideal = classification_accuracy(
+            lambda v: functional.forward(v)[-1], x_test, y_test
+        )
+        noisy_rng = np.random.default_rng(7)
+        noisy = classification_accuracy(
+            lambda v: functional.forward(
+                v, mode=AnalogMode.MODEL, rng=noisy_rng
+            )[-1],
+            x_test, y_test,
+        )
+        rows.append([
+            label,
+            f"{functional.banks[0].epsilon:.2%}",
+            f"{ideal:.1%}",
+            f"{noisy:.1%}",
+        ])
+
+    print()
+    print(format_table(
+        ["substrate scenario", "tile eps", "mapped (ideal)",
+         "with analog error"],
+        rows,
+    ))
+    print()
+    print("Quantization and wire-induced analog error are invisible at")
+    print("this task's margin (small layers fill few crossbar rows, the")
+    print("benign region of the Table V U-curve); strong device variation")
+    print("is what finally erodes the deployed accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""A full DSE workflow: constraints, auto-completion, export, analysis.
+
+Walks the decision process a designer would follow:
+
+1. auto-complete an under-specified configuration per target
+   (the paper's "optimal design for each performance" behaviour);
+2. apply a multi-metric constraint set and diagnose what binds;
+3. refine with a secondary objective among accuracy ties;
+4. check throughput bottlenecks and floorplan the winner;
+5. export the full exploration to CSV/JSON for external tooling.
+
+Run:  python examples/explore_and_export.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Accelerator, SimConfig, mlp
+from repro.arch.floorplan import floorplan
+from repro.arch.throughput import bus_lines_for_balance, throughput_report
+from repro.dse import (
+    ConstraintSet,
+    DesignSpace,
+    explore,
+    optimal_with_secondary,
+    suggest_designs,
+    to_csv,
+    to_json,
+)
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+
+def main() -> None:
+    base = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+    network = mlp([1024, 512, 64], name="workflow-demo")
+
+    # 1. Auto-complete the free fields per optimization target.
+    suggestions = suggest_designs(
+        base, network,
+        candidates={
+            "crossbar_size": (64, 128, 256, 512),
+            "parallelism_degree": (1, 16, 64, 256),
+            "interconnect_tech": (22, 28, 45),
+        },
+        max_error_rate=0.25,
+    )
+    print("=== auto-completed designs (Sec. IV.A behaviour) ===")
+    print(format_table(
+        ["target", "xbar", "wire", "p", "area mm^2", "energy uJ", "error"],
+        [
+            [
+                metric,
+                d.config.crossbar_size,
+                d.config.interconnect_tech,
+                d.config.parallelism_degree,
+                f"{d.point.area / MM2:.3f}",
+                f"{d.point.energy / UJ:.3f}",
+                f"{d.point.error_rate:.2%}",
+            ]
+            for metric, d in suggestions.items()
+        ],
+    ))
+
+    # 2. Full exploration under a constraint set.
+    space = DesignSpace(
+        crossbar_sizes=(64, 128, 256, 512),
+        parallelism_degrees=(1, 16, 64, 256),
+        interconnect_nodes=(22, 28, 45),
+    )
+    points = explore(base, network, space)
+    constraints = ConstraintSet(
+        max_area=20 * MM2, max_power=5.0, max_error_rate=0.10,
+    )
+    feasible = constraints.filter(points)
+    print()
+    print(f"constraints keep {len(feasible)}/{len(points)} designs "
+          f"(tightest: {constraints.tightest_constraint(points)})")
+
+    # 3. Secondary objective among accuracy ties.
+    refined = optimal_with_secondary(feasible, "accuracy", "energy")
+    print(f"accuracy-optimal, cheapest-energy tie-break: "
+          f"xbar={refined.crossbar_size}, p={refined.parallelism_degree}, "
+          f"wire={refined.interconnect_tech} nm "
+          f"({refined.energy / UJ:.3f} uJ, err {refined.error_rate:.2%})")
+
+    # 4. System checks on the winner.
+    winner = Accelerator(
+        base.replace(
+            crossbar_size=refined.crossbar_size,
+            parallelism_degree=refined.parallelism_degree,
+            interconnect_tech=refined.interconnect_tech,
+        ),
+        network,
+    )
+    report = throughput_report(winner)
+    plan = floorplan(winner)
+    print()
+    print("=== throughput & floorplan of the winner ===")
+    print(report.render())
+    if report.is_bus_bound:
+        lines = bus_lines_for_balance(winner)
+        print(f"bus-bound -> widen interfaces to {lines} lines")
+    print(f"die: {plan.die_width * 1e3:.2f} x {plan.die_height * 1e3:.2f} mm, "
+          f"utilization {plan.utilization:.0%}, "
+          f"cascade wire {plan.total_wire_length() * 1e3:.2f} mm")
+
+    # 5. Export for external tooling.
+    out_dir = Path(tempfile.mkdtemp(prefix="mnsim-dse-"))
+    csv_path = to_csv(points, out_dir / "exploration.csv")
+    json_path = to_json(points, out_dir / "exploration.json")
+    print()
+    print(f"exported {len(points)} design points to:")
+    print(f"  {csv_path}")
+    print(f"  {json_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Design-space exploration of a 2048x1024 layer (Tables IV/V, Fig. 9a).
+
+Sweeps crossbar size x parallelism degree x interconnect node under a
+25 % worst-case error constraint, reports the optimal design per metric
+(area / energy / latency / accuracy), the crossbar-size trade-off table,
+and the normalized pentagon factors.
+
+Run:  python examples/large_layer_dse.py
+"""
+
+import time
+
+from repro import SimConfig, large_bank_layer
+from repro.dse import (
+    DesignSpace,
+    explore,
+    optimal_table,
+    pentagon_factors,
+    size_tradeoff,
+)
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+
+def main() -> None:
+    base = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+    network = large_bank_layer()
+    space = DesignSpace()  # the paper's grid: sizes 4..1024, p 1..256,
+    #                        wires {18, 22, 28, 36, 45} nm
+
+    start = time.perf_counter()
+    points = explore(base, network, space, max_error_rate=0.25)
+    elapsed = time.perf_counter() - start
+    print(
+        f"explored {len(space)} designs ({len(points)} feasible under the "
+        f"25% error constraint) in {elapsed:.2f} s"
+    )
+
+    # --- Table IV: the optimal design per optimization target ---------
+    best = optimal_table(points)
+    rows = []
+    for metric, point in best.items():
+        s = point.summary
+        rows.append([
+            metric,
+            f"{s.area / MM2:.3f}",
+            f"{s.energy_per_sample / UJ:.3f}",
+            f"{s.compute_latency / US:.4f}",
+            f"{s.worst_error_rate:.2%}",
+            f"{s.power:.3f}",
+            point.crossbar_size,
+            point.interconnect_tech,
+            point.parallelism_degree,
+        ])
+    print()
+    print("=== Table IV: design-space exploration (optimum per target) ===")
+    print(format_table(
+        ["target", "area mm^2", "energy uJ", "latency us", "err", "power W",
+         "xbar", "wire nm", "p"],
+        rows,
+    ))
+
+    # --- Fig. 9a: normalized pentagon factors --------------------------
+    print()
+    print("=== Fig. 9a: normalized performance pentagons ===")
+    for (metric, _point), factors in zip(
+        best.items(), pentagon_factors(list(best.values()))
+    ):
+        pretty = ", ".join(f"{k}={v:.3f}" for k, v in factors.items())
+        print(f"{metric:9s}: {pretty}")
+
+    # --- Table V: trade-off vs crossbar size ---------------------------
+    print()
+    print("=== Table V: error/area/energy vs crossbar size (45 nm wire) ===")
+    tradeoff = size_tradeoff(
+        base.replace(interconnect_tech=45, parallelism_degree=0), network
+    )
+    print(format_table(
+        ["crossbar", "error rate", "area mm^2", "energy uJ"],
+        [
+            [r.crossbar_size, f"{r.error_rate:.2%}",
+             f"{r.area / MM2:.2f}", f"{r.energy / UJ:.2f}"]
+            for r in tradeoff
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Simulating related work: PRIME and ISAAC (Table VII).
+
+Both architectures are expressed as customizations of the reference
+hierarchy — PRIME by reorganising the reference modules into
+reconfigurable units, ISAAC by importing published module costs and a
+custom 22-stage pipeline latency rule.
+
+Run:  python examples/prime_isaac.py
+"""
+
+from repro.related import simulate_isaac, simulate_prime
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+
+def main() -> None:
+    prime = simulate_prime()
+    isaac = simulate_isaac()
+
+    print("=== Table VII: simulation of PRIME and ISAAC ===")
+    print("(the two columns are not comparable: the task scales differ)")
+    print()
+    print(format_table(
+        ["metric", "PRIME FF-subarray", "ISAAC tile"],
+        [
+            ["CMOS tech", "65 nm", "32 nm"],
+            ["crossbars", prime.crossbars, isaac.crossbars],
+            ["area (mm^2)",
+             f"{prime.area / MM2:.3f}", f"{isaac.area / MM2:.3f}"],
+            ["energy per task (uJ)",
+             f"{prime.energy_per_task / UJ:.3f}",
+             f"{isaac.energy_per_task / UJ:.3f}"],
+            ["latency (us)",
+             f"{prime.latency / US:.3f}", f"{isaac.latency / US:.3f}"],
+            ["accuracy",
+             f"{prime.relative_accuracy:.1%}",
+             f"{isaac.relative_accuracy:.1%}"],
+        ],
+    ))
+    print()
+    print("PRIME: 256x256 layer, 8-bit signed weights on 4-bit cells ->")
+    print("       2 units x 2 polarities = 4 crossbars per FF-subarray.")
+    print("ISAAC: 1024x768 task filling 48 tiles x 2 polarities = 96")
+    print("       crossbars; latency = 22 pipeline cycles x 100 ns.")
+
+
+if __name__ == "__main__":
+    main()

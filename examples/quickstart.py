@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small memristor-based DNN accelerator.
+
+Builds the reference design for a 784-256-10 MLP (an MNIST-sized
+classifier), prints the hierarchical performance report, the summary
+metrics the paper's tables use, and the propagated computing accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Accelerator, SimConfig, mlp
+from repro.units import MM2, MW, UJ, US, fmt_si
+
+
+def main() -> None:
+    # 1. Describe the design (the paper's Table I knobs).
+    config = SimConfig(
+        crossbar_size=128,       # cells per crossbar side
+        cmos_tech=45,            # nm
+        interconnect_tech=28,    # nm
+        weight_bits=8,
+        signal_bits=8,
+        parallelism_degree=16,   # read circuits shared per crossbar
+    )
+
+    # 2. Describe the application.
+    network = mlp([784, 256, 10], name="mnist-mlp")
+
+    # 3. Build and simulate.
+    accelerator = Accelerator(config, network)
+    summary = accelerator.summary()
+
+    print(f"=== {network.name} on the MNSIM reference design ===")
+    print(f"banks:            {len(accelerator.banks)}")
+    print(f"computation units:{accelerator.total_units:5d}")
+    print(f"crossbars:        {accelerator.total_crossbars:5d}")
+    print()
+    print(f"area:             {summary.area / MM2:10.4f} mm^2")
+    print(f"energy / sample:  {summary.energy_per_sample / UJ:10.4f} uJ")
+    print(f"latency / sample: {summary.sample_latency / US:10.4f} us "
+          f"(banks only: {summary.compute_latency / US:.4f} us)")
+    print(f"pipeline cycle:   {summary.pipeline_cycle / US:10.4f} us")
+    print(f"average power:    {summary.power / MW:10.4f} mW")
+    print(f"worst error rate: {summary.worst_error_rate:10.4%}")
+    print(f"relative accuracy:{summary.relative_accuracy:10.4%}")
+
+    # 4. Drill down with the hierarchical report (Fig. 3's output view).
+    print()
+    print("=== hierarchical report (depth 2) ===")
+    print(accelerator.report().render(max_depth=2))
+
+    # 5. Program it through the basic instruction set (Sec. III.D).
+    from repro import Controller, assemble
+
+    trace = Controller(accelerator).run(
+        assemble("WRITE\nCOMPUTE 100")
+    )
+    print()
+    print("=== WRITE + 100 x COMPUTE ===")
+    print(f"total energy:  {fmt_si(trace.total_energy, 'J')}")
+    print(f"total latency: {fmt_si(trace.total_latency, 's')}")
+
+
+if __name__ == "__main__":
+    main()

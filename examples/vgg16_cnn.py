@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Deep-CNN case study: VGG-16 on the reference design (Table VI).
+
+Explores the same three variables as the large-bank case, but for the
+full 16-layer VGG network under a relaxed 50 % error constraint with
+interconnect nodes up to 90 nm, and prints the per-bank breakdown of
+the pipeline.
+
+Run:  python examples/vgg16_cnn.py
+"""
+
+import time
+
+from repro import Accelerator, SimConfig, vgg16
+from repro.dse import DesignSpace, explore, optimal_table, pentagon_factors
+from repro.report import format_table
+from repro.units import MJ, MM2, US
+
+
+def main() -> None:
+    base = SimConfig(cmos_tech=45, weight_bits=8, signal_bits=8)
+    network = vgg16()
+    space = DesignSpace(
+        crossbar_sizes=(32, 64, 128, 256, 512),
+        parallelism_degrees=(1, 4, 16, 64, 256),
+        interconnect_nodes=(18, 22, 28, 36, 45, 65, 90),
+    )
+
+    start = time.perf_counter()
+    points = explore(base, network, space, max_error_rate=0.50)
+    print(
+        f"explored {len(space)} VGG-16 designs "
+        f"({len(points)} feasible) in {time.perf_counter() - start:.2f} s"
+    )
+
+    # --- Table VI ------------------------------------------------------
+    best = optimal_table(points)
+    rows = []
+    for metric, point in best.items():
+        s = point.summary
+        rows.append([
+            metric,
+            f"{s.area / MM2:.1f}",
+            f"{s.energy_per_sample / MJ:.3f}",
+            f"{s.pipeline_cycle / US:.4f}",
+            f"{s.worst_error_rate:.2%}",
+            f"{s.power:.1f}",
+            point.crossbar_size,
+            point.interconnect_tech,
+            point.parallelism_degree,
+        ])
+    print()
+    print("=== Table VI: VGG-16 design-space exploration ===")
+    print(format_table(
+        ["target", "area mm^2", "energy mJ", "cycle us", "err", "power W",
+         "xbar", "wire nm", "p"],
+        rows,
+    ))
+
+    print()
+    print("=== Fig. 9b: normalized performance pentagons ===")
+    for (metric, _point), factors in zip(
+        best.items(), pentagon_factors(list(best.values()))
+    ):
+        pretty = ", ".join(f"{k}={v:.3f}" for k, v in factors.items())
+        print(f"{metric:9s}: {pretty}")
+
+    # --- Per-bank pipeline breakdown of one design ----------------------
+    config = base.replace(
+        crossbar_size=128, interconnect_tech=45, parallelism_degree=64
+    )
+    accelerator = Accelerator(config, network)
+    print()
+    print("=== per-bank pipeline view (xbar=128, p=64, 45 nm wire) ===")
+    rows = []
+    for index, (bank, layer) in enumerate(
+        zip(accelerator.banks, network.layers)
+    ):
+        passes = layer.compute_passes
+        cycle = bank.pass_performance().latency
+        rows.append([
+            f"bank[{index:02d}]",
+            layer.kind,
+            f"{bank.mapping.out_features}x{bank.mapping.in_features}",
+            bank.units,
+            passes,
+            f"{cycle / US:.4f}",
+        ])
+    print(format_table(
+        ["bank", "kind", "weights", "units", "passes", "pass latency us"],
+        rows,
+    ))
+    print(
+        f"pipeline cycle (slowest bank): "
+        f"{accelerator.pipeline_cycle_latency() / US:.4f} us"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""MNSIM reproduction: a behavior-level simulator for memristor-based
+neuromorphic computing accelerators.
+
+Reimplementation of *MNSIM: Simulation Platform for Memristor-based
+Neuromorphic Computing System* (Xia et al., DATE 2016): the three-level
+accelerator hierarchy, area/power/latency models, the behavior-level
+computing-accuracy model, a circuit-level crossbar solver for
+validation, and design-space exploration.
+
+Quickstart
+----------
+>>> from repro import SimConfig, Accelerator, mlp
+>>> config = SimConfig(crossbar_size=128, cmos_tech=45)
+>>> accelerator = Accelerator(config, mlp([784, 256, 10], name="demo"))
+>>> summary = accelerator.summary()     # area/energy/latency/accuracy
+"""
+
+from repro.config import SimConfig
+from repro.report import Performance, ReportNode
+from repro.arch import (
+    Accelerator,
+    AcceleratorSummary,
+    ComputationBank,
+    ComputationUnit,
+    Controller,
+    Instruction,
+    LayerMapping,
+    Opcode,
+    assemble,
+)
+from repro.accuracy import AccuracyModel
+from repro.circuits import CustomModule, ModuleRegistry
+from repro.nn import (
+    ConvLayer,
+    FullyConnectedLayer,
+    Network,
+    caffenet,
+    jpeg_autoencoder,
+    large_bank_layer,
+    mlp,
+    validation_mlp,
+    vgg16,
+)
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    explore,
+    optimal,
+    optimal_table,
+    pentagon_factors,
+)
+from repro.errors import (
+    ConfigError,
+    ExplorationError,
+    MappingError,
+    MnsimError,
+    SolverError,
+    TechnologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "Performance",
+    "ReportNode",
+    "Accelerator",
+    "AcceleratorSummary",
+    "ComputationBank",
+    "ComputationUnit",
+    "LayerMapping",
+    "Controller",
+    "Instruction",
+    "Opcode",
+    "assemble",
+    "AccuracyModel",
+    "CustomModule",
+    "ModuleRegistry",
+    "Network",
+    "FullyConnectedLayer",
+    "ConvLayer",
+    "mlp",
+    "validation_mlp",
+    "jpeg_autoencoder",
+    "large_bank_layer",
+    "caffenet",
+    "vgg16",
+    "DesignSpace",
+    "DesignPoint",
+    "explore",
+    "optimal",
+    "optimal_table",
+    "pentagon_factors",
+    "MnsimError",
+    "ConfigError",
+    "TechnologyError",
+    "MappingError",
+    "SolverError",
+    "ExplorationError",
+    "__version__",
+]

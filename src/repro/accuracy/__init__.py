@@ -1,0 +1,74 @@
+"""Behavior-level computing-accuracy model (Sec. VI of the paper).
+
+The model replaces the circuit-level solve of ``2MN`` nonlinear Kirchhoff
+equations with three approximations:
+
+1. **Decouple the nonlinearity** — find the operating point with ideal
+   (ohmic) resistances, then re-evaluate each cell at that voltage
+   (:func:`~repro.accuracy.interconnect.cell_operating_voltage` /
+   ``R_act``).
+2. **Resistance-only interconnect** — Eq. 9-11 collapse the crossbar into a
+   column divider with an ``(M+N)r`` wire term
+   (:func:`~repro.accuracy.interconnect.analog_error_rate`).
+3. **Average / worst case only** — Eq. 12-14 convert the analog deviation
+   into digital read error rates (:mod:`~repro.accuracy.quantization`),
+   Eq. 15 propagates them layer by layer
+   (:mod:`~repro.accuracy.propagation`), and Eq. 16 adds device variation
+   (:mod:`~repro.accuracy.variation`).
+
+:class:`~repro.accuracy.model.AccuracyModel` is the high-level entry point
+used by the hierarchy and the design-space explorer.
+"""
+
+from repro.accuracy.interconnect import (
+    DEFAULT_SENSE_RESISTANCE,
+    analog_error_rate,
+    cell_operating_voltage,
+    output_voltage_actual,
+    output_voltage_ideal,
+    voltage_deviation,
+)
+from repro.accuracy.quantization import (
+    avg_digital_deviation,
+    avg_error_rate,
+    max_digital_deviation,
+    max_error_rate,
+)
+from repro.accuracy.propagation import combine_error_rates, propagate_layers
+from repro.accuracy.fitting import WireFit, fit_wire_term, solver_worst_column_error
+from repro.accuracy.variation import sample_resistances, variation_error_bounds
+from repro.accuracy.model import AccuracyModel, LayerAccuracy
+from repro.accuracy.montecarlo import MonteCarloResult, bound_check, run_monte_carlo
+from repro.accuracy.sensitivity import (
+    SensitivityReport,
+    sensitivity_analysis,
+    sensitivity_sweep,
+)
+
+__all__ = [
+    "DEFAULT_SENSE_RESISTANCE",
+    "analog_error_rate",
+    "cell_operating_voltage",
+    "output_voltage_actual",
+    "output_voltage_ideal",
+    "voltage_deviation",
+    "avg_digital_deviation",
+    "avg_error_rate",
+    "max_digital_deviation",
+    "max_error_rate",
+    "combine_error_rates",
+    "propagate_layers",
+    "WireFit",
+    "fit_wire_term",
+    "solver_worst_column_error",
+    "sample_resistances",
+    "variation_error_bounds",
+    "AccuracyModel",
+    "LayerAccuracy",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "bound_check",
+    "SensitivityReport",
+    "sensitivity_analysis",
+    "sensitivity_sweep",
+]

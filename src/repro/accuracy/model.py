@@ -1,0 +1,161 @@
+"""High-level accuracy model: configuration in, network error rates out.
+
+:class:`AccuracyModel` connects the pieces of this package to a
+:class:`~repro.config.SimConfig`: it derives the wire segment resistance
+from the interconnect node and cell pitch, evaluates the per-crossbar
+analog error (worst and average case, variation-aware when the
+configuration carries a ``device_sigma``), and propagates it across the
+network's layers per Eq. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.accuracy.interconnect import (
+    DEFAULT_SENSE_RESISTANCE,
+    analog_error_rate,
+)
+from repro.accuracy.propagation import propagate_layers
+from repro.accuracy.variation import worst_variation_error
+from repro.config import SimConfig
+
+
+@dataclass(frozen=True)
+class LayerAccuracy:
+    """Accuracy summary for a cascade of neuromorphic layers.
+
+    Attributes
+    ----------
+    analog_epsilon_worst / analog_epsilon_average:
+        Per-crossbar analog error-rate magnitude in the two cases.
+    worst_by_layer / average_by_layer:
+        Digital error rate after each layer (Eq. 15 propagation).
+    """
+
+    analog_epsilon_worst: float
+    analog_epsilon_average: float
+    worst_by_layer: List[float]
+    average_by_layer: List[float]
+
+    @property
+    def worst_error_rate(self) -> float:
+        """Final worst-case digital error rate of the accelerator."""
+        return self.worst_by_layer[-1] if self.worst_by_layer else 0.0
+
+    @property
+    def average_error_rate(self) -> float:
+        """Final average digital error rate of the accelerator."""
+        return self.average_by_layer[-1] if self.average_by_layer else 0.0
+
+    @property
+    def relative_accuracy(self) -> float:
+        """``1 - average_error_rate`` (the paper's "relative accuracy")."""
+        return 1.0 - self.average_error_rate
+
+
+class AccuracyModel:
+    """Evaluate the computing accuracy of a configured design.
+
+    Parameters
+    ----------
+    config:
+        The design configuration (crossbar size, wire node, device, ...).
+    sense_resistance:
+        Equivalent sensing resistance of the read circuit.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+    ) -> None:
+        self.config = config
+        self.sense_resistance = sense_resistance
+        self.device = config.device
+        pitch = self.device.cell_pitch(config.cell_type)
+        self.segment_resistance = config.wire.segment_resistance(pitch)
+
+    # ------------------------------------------------------------------
+    def crossbar_epsilon(
+        self,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+        case: str = "worst",
+    ) -> float:
+        """Analog error-rate magnitude of one crossbar.
+
+        Defaults to the configured (square) crossbar size.  When the
+        configuration carries a nonzero ``device_sigma`` the worst value
+        over the variation band (Eq. 16) is returned.
+        """
+        rows = self.config.crossbar_size if rows is None else rows
+        cols = self.config.crossbar_size if cols is None else cols
+        if self.device.sigma > 0:
+            return worst_variation_error(
+                rows, cols, self.segment_resistance, self.device, case,
+                self.sense_resistance,
+            )
+        return abs(
+            analog_error_rate(
+                rows, cols, self.segment_resistance, self.device, case,
+                self.sense_resistance,
+            )
+        )
+
+    def signed_crossbar_epsilon(
+        self,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+        case: str = "worst",
+    ) -> float:
+        """Signed analog error rate (sign reveals which term dominates)."""
+        rows = self.config.crossbar_size if rows is None else rows
+        cols = self.config.crossbar_size if cols is None else cols
+        return analog_error_rate(
+            rows, cols, self.segment_resistance, self.device, case,
+            self.sense_resistance,
+        )
+
+    # ------------------------------------------------------------------
+    def network_accuracy(
+        self,
+        num_layers: Optional[int] = None,
+        layer_sizes: Optional[Sequence] = None,
+    ) -> LayerAccuracy:
+        """Propagated accuracy of a multi-layer network.
+
+        Either pass ``num_layers`` (all layers use the configured crossbar
+        size) or ``layer_sizes`` — per-layer effective crossbar fills,
+        each an int (square fill) or a ``(rows, cols)`` pair for layers
+        that map onto rectangular tile regions.
+        """
+        if layer_sizes is None:
+            if num_layers is None:
+                num_layers = self.config.network_depth or 1
+            layer_sizes = [self.config.crossbar_size] * num_layers
+        if not layer_sizes:
+            raise ValueError("network needs at least one layer")
+
+        shapes = [
+            (size, size) if isinstance(size, int) else (
+                int(size[0]), int(size[1])
+            )
+            for size in layer_sizes
+        ]
+        worst_eps = [
+            self.crossbar_epsilon(rows=rows, cols=cols, case="worst")
+            for rows, cols in shapes
+        ]
+        avg_eps = [
+            self.crossbar_epsilon(rows=rows, cols=cols, case="average")
+            for rows, cols in shapes
+        ]
+        k = self.config.read_levels
+        return LayerAccuracy(
+            analog_epsilon_worst=worst_eps[0],
+            analog_epsilon_average=avg_eps[0],
+            worst_by_layer=propagate_layers(worst_eps, k, case="worst"),
+            average_by_layer=propagate_layers(avg_eps, k, case="average"),
+        )

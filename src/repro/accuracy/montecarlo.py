@@ -1,0 +1,113 @@
+"""Monte-Carlo accuracy simulation against the circuit-level solver.
+
+The closed-form model gives worst/average-case error rates; this module
+provides the *distributional* view: sample weight matrices (optionally
+with device variation per Eq. 16), run the circuit-level solver, and
+collect the empirical distribution of relative output errors.  It both
+validates the closed-form bounds (the worst case must dominate the
+samples) and supports variation studies the paper defers to the
+``Memristor_Model`` configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
+from repro.accuracy.variation import sample_resistances
+from repro.errors import ConfigError
+from repro.spice.solver import CrossbarNetwork, ideal_output_voltages
+from repro.tech.memristor import MemristorModel
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Empirical error distribution over sampled crossbar solves."""
+
+    samples: np.ndarray  # per-column relative errors, flattened
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean magnitude of the relative output error."""
+        return float(np.mean(np.abs(self.samples)))
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest observed relative output error."""
+        return float(np.max(np.abs(self.samples)))
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the |error| distribution (q in 0..100)."""
+        return float(np.percentile(np.abs(self.samples), q))
+
+
+def run_monte_carlo(
+    device: MemristorModel,
+    size: int,
+    segment_resistance: float,
+    rng: np.random.Generator,
+    trials: int = 10,
+    sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+    sigma: Optional[float] = None,
+    input_mode: str = "random",
+) -> MonteCarloResult:
+    """Sample crossbar solves and collect relative output errors.
+
+    Parameters
+    ----------
+    device:
+        Memristor model (its nonlinearity is applied in the solver).
+    size:
+        Square crossbar size.
+    segment_resistance:
+        Wire segment resistance ``r``.
+    rng:
+        Seeded generator; callers own reproducibility.
+    trials:
+        Number of sampled weight matrices.
+    sigma:
+        Device-variation magnitude; defaults to ``device.sigma``.
+    input_mode:
+        ``"random"`` draws uniform inputs; ``"full"`` drives every row
+        at the read voltage (the worst-case protocol).
+    """
+    if trials < 1:
+        raise ConfigError("trials must be >= 1")
+    if input_mode not in ("random", "full"):
+        raise ConfigError("input_mode must be 'random' or 'full'")
+    sigma = device.sigma if sigma is None else sigma
+
+    errors = []
+    for _ in range(trials):
+        levels = rng.integers(0, device.levels, size=(size, size))
+        programmed = np.vectorize(device.resistance_of_level)(levels)
+        actual = sample_resistances(programmed, sigma, rng)
+        if input_mode == "full":
+            inputs = np.full(size, device.read_voltage)
+        else:
+            inputs = rng.uniform(0, device.read_voltage, size=size)
+        network = CrossbarNetwork(
+            actual, segment_resistance, sense_resistance, device=device
+        )
+        solution = network.solve(inputs)
+        ideal = ideal_output_voltages(programmed, inputs, sense_resistance)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = (ideal - solution.output_voltages) / ideal
+        errors.append(rel[np.isfinite(rel)])
+    return MonteCarloResult(samples=np.concatenate(errors))
+
+
+def bound_check(
+    result: MonteCarloResult, worst_case_bound: float, slack: float = 1.3
+) -> bool:
+    """Does the closed-form worst-case bound dominate the samples?
+
+    ``slack`` tolerates the bound being a lumped approximation; a
+    return of False flags a model/solver inconsistency.
+    """
+    if worst_case_bound < 0:
+        raise ConfigError("worst_case_bound must be non-negative")
+    return result.max_abs_error <= worst_case_bound * slack + 1e-6

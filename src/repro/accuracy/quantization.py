@@ -1,0 +1,55 @@
+"""Digital read-deviation model (Eq. 12-14 of the paper).
+
+The read circuit linearly quantizes the analog result into ``k`` levels.
+An analog deviation rate ``eps`` displaces the signal across quantization
+boundaries, producing digital deviations:
+
+* worst case — the ideal signal sits just under the top boundary and is
+  read low: ``MaxDigitalDeviation = floor((k - 1.5) eps + 0.5)`` (Eq. 12)
+  and ``MaxErrorRate = MaxDigitalDeviation / (k - 1)`` (Eq. 13);
+* average case — level ``i`` deviates by ``floor(i eps + 0.5)`` and the
+  mean over all levels gives Eq. 14.
+
+All functions accept a *signed* ``eps`` and use its magnitude, matching
+the paper's treatment of deviation as a symmetric band (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _check(k: int, eps: float) -> float:
+    if k < 2:
+        raise ValueError("quantization needs at least 2 levels")
+    eps = abs(float(eps))
+    if not math.isfinite(eps):
+        raise ValueError("eps must be finite")
+    return eps
+
+
+def max_digital_deviation(k: int, eps: float) -> int:
+    """Worst-case digital deviation in levels (Eq. 12)."""
+    eps = _check(k, eps)
+    return int(math.floor((k - 1.5) * eps + 0.5))
+
+
+def max_error_rate(k: int, eps: float) -> float:
+    """Worst-case digital error rate (Eq. 13), in [0, 1]."""
+    deviation = max_digital_deviation(k, eps)
+    return min(1.0, deviation / (k - 1))
+
+
+def avg_digital_deviation(k: int, eps: float) -> float:
+    """Average digital deviation over all ``k`` levels (Eq. 14)."""
+    eps = _check(k, eps)
+    levels = np.arange(k, dtype=float)
+    return float(np.floor(levels * eps + 0.5).sum() / k)
+
+
+def avg_error_rate(k: int, eps: float) -> float:
+    """Average digital error rate: Eq. 14 normalised by full scale."""
+    deviation = avg_digital_deviation(k, eps)
+    return min(1.0, deviation / (k - 1))

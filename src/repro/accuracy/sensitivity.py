@@ -1,0 +1,151 @@
+"""Sensitivity analysis of the accuracy model.
+
+Design guidance beyond single-point estimates: how strongly does the
+crossbar error rate respond to each physical parameter?  The analysis
+perturbs one parameter at a time around a design point and reports the
+normalised sensitivity
+
+    S_x = (d eps / eps) / (d x / x)
+
+so ``S = 1`` means a 1 % parameter change moves the error by 1 %.  The
+dominant knob changes across the U-curve: wire resistance dominates for
+large crossbars, the device nonlinearity for small ones — the same
+dichotomy the paper uses to explain Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accuracy.interconnect import (
+    DEFAULT_SENSE_RESISTANCE,
+    analog_error_rate,
+)
+from repro.errors import ConfigError
+from repro.tech.memristor import MemristorModel
+
+PARAMETERS = ("segment_resistance", "sense_resistance", "nonlinearity_v0",
+              "r_min")
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Normalised sensitivities of |eps| at one design point."""
+
+    size: int
+    epsilon: float
+    sensitivities: Dict[str, float]
+
+    def dominant(self) -> str:
+        """The parameter with the largest |sensitivity|."""
+        return max(
+            self.sensitivities, key=lambda k: abs(self.sensitivities[k])
+        )
+
+
+def _epsilon(
+    device: MemristorModel,
+    size: int,
+    segment_resistance: float,
+    sense_resistance: float,
+) -> float:
+    return analog_error_rate(
+        size, size, segment_resistance, device,
+        sense_resistance=sense_resistance,
+    )
+
+
+def sensitivity_analysis(
+    device: MemristorModel,
+    size: int,
+    segment_resistance: float,
+    sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+    relative_step: float = 0.01,
+) -> SensitivityReport:
+    """Central-difference sensitivities of the signed error rate.
+
+    Parameters
+    ----------
+    device:
+        The memristor model at the design point.
+    size:
+        Square crossbar size.
+    segment_resistance:
+        Wire segment resistance ``r``.
+    relative_step:
+        Relative perturbation per parameter (default 1 %).
+    """
+    if size < 1:
+        raise ConfigError("size must be >= 1")
+    if not 0 < relative_step < 0.5:
+        raise ConfigError("relative_step must lie in (0, 0.5)")
+
+    base = _epsilon(device, size, segment_resistance, sense_resistance)
+    if base == 0.0:
+        raise ConfigError(
+            "error rate is exactly zero at this point; sensitivities "
+            "are undefined (perturb the design point)"
+        )
+
+    def central(plus: float, minus: float) -> float:
+        return (plus - minus) / (2 * relative_step * base)
+
+    h = relative_step
+    sensitivities = {}
+
+    sensitivities["segment_resistance"] = central(
+        _epsilon(device, size, segment_resistance * (1 + h),
+                 sense_resistance),
+        _epsilon(device, size, segment_resistance * (1 - h),
+                 sense_resistance),
+    ) if segment_resistance > 0 else 0.0
+
+    sensitivities["sense_resistance"] = central(
+        _epsilon(device, size, segment_resistance,
+                 sense_resistance * (1 + h)),
+        _epsilon(device, size, segment_resistance,
+                 sense_resistance * (1 - h)),
+    )
+
+    v0 = device.nonlinearity_v0
+    if v0 != float("inf"):
+        sensitivities["nonlinearity_v0"] = central(
+            _epsilon(device.with_overrides(nonlinearity_v0=v0 * (1 + h)),
+                     size, segment_resistance, sense_resistance),
+            _epsilon(device.with_overrides(nonlinearity_v0=v0 * (1 - h)),
+                     size, segment_resistance, sense_resistance),
+        )
+    else:
+        sensitivities["nonlinearity_v0"] = 0.0
+
+    sensitivities["r_min"] = central(
+        _epsilon(device.with_overrides(r_min=device.r_min * (1 + h)),
+                 size, segment_resistance, sense_resistance),
+        _epsilon(device.with_overrides(r_min=device.r_min * (1 - h)),
+                 size, segment_resistance, sense_resistance),
+    )
+
+    return SensitivityReport(
+        size=size, epsilon=base, sensitivities=sensitivities
+    )
+
+
+def sensitivity_sweep(
+    device: MemristorModel,
+    sizes,
+    segment_resistance: float,
+    sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+):
+    """Sensitivity reports across crossbar sizes.
+
+    Shows the regime change along the Table-V U-curve: the wire term
+    dominates the large-size branch, the device nonlinearity the
+    small-size branch.
+    """
+    return [
+        sensitivity_analysis(
+            device, size, segment_resistance, sense_resistance
+        )
+        for size in sizes
+    ]

@@ -1,0 +1,104 @@
+"""Device-variation modelling (Sec. VI.D, Eq. 16).
+
+The paper models device variation as a bounded multiplicative noise on the
+actual resistance: ``(1 +/- sigma) R_act`` with ``sigma`` up to 30 %.  Two
+views are provided:
+
+* :func:`variation_error_bounds` — the closed-form worst-case bounds of
+  Eq. 16, evaluating the analog error rate at both variation extremes;
+* :func:`sample_resistances` — seeded Monte-Carlo resistance matrices for
+  the circuit-level solver, enabling variation-aware validation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.accuracy.interconnect import (
+    DEFAULT_SENSE_RESISTANCE,
+    analog_error_rate,
+)
+from repro.tech.memristor import MemristorModel
+
+
+def variation_error_bounds(
+    rows: int,
+    cols: int,
+    segment_resistance: float,
+    device: MemristorModel,
+    case: str = "worst",
+    sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+) -> Tuple[float, float]:
+    """Signed analog error rates at the two variation extremes.
+
+    Returns ``(eps_low, eps_high)`` for ``(1 - sigma) R_act`` and
+    ``(1 + sigma) R_act`` respectively; identical when ``sigma == 0``.
+    The *worst* variation-aware error is ``max(abs(eps_low),
+    abs(eps_high))``.
+    """
+    eps_low = analog_error_rate(
+        rows, cols, segment_resistance, device, case, sense_resistance,
+        sigma_sign=-1.0,
+    )
+    eps_high = analog_error_rate(
+        rows, cols, segment_resistance, device, case, sense_resistance,
+        sigma_sign=+1.0,
+    )
+    return (eps_low, eps_high)
+
+
+def worst_variation_error(
+    rows: int,
+    cols: int,
+    segment_resistance: float,
+    device: MemristorModel,
+    case: str = "worst",
+    sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
+) -> float:
+    """Magnitude of the worst-case error over the variation band."""
+    eps_low, eps_high = variation_error_bounds(
+        rows, cols, segment_resistance, device, case, sense_resistance
+    )
+    return max(abs(eps_low), abs(eps_high))
+
+
+def sample_resistances(
+    ideal_resistances: np.ndarray,
+    sigma: float,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Monte-Carlo sample of per-cell resistances with variation.
+
+    Parameters
+    ----------
+    ideal_resistances:
+        Programmed (ideal) resistance matrix.
+    sigma:
+        Maximum fractional deviation (uniform) or standard deviation
+        (normal, truncated at 3 sigma).
+    rng:
+        A seeded :class:`numpy.random.Generator` (callers own the seed,
+        keeping every experiment reproducible).
+    distribution:
+        ``"uniform"`` draws from ``[1 - sigma, 1 + sigma]``;
+        ``"normal"`` from ``N(1, sigma)`` truncated to the same support
+        style at 3 sigma.
+    """
+    ideal = np.asarray(ideal_resistances, dtype=float)
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return ideal.copy()
+    if distribution == "uniform":
+        factors = rng.uniform(1.0 - sigma, 1.0 + sigma, size=ideal.shape)
+    elif distribution == "normal":
+        factors = rng.normal(1.0, sigma, size=ideal.shape)
+        factors = np.clip(factors, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma)
+    else:
+        raise ValueError(
+            f"distribution must be 'uniform' or 'normal', got {distribution!r}"
+        )
+    return ideal * factors

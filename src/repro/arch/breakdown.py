@@ -1,0 +1,186 @@
+"""Per-category area/energy breakdown of an accelerator.
+
+Sec. V.C of the paper cites the ISAAC observation that "ADC circuits
+take about half of the area and energy consumptions in memristor-based
+DNNs and CNNs" — a claim that needs a breakdown view to check for any
+given design point.  :func:`accelerator_breakdown` walks the hierarchy
+and attributes area and per-sample dynamic energy to module categories:
+
+``crossbar``, ``dac``, ``read_circuit`` (ADC/SA), ``decoder``, ``mux``,
+``subtractor``, ``merge`` (adder tree + shift-add), ``neuron``,
+``pooling``, ``buffer``, ``interface``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.accelerator import Accelerator
+from repro.report import format_table
+
+CATEGORIES = (
+    "crossbar",
+    "dac",
+    "read_circuit",
+    "decoder",
+    "mux",
+    "subtractor",
+    "merge",
+    "neuron",
+    "pooling",
+    "buffer",
+    "interface",
+)
+
+
+@dataclass
+class Breakdown:
+    """Area (m^2) and per-sample dynamic energy (J) per module category."""
+
+    area: Dict[str, float] = field(default_factory=dict)
+    energy: Dict[str, float] = field(default_factory=dict)
+
+    def _add(self, category: str, area: float, energy: float) -> None:
+        self.area[category] = self.area.get(category, 0.0) + area
+        self.energy[category] = self.energy.get(category, 0.0) + energy
+
+    @property
+    def total_area(self) -> float:
+        """Sum over all categories."""
+        return sum(self.area.values())
+
+    @property
+    def total_energy(self) -> float:
+        """Sum over all categories."""
+        return sum(self.energy.values())
+
+    def area_fraction(self, category: str) -> float:
+        """Fraction of total area held by ``category`` (0 if absent)."""
+        total = self.total_area
+        if total == 0:
+            return 0.0
+        return self.area.get(category, 0.0) / total
+
+    def energy_fraction(self, category: str) -> float:
+        """Fraction of total energy consumed by ``category``."""
+        total = self.total_energy
+        if total == 0:
+            return 0.0
+        return self.energy.get(category, 0.0) / total
+
+    def render(self) -> str:
+        """Aligned table of fractions, largest area share first."""
+        rows: List[List[str]] = []
+        for category in sorted(
+            self.area, key=self.area.get, reverse=True
+        ):
+            rows.append([
+                category,
+                f"{self.area_fraction(category):.1%}",
+                f"{self.energy_fraction(category):.1%}",
+            ])
+        return format_table(["category", "area share", "energy share"], rows)
+
+
+def accelerator_breakdown(accelerator: Accelerator) -> Breakdown:
+    """Attribute the accelerator's area and per-sample energy to
+    module categories.
+
+    The attribution mirrors the cost model of
+    :class:`~repro.arch.unit.ComputationUnit` /
+    :class:`~repro.arch.bank.ComputationBank`: unit-level modules are
+    scaled by their replication (rows of DACs, ``p x polarity`` read
+    circuits, ...) and bank-level modules by their per-pass evaluation
+    counts times the layer's compute passes.
+    """
+    result = Breakdown()
+
+    for bank in accelerator.banks:
+        passes = bank.layer.compute_passes
+        mapping = bank.mapping
+        for unit, count in bank._shaped_units:
+            crossbar = unit.crossbar.performance()
+            polarity = unit.polarity
+            cycles = unit.read_cycles
+            adc = unit.read_circuit.performance()
+            adc_count = unit.parallelism * polarity
+            dac = unit.dac.performance()
+            mux = unit.column_mux.performance()
+            row_dec = unit.row_decoder.performance()
+            col_dec = unit.col_decoder.performance()
+
+            read_phase = cycles * (mux.latency + adc.latency)
+            crossbar_energy = (
+                unit.crossbar.compute_power
+                * (crossbar.latency + read_phase)
+                * polarity
+            )
+            scale = count * passes
+            result._add(
+                "crossbar",
+                crossbar.area * polarity * count,
+                crossbar_energy * scale,
+            )
+            result._add(
+                "dac",
+                dac.area * unit.active_rows * count,
+                dac.dynamic_energy * unit.active_rows * scale,
+            )
+            result._add(
+                "read_circuit",
+                adc.area * adc_count * count,
+                adc.dynamic_energy * cycles * adc_count * scale,
+            )
+            result._add(
+                "decoder",
+                (row_dec.area + col_dec.area) * count,
+                row_dec.dynamic_energy * scale,
+            )
+            result._add(
+                "mux",
+                mux.area * polarity * count,
+                mux.dynamic_energy * cycles * polarity * scale,
+            )
+            if unit.subtractor is not None:
+                sub = unit.subtractor.performance()
+                result._add(
+                    "subtractor",
+                    sub.area * unit.parallelism * count,
+                    sub.dynamic_energy * unit.active_cols * scale,
+                )
+
+        merge = bank.merge_pass_performance()
+        result._add("merge", merge.area, merge.dynamic_energy * passes)
+
+        neuron = bank.neuron.performance()
+        lanes = max(min(bank.lanes, mapping.out_features), 1)
+        result._add(
+            "neuron",
+            neuron.area * lanes,
+            neuron.dynamic_energy * mapping.out_features * passes,
+        )
+        if bank.pooling is not None:
+            pool = bank.pooling.performance()
+            pool_buffer = bank.pooling_buffer.performance()
+            window = bank.layer.pooling**2
+            result._add(
+                "pooling",
+                pool.area * lanes + pool_buffer.area,
+                (
+                    pool.dynamic_energy * mapping.out_features / window
+                    + pool_buffer.dynamic_energy
+                )
+                * passes,
+            )
+        out_buffer = bank.output_buffer.performance()
+        result._add(
+            "buffer", out_buffer.area, out_buffer.dynamic_energy * passes
+        )
+
+    for interface in (accelerator.input_interface,
+                      accelerator.output_interface):
+        perf = interface.performance()
+        result._add("interface", perf.area, perf.dynamic_energy)
+
+    return result

@@ -1,0 +1,79 @@
+"""Side-by-side comparison of accelerator designs.
+
+Every example and case study ends with the same move: put two or more
+designs next to each other and read across.  :func:`compare_designs`
+standardises that table — one column per design, the paper's metric
+rows, plus structure counts — and :func:`relative_to` re-expresses the
+columns as ratios against a baseline (the "X times better" view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.accelerator import Accelerator
+from repro.errors import ConfigError
+from repro.report import format_table
+from repro.units import MM2, MW, UJ, US
+
+_ROWS = (
+    ("area (mm^2)", lambda s: s.area / MM2, "{:.4f}"),
+    ("energy/sample (uJ)", lambda s: s.energy_per_sample / UJ, "{:.4f}"),
+    ("compute latency (us)", lambda s: s.compute_latency / US, "{:.4f}"),
+    ("pipeline cycle (us)", lambda s: s.pipeline_cycle / US, "{:.4f}"),
+    ("power (mW)", lambda s: s.power / MW, "{:.2f}"),
+    ("worst error rate", lambda s: s.worst_error_rate, "{:.2%}"),
+    ("relative accuracy", lambda s: s.relative_accuracy, "{:.2%}"),
+)
+
+
+def compare_designs(designs: Dict[str, Accelerator]) -> str:
+    """Render a metric-by-design comparison table.
+
+    ``designs`` maps display labels to built accelerators; columns
+    appear in insertion order.
+    """
+    if not designs:
+        raise ConfigError("nothing to compare")
+    summaries = {label: acc.summary() for label, acc in designs.items()}
+    rows: List[List[str]] = []
+    for name, extract, fmt in _ROWS:
+        rows.append(
+            [name]
+            + [fmt.format(extract(summaries[label])) for label in designs]
+        )
+    rows.append(
+        ["units"] + [str(acc.total_units) for acc in designs.values()]
+    )
+    rows.append(
+        ["crossbars"]
+        + [str(acc.total_crossbars) for acc in designs.values()]
+    )
+    return format_table(["metric", *designs.keys()], rows)
+
+
+def relative_to(
+    designs: Dict[str, Accelerator], baseline: str
+) -> str:
+    """Render each design's metrics as ratios against ``baseline``.
+
+    Ratios below 1 mean "less than the baseline" for every row (so
+    smaller is better everywhere except relative accuracy, where the
+    ratio reads directly).
+    """
+    if baseline not in designs:
+        raise ConfigError(f"unknown baseline {baseline!r}")
+    summaries = {label: acc.summary() for label, acc in designs.items()}
+    base = summaries[baseline]
+    rows: List[List[str]] = []
+    for name, extract, _fmt in _ROWS:
+        base_value = extract(base)
+        row = [name]
+        for label in designs:
+            value = extract(summaries[label])
+            if base_value == 0:
+                row.append("-" if value == 0 else "inf")
+            else:
+                row.append(f"{value / base_value:.3f}x")
+        rows.append(row)
+    return format_table([f"metric (vs {baseline})", *designs.keys()], rows)

@@ -1,0 +1,152 @@
+"""The basic instruction set and controller (Sec. III.D).
+
+An application-specific memristor accelerator supports three basic
+instructions — WRITE, READ, COMPUTE — and MNSIM simulates designs built
+on them; richer ISAs are a customization.  The :class:`Controller` here
+executes an instruction sequence against an :class:`Accelerator`,
+accumulating cost:
+
+* ``WRITE <bank|all>`` — program the weights of one bank (or all banks);
+* ``READ <bank>`` — memory-mode read of one cell in one bank (unit 0);
+* ``COMPUTE [n]`` — run ``n`` input samples through the accelerator.
+
+:func:`assemble` parses a small text format (one instruction per line,
+``#`` comments) so programs can live in files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.arch.accelerator import Accelerator
+from repro.errors import ConfigError
+
+
+class Opcode(enum.Enum):
+    """The three basic instructions."""
+
+    WRITE = "WRITE"
+    READ = "READ"
+    COMPUTE = "COMPUTE"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``operand`` is the bank index for WRITE/READ (None = all banks for
+    WRITE) and the sample count for COMPUTE (default 1).
+    """
+
+    opcode: Opcode
+    operand: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.operand is None:
+            return self.opcode.value
+        return f"{self.opcode.value} {self.operand}"
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Parse an instruction program from text.
+
+    >>> assemble("WRITE\\nCOMPUTE 10")
+    [Instruction(opcode=<Opcode.WRITE: 'WRITE'>, operand=None), \
+Instruction(opcode=<Opcode.COMPUTE: 'COMPUTE'>, operand=10)]
+    """
+    program: List[Instruction] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError:
+            raise ConfigError(
+                f"line {lineno}: unknown instruction {parts[0]!r}"
+            ) from None
+        operand: Optional[int] = None
+        if len(parts) > 1:
+            if len(parts) > 2:
+                raise ConfigError(f"line {lineno}: too many operands")
+            if parts[1].lower() == "all":
+                operand = None
+            else:
+                try:
+                    operand = int(parts[1])
+                except ValueError:
+                    raise ConfigError(
+                        f"line {lineno}: bad operand {parts[1]!r}"
+                    ) from None
+        program.append(Instruction(opcode, operand))
+    return program
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulated cost of one program run."""
+
+    instructions: int = 0
+    samples_computed: int = 0
+    banks_written: int = 0
+    cells_read: int = 0
+    total_energy: float = 0.0
+    total_latency: float = 0.0
+    history: List[str] = field(default_factory=list)
+
+
+class Controller:
+    """Executes WRITE/READ/COMPUTE programs on an accelerator."""
+
+    def __init__(self, accelerator: Accelerator) -> None:
+        self.accelerator = accelerator
+
+    def _bank(self, index: Optional[int]):
+        banks = self.accelerator.banks
+        if index is None:
+            raise ConfigError("this instruction requires a bank index")
+        if not 0 <= index < len(banks):
+            raise ConfigError(
+                f"bank index {index} out of range 0..{len(banks) - 1}"
+            )
+        return banks[index]
+
+    def run(self, program: Sequence[Instruction]) -> ExecutionTrace:
+        """Execute ``program``, returning the accumulated trace.
+
+        Instruction costs are the corresponding performance-model
+        figures; latencies add sequentially (a simple in-order
+        controller).
+        """
+        trace = ExecutionTrace()
+        for instruction in program:
+            if instruction.opcode is Opcode.WRITE:
+                if instruction.operand is None:
+                    perf = self.accelerator.write_performance()
+                    trace.banks_written += len(self.accelerator.banks)
+                else:
+                    perf = self._bank(instruction.operand).write_performance()
+                    trace.banks_written += 1
+            elif instruction.opcode is Opcode.READ:
+                bank = self._bank(
+                    0 if instruction.operand is None else instruction.operand
+                )
+                perf = bank._shaped_units[0][0].read_performance()
+                trace.cells_read += 1
+            elif instruction.opcode is Opcode.COMPUTE:
+                samples = 1 if instruction.operand is None else instruction.operand
+                if samples < 1:
+                    raise ConfigError("COMPUTE needs a positive sample count")
+                perf = self.accelerator.sample_performance().repeat(samples)
+                trace.samples_computed += samples
+            else:  # pragma: no cover - enum is exhaustive
+                raise ConfigError(f"unhandled opcode {instruction.opcode}")
+            trace.instructions += 1
+            trace.total_energy += perf.dynamic_energy
+            trace.total_latency += perf.latency
+            trace.history.append(str(instruction))
+        return trace

@@ -1,0 +1,150 @@
+"""Mapping a layer's weight matrix onto crossbar blocks (Sec. III.B.1).
+
+A weight matrix of ``out_features x in_features`` is tiled into
+``col_blocks x row_blocks`` sub-matrices of at most ``Crossbar_Size`` on a
+side (Eq. 5); each tile, for each bit slice, becomes one computation
+unit (whose one or two physical crossbars implement the configured
+weight polarity).  The mapping records the exact active region of every
+block so edge tiles are not over-charged for energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.config import SimConfig
+from repro.errors import MappingError
+from repro.nn.layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class BlockShape:
+    """Active region of one crossbar tile."""
+
+    rows: int
+    cols: int
+    count: int  # identical tiles with this shape
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """How one layer's weights spread over computation units.
+
+    Attributes
+    ----------
+    in_features, out_features:
+        Weight-matrix dimensions (inputs map to crossbar rows).
+    crossbar_size:
+        Physical crossbar side length.
+    row_blocks, col_blocks:
+        Tile grid: ``ceil(in/size) x ceil(out/size)``.
+    slices:
+        Bit-sliced crossbar copies per tile (device precision driven).
+    polarity:
+        1 (unsigned) or 2 (differential pair per unit).
+    """
+
+    in_features: int
+    out_features: int
+    crossbar_size: int
+    row_blocks: int
+    col_blocks: int
+    slices: int
+    polarity: int
+
+    @classmethod
+    def for_layer(cls, layer: LayerSpec, config: SimConfig) -> "LayerMapping":
+        """Build the mapping of ``layer`` under ``config``."""
+        out_features, in_features = layer.weight_shape
+        size = config.crossbar_size
+        if in_features < 1 or out_features < 1:
+            raise MappingError("layer has an empty weight matrix")
+        return cls(
+            in_features=in_features,
+            out_features=out_features,
+            crossbar_size=size,
+            row_blocks=math.ceil(in_features / size),
+            col_blocks=math.ceil(out_features / size),
+            slices=config.bit_slices,
+            polarity=config.weight_polarity,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def units(self) -> int:
+        """Computation units for this layer (tiles x bit slices)."""
+        return self.row_blocks * self.col_blocks * self.slices
+
+    @property
+    def crossbars(self) -> int:
+        """Physical crossbars (units x polarity)."""
+        return self.units * self.polarity
+
+    @property
+    def cells(self) -> int:
+        """Total memristor cells allocated (full arrays)."""
+        return self.crossbars * self.crossbar_size**2
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of allocated cell positions holding real weights."""
+        used = self.in_features * self.out_features
+        allocated = (
+            self.row_blocks * self.col_blocks * self.crossbar_size**2
+        )
+        return used / allocated
+
+    def block_rows(self, row_block: int) -> int:
+        """Active rows of tile-row ``row_block`` (0-based)."""
+        if not 0 <= row_block < self.row_blocks:
+            raise MappingError(f"row block {row_block} out of range")
+        remaining = self.in_features - row_block * self.crossbar_size
+        return min(self.crossbar_size, remaining)
+
+    def block_cols(self, col_block: int) -> int:
+        """Active columns of tile-column ``col_block`` (0-based)."""
+        if not 0 <= col_block < self.col_blocks:
+            raise MappingError(f"col block {col_block} out of range")
+        remaining = self.out_features - col_block * self.crossbar_size
+        return min(self.crossbar_size, remaining)
+
+    def block_shapes(self) -> List[BlockShape]:
+        """Distinct tile shapes and their multiplicities (per slice).
+
+        At most four shapes exist: interior, right edge, bottom edge,
+        corner — enumerating shapes instead of tiles keeps large-layer
+        simulation O(1) in the tile count.
+        """
+        full_r = self.in_features // self.crossbar_size
+        full_c = self.out_features // self.crossbar_size
+        edge_r = self.in_features - full_r * self.crossbar_size
+        edge_c = self.out_features - full_c * self.crossbar_size
+        size = self.crossbar_size
+        shapes = []
+        if full_r and full_c:
+            shapes.append(BlockShape(size, size, full_r * full_c))
+        if edge_r and full_c:
+            shapes.append(BlockShape(edge_r, size, full_c))
+        if full_r and edge_c:
+            shapes.append(BlockShape(size, edge_c, full_r))
+        if edge_r and edge_c:
+            shapes.append(BlockShape(edge_r, edge_c, 1))
+        return shapes
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(row_block, col_block, rows, cols)`` for every tile."""
+        for i in range(self.row_blocks):
+            for j in range(self.col_blocks):
+                yield (i, j, self.block_rows(i), self.block_cols(j))
+
+    @property
+    def typical_active_cols(self) -> int:
+        """Active columns of the dominant (interior or widest) tile."""
+        return min(self.crossbar_size, self.out_features)
+
+    @property
+    def typical_active_rows(self) -> int:
+        """Active rows of the dominant (interior or tallest) tile."""
+        return min(self.crossbar_size, self.in_features)

@@ -1,0 +1,167 @@
+"""Inner-layer pipeline modelling (paper future work / ISAAC-style).
+
+The reference design computes each bank "entirely parallel" per pass;
+ISAAC instead pipelines the *inside* of a tile over 22 stages
+(Sec. VII.E.2), and the paper's conclusion lists inner-layer pipelining
+as future work.  This module provides the generic machinery:
+
+* :class:`PipelineStage` — a named stage with a latency (optionally
+  derived from a circuit module);
+* :class:`InnerPipeline` — a stage chain with cycle time (slowest
+  stage), fill/drain accounting, throughput, and energy over a run;
+* :func:`bank_inner_pipeline` — decompose a
+  :class:`~repro.arch.bank.ComputationBank`'s pass into its natural
+  stages (input drive, crossbar, read, merge, neuron/buffer), ready to
+  be re-balanced or extended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.bank import ComputationBank
+from repro.errors import ConfigError
+from repro.report import Performance
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of an inner pipeline.
+
+    ``latency`` is the stage's propagation time; ``energy`` is consumed
+    each time a token passes through the stage.
+    """
+
+    name: str
+    latency: float
+    energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.energy < 0:
+            raise ConfigError("stage latency and energy must be >= 0")
+
+
+class InnerPipeline:
+    """A linear pipeline of stages processing a stream of tokens.
+
+    Parameters
+    ----------
+    stages:
+        The stage chain, first to last.
+    cycle_time:
+        Optional fixed clock period; defaults to the slowest stage
+        (fully-balanced assumption).  A slower explicit clock models
+        designs like ISAAC's 100 ns cycle.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[PipelineStage],
+        cycle_time: float = None,
+    ) -> None:
+        if not stages:
+            raise ConfigError("a pipeline needs at least one stage")
+        self.stages = tuple(stages)
+        slowest = max(stage.latency for stage in self.stages)
+        if cycle_time is None:
+            cycle_time = slowest
+        if cycle_time < slowest:
+            raise ConfigError(
+                f"cycle_time {cycle_time} is shorter than the slowest "
+                f"stage ({slowest})"
+            )
+        self.cycle_time = cycle_time
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of stages."""
+        return len(self.stages)
+
+    @property
+    def fill_latency(self) -> float:
+        """Time for the first token to emerge (depth x cycle)."""
+        return self.depth * self.cycle_time
+
+    def run_latency(self, tokens: int) -> float:
+        """Total time to stream ``tokens`` through: fill + (n-1) cycles."""
+        if tokens < 1:
+            raise ConfigError("tokens must be >= 1")
+        return self.fill_latency + (tokens - 1) * self.cycle_time
+
+    def throughput(self) -> float:
+        """Steady-state tokens per second."""
+        return 1.0 / self.cycle_time
+
+    def run_energy(self, tokens: int) -> float:
+        """Dynamic energy of streaming ``tokens`` tokens."""
+        if tokens < 1:
+            raise ConfigError("tokens must be >= 1")
+        per_token = sum(stage.energy for stage in self.stages)
+        return per_token * tokens
+
+    def run_performance(self, tokens: int, area: float = 0.0,
+                        leakage_power: float = 0.0) -> Performance:
+        """Package a run as a :class:`Performance` record."""
+        return Performance(
+            area=area,
+            dynamic_energy=self.run_energy(tokens),
+            leakage_power=leakage_power,
+            latency=self.run_latency(tokens),
+        )
+
+    # ------------------------------------------------------------------
+    def speedup_over_sequential(self, tokens: int) -> float:
+        """Throughput gain vs processing each token start-to-finish.
+
+        Sequential time is ``tokens x sum(stage latencies)``; the
+        pipeline approaches ``depth``-fold speed-up (for balanced
+        stages) as the stream grows.
+        """
+        sequential = tokens * sum(stage.latency for stage in self.stages)
+        return sequential / self.run_latency(tokens)
+
+
+def bank_inner_pipeline(bank: ComputationBank) -> InnerPipeline:
+    """Decompose one bank pass into its natural pipeline stages.
+
+    Stages: input drive (DAC + decoder), crossbar settle, sequential
+    read (mux + ADC over the unit's read cycles), merge (adder tree +
+    shift-add), and neuron/pooling/buffer.  Energies carry the per-pass
+    dynamic energy of each phase, so ``run_energy(passes)`` reproduces
+    the bank's per-sample energy.
+    """
+    unit, _count = bank._shaped_units[0]
+    dac = unit.dac.performance()
+    decoder = unit.row_decoder.performance()
+    crossbar = unit.crossbar.performance()
+    adc = unit.read_circuit.performance()
+    mux = unit.column_mux.performance()
+
+    synapse = bank.synapse_pass_performance()
+    merge = bank.merge_pass_performance()
+    neuron = bank.neuron_pass_performance()
+
+    read_latency = unit.read_cycles * (mux.latency + adc.latency)
+    if unit.subtractor is not None:
+        read_latency += unit.subtractor.performance().latency
+    drive_latency = max(dac.latency, decoder.latency)
+    # Attribute the synapse sub-bank's pass energy across its phases in
+    # proportion to their share of the unit latency.
+    unit_latency = drive_latency + crossbar.latency + read_latency
+    if unit_latency <= 0:
+        raise ConfigError("degenerate unit latency")
+
+    def share(latency: float) -> float:
+        return synapse.dynamic_energy * (latency / unit_latency)
+
+    stages = [
+        PipelineStage("input_drive", drive_latency, share(drive_latency)),
+        PipelineStage("crossbar", crossbar.latency, share(crossbar.latency)),
+        PipelineStage("read", read_latency, share(read_latency)),
+        PipelineStage("merge", merge.latency, merge.dynamic_energy),
+        PipelineStage("neuron_buffer", neuron.latency,
+                      neuron.dynamic_energy),
+    ]
+    return InnerPipeline(stages)

@@ -1,0 +1,169 @@
+"""Lifetime and reliability modelling: retention, disturb, refresh.
+
+The paper's inference-only usage avoids *endurance* wear (Sec. II.B.1),
+but two slower mechanisms still erode a deployed crossbar:
+
+* **retention drift** — programmed resistances relax toward the window
+  midpoint over time (thermally activated); once the accumulated drift
+  reaches half a level width the stored weight reads wrong;
+* **read disturb** — every COMPUTE biases the cells; a tiny per-read
+  drift accumulates with sample count.
+
+Both are repaired by re-programming (**refresh**).  This module derives
+the refresh interval a deployment needs and what the refresh traffic
+costs — closing the loop with the write-verify model
+(:mod:`repro.arch.programming`) and the endurance budget: refreshing
+too often wears the device out, the classic NVM retention/endurance
+squeeze.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.programming import programming_cost
+from repro.errors import ConfigError
+
+# Fraction of a level width the weight may drift before refresh.
+DEFAULT_DRIFT_BUDGET = 0.5
+
+# Retention: time for the resistance to drift one full level width at
+# operating temperature.  RRAM retention specs run months to 10 years;
+# one year per level is a mid-range figure.
+DEFAULT_RETENTION_PER_LEVEL = 365.0 * 24 * 3600
+
+# Read disturb: fractional level drift per compute operation.  Low-bias
+# reads disturb extremely weakly; 1e-9 levels/read is representative.
+DEFAULT_DISTURB_PER_READ = 1e-9
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Lifetime summary of one deployment.
+
+    Attributes
+    ----------
+    refresh_interval:
+        Seconds between refreshes (drift budget / combined drift rate).
+    refreshes_per_year:
+        Refresh operations per year of continuous operation.
+    refresh_energy_per_year:
+        Energy spent refreshing per year (J).
+    refresh_duty_cycle:
+        Fraction of wall-clock time spent refreshing.
+    endurance_lifetime_years:
+        Years until the refresh traffic exhausts the write endurance.
+    retention_limited:
+        True when retention (not read disturb) sets the interval.
+    """
+
+    refresh_interval: float
+    refreshes_per_year: float
+    refresh_energy_per_year: float
+    refresh_duty_cycle: float
+    endurance_lifetime_years: float
+    retention_limited: bool
+
+
+def reliability_report(
+    accelerator: Accelerator,
+    samples_per_second: float,
+    drift_budget: float = DEFAULT_DRIFT_BUDGET,
+    retention_per_level: float = DEFAULT_RETENTION_PER_LEVEL,
+    disturb_per_read: float = DEFAULT_DISTURB_PER_READ,
+    write_endurance: float = 1e9,
+) -> ReliabilityReport:
+    """Derive the refresh policy and lifetime of a deployment.
+
+    Parameters
+    ----------
+    accelerator:
+        The deployed design (its programming cost prices each refresh).
+    samples_per_second:
+        Sustained inference rate (drives the read-disturb term).
+    drift_budget:
+        Levels of drift tolerated before refresh (default: half).
+    retention_per_level:
+        Seconds for retention drift to cross one level width.
+    disturb_per_read:
+        Levels of drift per compute operation.
+    write_endurance:
+        Programming cycles each cell tolerates.
+    """
+    if samples_per_second < 0:
+        raise ConfigError("samples_per_second must be >= 0")
+    if drift_budget <= 0:
+        raise ConfigError("drift_budget must be positive")
+    if retention_per_level <= 0 or disturb_per_read < 0:
+        raise ConfigError("bad drift parameters")
+
+    retention_rate = 1.0 / retention_per_level  # levels per second
+    disturb_rate = disturb_per_read * samples_per_second
+    total_rate = retention_rate + disturb_rate
+    if total_rate <= 0:
+        raise ConfigError("degenerate drift model")
+
+    refresh_interval = drift_budget / total_rate
+    year = 365.0 * 24 * 3600
+    refreshes_per_year = year / refresh_interval
+
+    refresh = programming_cost(
+        accelerator, write_endurance=write_endurance
+    )
+    refresh_energy_per_year = refresh.energy * refreshes_per_year
+    refresh_duty_cycle = min(1.0, refresh.latency / refresh_interval)
+
+    # Each refresh writes every cell pulses_per_cell times.
+    writes_per_year = refresh.pulses_per_cell * refreshes_per_year
+    endurance_lifetime_years = write_endurance / writes_per_year
+
+    return ReliabilityReport(
+        refresh_interval=refresh_interval,
+        refreshes_per_year=refreshes_per_year,
+        refresh_energy_per_year=refresh_energy_per_year,
+        refresh_duty_cycle=refresh_duty_cycle,
+        endurance_lifetime_years=endurance_lifetime_years,
+        retention_limited=retention_rate >= disturb_rate,
+    )
+
+
+def max_sample_rate_for_lifetime(
+    accelerator: Accelerator,
+    target_years: float,
+    drift_budget: float = DEFAULT_DRIFT_BUDGET,
+    retention_per_level: float = DEFAULT_RETENTION_PER_LEVEL,
+    disturb_per_read: float = DEFAULT_DISTURB_PER_READ,
+    write_endurance: float = 1e9,
+) -> Optional[float]:
+    """Highest sustained sample rate meeting a lifetime target.
+
+    Returns ``None`` when even an idle device (retention refreshes
+    alone) cannot reach the target — the retention floor.
+    """
+    if target_years <= 0:
+        raise ConfigError("target_years must be positive")
+    idle = reliability_report(
+        accelerator, 0.0, drift_budget, retention_per_level,
+        disturb_per_read, write_endurance,
+    )
+    if idle.endurance_lifetime_years < target_years:
+        return None
+    if disturb_per_read == 0:
+        return math.inf
+    # lifetime(yrs) = endurance / (pulses * year * total_rate / budget)
+    # Solve total_rate for the target, subtract the retention part.
+    refresh = programming_cost(
+        accelerator, write_endurance=write_endurance
+    )
+    year = 365.0 * 24 * 3600
+    allowed_rate = (
+        write_endurance * drift_budget
+        / (refresh.pulses_per_cell * year * target_years)
+    )
+    disturb_budget = allowed_rate - 1.0 / retention_per_level
+    if disturb_budget <= 0:
+        return 0.0
+    return disturb_budget / disturb_per_read

@@ -1,0 +1,156 @@
+"""Throughput and bottleneck analysis of pipelined operation.
+
+The paper reports per-sample latency and pipeline cycle time; a system
+integrator also needs **samples per second** and an answer to "what do
+I fix first?".  This module provides the roofline-style analysis:
+
+* each bank sustains ``1 / pass_latency`` passes per second, i.e.
+  ``1 / (passes_per_sample * pass_latency)`` samples per second;
+* the input and output bus interfaces sustain
+  ``1 / transfer_latency`` samples per second;
+* the accelerator's pipelined throughput is the minimum — the
+  **bottleneck stage** — and the analysis names it, quantifies the
+  headroom of every other stage, and prices the fix (the extra
+  parallelism or bus lines needed to move the bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StageRate:
+    """Sustained sample rate of one pipeline stage."""
+
+    name: str
+    samples_per_second: float
+    latency_per_sample: float
+
+    def headroom(self, bottleneck_rate: float) -> float:
+        """How much faster this stage is than the bottleneck (>= 1)."""
+        if bottleneck_rate <= 0:
+            return float("inf")
+        return self.samples_per_second / bottleneck_rate
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Pipelined-throughput summary of one design."""
+
+    stages: Tuple[StageRate, ...]
+    bottleneck: StageRate
+
+    @property
+    def samples_per_second(self) -> float:
+        """Steady-state pipelined sample rate."""
+        return self.bottleneck.samples_per_second
+
+    @property
+    def is_bus_bound(self) -> bool:
+        """True when an interface, not a bank, limits throughput."""
+        return self.bottleneck.name.endswith("interface")
+
+    def render(self) -> str:
+        """Human-readable stage table, bottleneck first."""
+        from repro.report import format_table
+
+        ordered = sorted(
+            self.stages, key=lambda s: s.samples_per_second
+        )
+        rows = [
+            [
+                stage.name,
+                f"{stage.samples_per_second:,.0f}",
+                f"{stage.headroom(self.samples_per_second):.2f}x",
+                "<-- bottleneck" if stage == self.bottleneck else "",
+            ]
+            for stage in ordered
+        ]
+        return format_table(
+            ["stage", "samples/s", "headroom", ""], rows
+        )
+
+
+def throughput_report(accelerator: Accelerator) -> ThroughputReport:
+    """Analyse the pipelined throughput of an accelerator.
+
+    Banks process samples concurrently (the inter-layer pipeline of
+    Sec. VII.D); each bank's sample rate accounts for its per-sample
+    pass count (a conv bank needs one pass per output position).
+    """
+    stages: List[StageRate] = []
+    for index, bank in enumerate(accelerator.banks):
+        per_sample = bank.sample_performance().latency
+        if per_sample <= 0:
+            raise ConfigError(f"bank {index} has zero latency")
+        stages.append(
+            StageRate(
+                name=f"bank[{index}]",
+                samples_per_second=1.0 / per_sample,
+                latency_per_sample=per_sample,
+            )
+        )
+    for name, interface in (
+        ("input_interface", accelerator.input_interface),
+        ("output_interface", accelerator.output_interface),
+    ):
+        latency = interface.performance().latency
+        if latency > 0:
+            stages.append(
+                StageRate(
+                    name=name,
+                    samples_per_second=1.0 / latency,
+                    latency_per_sample=latency,
+                )
+            )
+    bottleneck = min(stages, key=lambda s: s.samples_per_second)
+    return ThroughputReport(stages=tuple(stages), bottleneck=bottleneck)
+
+
+def bus_lines_for_balance(accelerator: Accelerator) -> Tuple[int, int]:
+    """Bus widths that stop the interfaces from bottlenecking.
+
+    Returns ``(input_lines, output_lines)`` such that each interface
+    matches the slowest *bank* — the cheapest fix when the analysis
+    says the design is bus-bound.
+    """
+    import math
+
+    from repro.circuits.interface import BUS_CYCLE_TIME
+
+    report = throughput_report(accelerator)
+    bank_rates = [
+        stage.samples_per_second
+        for stage in report.stages
+        if stage.name.startswith("bank")
+    ]
+    slowest_bank = min(bank_rates)
+    # Transfers are quantized in bus cycles: the interface sustains the
+    # bank rate when its cycle count fits in the bank's sample period.
+    cycle_budget = math.floor(
+        1.0 / (slowest_bank * BUS_CYCLE_TIME)
+    )
+    results = []
+    for interface, lines in (
+        (accelerator.input_interface, accelerator.config.interface_number[0]),
+        (accelerator.output_interface,
+         accelerator.config.interface_number[1]),
+    ):
+        latency = interface.performance().latency
+        rate = 1.0 / latency if latency > 0 else float("inf")
+        if rate >= slowest_bank:
+            results.append(lines)
+        elif cycle_budget < 1:
+            # Banks outrun even a single-cycle transfer; the widest
+            # useful bus moves the whole sample in one cycle.
+            results.append(interface.sample_bits)
+        else:
+            results.append(
+                math.ceil(interface.sample_bits / cycle_budget)
+            )
+    return (results[0], results[1])

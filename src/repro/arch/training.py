@@ -1,0 +1,166 @@
+"""On-chip training cost and endurance model (paper future work).
+
+The paper's conclusion lists "on-chip Training method [51]" as future
+work; inference-only operation avoids the memristor's write cost and
+endurance limit (Sec. II.B.1), but training re-programs weights every
+update.  This module estimates what that costs on a mapped design:
+
+* per-update WRITE cost — programming pulses for the fraction of cells
+  whose quantized level actually changes;
+* per-epoch energy/latency — forward (COMPUTE) + weight-update (WRITE)
+  per batch;
+* **endurance horizon** — how many updates the device's write-endurance
+  budget sustains, and whether a training run fits.
+
+The model is deliberately behavior-level, matching the rest of MNSIM:
+it consumes update counts and sparsity, not gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.accelerator import Accelerator
+from repro.errors import ConfigError
+from repro.report import Performance
+
+# Typical RRAM write endurance (programming cycles per cell); devices
+# span 1e6..1e12, 1e9 is a common mid-range figure.
+DEFAULT_WRITE_ENDURANCE = 1e9
+
+
+@dataclass(frozen=True)
+class TrainingCost:
+    """Cost summary of one training run.
+
+    Attributes
+    ----------
+    energy_per_update:
+        Dynamic energy (J) of one weight update across the accelerator.
+    latency_per_update:
+        Worst-case latency (s) of one weight update.
+    energy_per_epoch / latency_per_epoch:
+        Forward passes + updates over one epoch.
+    writes_per_cell_per_update:
+        Mean programming pulses each cell receives per update.
+    endurance_updates:
+        Updates the endurance budget sustains.
+    endurance_epochs:
+        Epochs the endurance budget sustains.
+    """
+
+    energy_per_update: float
+    latency_per_update: float
+    energy_per_epoch: float
+    latency_per_epoch: float
+    writes_per_cell_per_update: float
+    endurance_updates: float
+    endurance_epochs: float
+
+    def supports_run(self, epochs: int) -> bool:
+        """Whether the device endurance outlives a run of ``epochs``."""
+        return epochs <= self.endurance_epochs
+
+
+class TrainingCostModel:
+    """Estimate training cost and endurance for a mapped accelerator.
+
+    Parameters
+    ----------
+    accelerator:
+        The design under evaluation (weights already mapped).
+    update_sparsity:
+        Fraction of cells whose quantized level changes per update
+        (0..1).  Gradient updates rarely move every level: 0.1 is a
+        reasonable default for 8-bit training.
+    write_endurance:
+        Programming cycles each cell tolerates before failure.
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        update_sparsity: float = 0.1,
+        write_endurance: float = DEFAULT_WRITE_ENDURANCE,
+    ) -> None:
+        if not 0.0 < update_sparsity <= 1.0:
+            raise ConfigError("update_sparsity must lie in (0, 1]")
+        if write_endurance <= 0:
+            raise ConfigError("write_endurance must be positive")
+        self.accelerator = accelerator
+        self.update_sparsity = update_sparsity
+        self.write_endurance = write_endurance
+
+    # ------------------------------------------------------------------
+    def update_performance(self) -> Performance:
+        """Cost of one weight update (sparse re-programming pass).
+
+        Scales the full WRITE cost by the update sparsity: unchanged
+        cells are skipped (write-verify schemes make this the common
+        implementation).
+        """
+        full_write = self.accelerator.write_performance()
+        return Performance(
+            area=full_write.area,
+            dynamic_energy=full_write.dynamic_energy * self.update_sparsity,
+            leakage_power=full_write.leakage_power,
+            latency=full_write.latency * self.update_sparsity,
+        )
+
+    def epoch_performance(
+        self, samples_per_epoch: int, batch_size: int
+    ) -> Performance:
+        """Cost of one epoch: forward passes + one update per batch.
+
+        The backward pass reuses the crossbars in transposed mode; its
+        cost is modelled as one extra forward-equivalent COMPUTE per
+        sample (the standard 2x-forward approximation).
+        """
+        if samples_per_epoch < 1 or batch_size < 1:
+            raise ConfigError("samples_per_epoch and batch_size must be >= 1")
+        forward = self.accelerator.sample_performance()
+        updates = math.ceil(samples_per_epoch / batch_size)
+        compute = forward.repeat(2 * samples_per_epoch)  # fwd + bwd
+        update = self.update_performance().repeat(updates)
+        return Performance(
+            area=forward.area,
+            dynamic_energy=compute.dynamic_energy + update.dynamic_energy,
+            leakage_power=forward.leakage_power,
+            latency=compute.latency + update.latency,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, samples_per_epoch: int, batch_size: int
+    ) -> TrainingCost:
+        """Full training-cost summary for the given epoch geometry."""
+        update = self.update_performance()
+        epoch = self.epoch_performance(samples_per_epoch, batch_size)
+        updates_per_epoch = math.ceil(samples_per_epoch / batch_size)
+
+        writes_per_cell = self.update_sparsity
+        endurance_updates = self.write_endurance / writes_per_cell
+        endurance_epochs = endurance_updates / updates_per_epoch
+
+        return TrainingCost(
+            energy_per_update=update.dynamic_energy,
+            latency_per_update=update.latency,
+            energy_per_epoch=epoch.dynamic_energy,
+            latency_per_epoch=epoch.latency,
+            writes_per_cell_per_update=writes_per_cell,
+            endurance_updates=endurance_updates,
+            endurance_epochs=endurance_epochs,
+        )
+
+    def inference_amortisation(self, samples: int) -> float:
+        """Energy share of the one-time weight load over ``samples``
+        inference passes — the Sec. II.B.1 fixed-weights argument in
+        number form (tends to 0 as ``samples`` grows)."""
+        if samples < 1:
+            raise ConfigError("samples must be >= 1")
+        write = self.accelerator.write_performance().dynamic_energy
+        compute = (
+            self.accelerator.sample_performance().dynamic_energy * samples
+        )
+        return write / (write + compute)

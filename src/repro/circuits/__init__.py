@@ -1,0 +1,77 @@
+"""Reference circuit-module library (behavior-level cost models).
+
+Every module of the paper's reference design lives here, each exposing a
+single :meth:`~repro.circuits.base.CircuitModule.performance` method that
+returns a :class:`~repro.report.Performance` record derived from the
+technology substrate (:mod:`repro.tech`).
+
+Modules
+-------
+* :mod:`~repro.circuits.gates` — NAND2-equivalent digital primitives.
+* :mod:`~repro.circuits.crossbar` — memristor crossbar (Eq. 7/8 area,
+  harmonic-mean average-case power, Sec. V.A).
+* :mod:`~repro.circuits.decoder` — memory- and computation-oriented
+  decoders (Fig. 4).
+* :mod:`~repro.circuits.dac` / :mod:`~repro.circuits.adc` — input DACs and
+  read circuits (multi-level sense amplifier, survey ADCs; Sec. V.C).
+* :mod:`~repro.circuits.adder` — ripple adders, the bank adder tree, and
+  shift-add bit-slice mergers.
+* :mod:`~repro.circuits.mux` — column multiplexers + control counter for
+  shared read circuits (parallelism degree).
+* :mod:`~repro.circuits.neuron` — sigmoid / ReLU / integrate-and-fire.
+* :mod:`~repro.circuits.pooling` — max-pooling comparator tree.
+* :mod:`~repro.circuits.buffers` — registers, pooling line buffer, output
+  line buffer (Eq. 6).
+* :mod:`~repro.circuits.interface` — accelerator I/O interface modules.
+* :mod:`~repro.circuits.registry` — custom-module override hooks (the
+  NVSim-cooperation interface of Sec. III.E.4).
+"""
+
+from repro.circuits.base import CircuitModule, CustomModule
+from repro.circuits.crossbar import CrossbarModule
+from repro.circuits.decoder import DecoderModule
+from repro.circuits.dac import DacModule
+from repro.circuits.adc import AdcModule, get_adc_design, available_adc_designs
+from repro.circuits.adder import (
+    AdderModule,
+    AdderTreeModule,
+    ShiftAddModule,
+    SubtractorModule,
+)
+from repro.circuits.mux import ColumnMuxModule
+from repro.circuits.neuron import (
+    SigmoidNeuronModule,
+    ReluNeuronModule,
+    IntegrateFireNeuronModule,
+    neuron_for_network_type,
+)
+from repro.circuits.pooling import MaxPoolingModule
+from repro.circuits.buffers import RegisterFileModule, LineBufferModule, output_line_buffer_length
+from repro.circuits.interface import IoInterfaceModule
+from repro.circuits.registry import ModuleRegistry
+
+__all__ = [
+    "CircuitModule",
+    "CustomModule",
+    "CrossbarModule",
+    "DecoderModule",
+    "DacModule",
+    "AdcModule",
+    "get_adc_design",
+    "available_adc_designs",
+    "AdderModule",
+    "AdderTreeModule",
+    "ShiftAddModule",
+    "SubtractorModule",
+    "ColumnMuxModule",
+    "SigmoidNeuronModule",
+    "ReluNeuronModule",
+    "IntegrateFireNeuronModule",
+    "neuron_for_network_type",
+    "MaxPoolingModule",
+    "RegisterFileModule",
+    "LineBufferModule",
+    "output_line_buffer_length",
+    "IoInterfaceModule",
+    "ModuleRegistry",
+]

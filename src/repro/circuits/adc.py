@@ -1,0 +1,184 @@
+"""Read circuits: multi-level sense amplifiers and ADC designs (Sec. V.C).
+
+The paper's reference read circuit is a variable-level sense amplifier
+clocked at 50 MHz; its precision is set by the algorithm (8-bit fixed point
+for most CNNs), and a small library of published ADC operating points
+(Murmann-survey style) is provided for customization — including the 32 nm
+1.2 GS/s SAR used in the ISAAC case study.
+
+Energy follows the Walden figure of merit::
+
+    E_conv = FoM * 2**bits
+
+with the FoM improving linearly with the technology node from a 90 nm
+anchor.  Area is a SAR-style decomposition: a capacitive DAC of
+``2**bits`` unit elements plus comparator and successive-approximation
+logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.base import CircuitModule
+from repro.errors import TechnologyError
+from repro.report import Performance
+from repro.tech.cmos import CmosNode, REFERENCE_READ_FREQUENCY
+from repro.units import MHZ, GHZ, NM
+
+# Walden figure of merit at the 90 nm anchor node (J per conversion step).
+_FOM_90NM = 100e-15
+
+# Area of one capacitive-DAC unit element in F^2.
+_CAP_UNIT_AREA_F2 = 200.0
+
+# Gate-equivalents of comparator + SAR logic per bit.
+_SAR_LOGIC_GE_PER_BIT = 30.0
+
+
+def scaled_fom(cmos: CmosNode) -> float:
+    """Walden FoM (J/step) for ``cmos``, scaled linearly from 90 nm."""
+    return _FOM_90NM * (cmos.feature_size / (90 * NM))
+
+
+class AdcModule(CircuitModule):
+    """One read circuit (multi-level SA / ADC).
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    bits:
+        Output precision; the circuit distinguishes ``2**bits`` levels.
+    frequency:
+        Conversion rate in Hz (reference: 50 MHz, Sec. V.C).
+    fom:
+        Optional Walden FoM override (J/step); default scales with node.
+    area_override, energy_override:
+        Optional published values (used when importing survey designs).
+    """
+
+    kind = "adc"
+
+    def __init__(
+        self,
+        cmos: CmosNode,
+        bits: int,
+        frequency: float = REFERENCE_READ_FREQUENCY,
+        fom: Optional[float] = None,
+        area_override: Optional[float] = None,
+        energy_override: Optional[float] = None,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("ADC needs at least 1 bit")
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.cmos = cmos
+        self.bits = bits
+        self.frequency = frequency
+        self.fom = scaled_fom(cmos) if fom is None else fom
+        self.area_override = area_override
+        self.energy_override = energy_override
+
+    @property
+    def levels(self) -> int:
+        """Distinguishable output levels ``k``."""
+        return 2**self.bits
+
+    @property
+    def conversion_time(self) -> float:
+        """Seconds per conversion."""
+        return 1.0 / self.frequency
+
+    def conversion_energy(self) -> float:
+        """Joules per conversion."""
+        if self.energy_override is not None:
+            return self.energy_override
+        return self.fom * self.levels
+
+    def area(self) -> float:
+        """Circuit area in m^2."""
+        if self.area_override is not None:
+            return self.area_override
+        cap_array = self.levels * _CAP_UNIT_AREA_F2 * self.cmos.feature_size**2
+        logic = self.cmos.gate_area(self.bits * _SAR_LOGIC_GE_PER_BIT)
+        return cap_array + logic
+
+    def performance(self) -> Performance:
+        """One analog-to-digital conversion."""
+        logic_ge = self.bits * _SAR_LOGIC_GE_PER_BIT
+        return Performance(
+            area=self.area(),
+            dynamic_energy=self.conversion_energy(),
+            leakage_power=self.cmos.gate_leakage(logic_ge),
+            latency=self.conversion_time,
+        )
+
+
+@dataclass(frozen=True)
+class AdcDesign:
+    """A published ADC operating point importable as a read circuit."""
+
+    name: str
+    bits: int
+    frequency: float
+    fom: Optional[float] = None
+    energy_per_conversion: Optional[float] = None
+    area: Optional[float] = None
+
+    def build(self, cmos: CmosNode) -> AdcModule:
+        """Instantiate an :class:`AdcModule` for this design point."""
+        return AdcModule(
+            cmos,
+            bits=self.bits,
+            frequency=self.frequency,
+            fom=self.fom,
+            area_override=self.area,
+            energy_override=self.energy_per_conversion,
+        )
+
+
+_ADC_DESIGNS: Dict[str, AdcDesign] = {
+    # Reference design: variable-level SA at 50 MHz (Li et al., IMW'11).
+    "SA-50MHZ": AdcDesign(name="SA-50MHZ", bits=8, frequency=50 * MHZ),
+    # Kull et al., ISSCC'13: 8 b, 1.2 GS/s, 3.1 mW in 32 nm SOI (the ADC
+    # adopted by the ISAAC case study).  E/conv = 3.1 mW / 1.2 GHz.
+    "SAR-1.2GS-32NM": AdcDesign(
+        name="SAR-1.2GS-32NM",
+        bits=8,
+        frequency=1.2 * GHZ,
+        energy_per_conversion=3.1e-3 / 1.2e9,
+        area=0.0015e-6,  # ~0.0015 mm^2
+    ),
+    # A slow, low-power 6-bit SAR point for PRIME-style 6-bit IO.
+    "SAR-6B-10MS": AdcDesign(name="SAR-6B-10MS", bits=6, frequency=10 * MHZ),
+    # A mid-rate 8-bit SAR (generic survey point, model-derived costs).
+    "SAR-8B-100MS": AdcDesign(
+        name="SAR-8B-100MS", bits=8, frequency=100 * MHZ
+    ),
+    # A 4-bit flash converter: one comparator per level makes it fast
+    # but energy-hungry per step (flash FoM ~5x the SAR baseline).
+    "FLASH-4B-2GS": AdcDesign(
+        name="FLASH-4B-2GS", bits=4, frequency=2 * GHZ, fom=500e-15
+    ),
+    # A near-threshold sense amplifier for duty-cycled edge designs.
+    "SA-10MHZ": AdcDesign(
+        name="SA-10MHZ", bits=8, frequency=10 * MHZ, fom=30e-15
+    ),
+}
+
+
+def available_adc_designs() -> tuple:
+    """Names of the built-in ADC designs."""
+    return tuple(sorted(_ADC_DESIGNS))
+
+
+def get_adc_design(name: str) -> AdcDesign:
+    """Look up a built-in :class:`AdcDesign` by name."""
+    try:
+        return _ADC_DESIGNS[str(name).strip().upper()]
+    except KeyError:
+        raise TechnologyError(
+            f"unknown ADC design {name!r}; available: {available_adc_designs()}"
+        ) from None

@@ -1,0 +1,164 @@
+"""Adders, the computation-bank adder tree, and shift-add bit-slice merge.
+
+A computation bank merges the partial results of the computation units in a
+row of the sub-matrix grid with a binary adder tree (Sec. III.B.2).  When a
+weight is bit-sliced over several crossbars, the slices are merged by the
+same tree with shifters inserted (shift-and-add).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+
+class AdderModule(CircuitModule):
+    """A single ``bits``-bit ripple-carry adder."""
+
+    kind = "adder"
+
+    def __init__(self, cmos: CmosNode, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("adder needs at least 1 bit")
+        self.cmos = cmos
+        self.bits = bits
+
+    def performance(self) -> Performance:
+        """One addition."""
+        return gates.logic_performance(
+            self.cmos,
+            gates.ripple_adder_gates(self.bits),
+            gates.ripple_adder_depth(self.bits),
+        )
+
+
+class AdderTreeModule(CircuitModule):
+    """Binary adder tree merging ``inputs`` partial sums (Fig. 1(c)).
+
+    Bit widths grow by one per tree level to avoid overflow; the critical
+    path is ``ceil(log2(inputs))`` ripple adders.
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    inputs:
+        Number of partial results to merge (>= 1; 1 means a wire).
+    bits:
+        Bit width of each leaf input.
+    """
+
+    kind = "adder_tree"
+
+    def __init__(self, cmos: CmosNode, inputs: int, bits: int) -> None:
+        if inputs < 1:
+            raise ValueError("adder tree needs at least 1 input")
+        if bits < 1:
+            raise ValueError("adder tree needs at least 1-bit inputs")
+        self.cmos = cmos
+        self.inputs = inputs
+        self.bits = bits
+
+    @property
+    def depth(self) -> int:
+        """Tree depth in adder stages."""
+        if self.inputs <= 1:
+            return 0
+        return math.ceil(math.log2(self.inputs))
+
+    @property
+    def output_bits(self) -> int:
+        """Bit width of the merged result."""
+        return self.bits + self.depth
+
+    def gate_count(self) -> float:
+        """Total gates: level ``l`` (from leaves) has adders of
+        ``bits + l`` bits; a full binary tree of ``inputs`` leaves has
+        ``inputs - 1`` adders."""
+        total = 0.0
+        remaining = self.inputs
+        level = 0
+        while remaining > 1:
+            adders = remaining // 2
+            total += adders * gates.ripple_adder_gates(self.bits + level)
+            remaining = math.ceil(remaining / 2)
+            level += 1
+        return total
+
+    def fo4_depth(self) -> float:
+        """Critical path through all tree levels."""
+        depth = 0.0
+        for level in range(self.depth):
+            depth += gates.ripple_adder_depth(self.bits + level)
+        return depth
+
+    def performance(self) -> Performance:
+        """One merge of all inputs."""
+        return gates.logic_performance(
+            self.cmos, self.gate_count(), self.fo4_depth()
+        )
+
+
+class ShiftAddModule(CircuitModule):
+    """Shift-and-add merger for ``slices`` bit-sliced crossbar outputs.
+
+    Slice ``i`` is shifted left by ``i * slice_bits`` (a wiring cost, free)
+    and accumulated by ``slices - 1`` adders of the full result width
+    (Sec. III.B.2: "the shifters need to be added").
+    """
+
+    kind = "shift_add"
+
+    def __init__(self, cmos: CmosNode, slices: int, slice_bits: int,
+                 input_bits: int) -> None:
+        if slices < 1:
+            raise ValueError("need at least 1 slice")
+        if slice_bits < 1 or input_bits < 1:
+            raise ValueError("bit widths must be >= 1")
+        self.cmos = cmos
+        self.slices = slices
+        self.slice_bits = slice_bits
+        self.input_bits = input_bits
+
+    @property
+    def output_bits(self) -> int:
+        """Width of the fully merged value."""
+        return self.input_bits + self.slice_bits * (self.slices - 1)
+
+    def performance(self) -> Performance:
+        """One merge of all slices (sequential accumulate chain)."""
+        if self.slices == 1:
+            return Performance()
+        adders = self.slices - 1
+        gate_count = adders * gates.ripple_adder_gates(self.output_bits)
+        depth = adders * gates.ripple_adder_depth(self.output_bits)
+        return gates.logic_performance(self.cmos, gate_count, depth)
+
+
+class SubtractorModule(CircuitModule):
+    """Subtractor merging the two polarity crossbars of a signed unit.
+
+    A subtractor is an adder plus an inverting stage on one operand
+    (Sec. III.C.1, the optional dotted modules of Fig. 1(d)).
+    """
+
+    kind = "subtractor"
+
+    def __init__(self, cmos: CmosNode, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("subtractor needs at least 1 bit")
+        self.cmos = cmos
+        self.bits = bits
+
+    def performance(self) -> Performance:
+        """One subtraction."""
+        gate_count = (
+            gates.ripple_adder_gates(self.bits)
+            + self.bits * gates.GE_INVERTER
+        )
+        depth = gates.ripple_adder_depth(self.bits) + gates.FO4_INVERTER
+        return gates.logic_performance(self.cmos, gate_count, depth)

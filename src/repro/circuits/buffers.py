@@ -1,0 +1,101 @@
+"""Register files and line buffers (pooling buffer, output buffer).
+
+Fully-connected layers use a plain register file of ``C_out`` words for the
+output buffer (Sec. III.B.5).  Convolutional layers use shift-register line
+buffers: a pooling line buffer ahead of the pooling module (Fig. 1(f)) and
+per-channel output line buffers whose length follows Eq. 6::
+
+    L_out = W_next * (h_next - 1) + w_next
+
+so that the next layer's convolution window is always resident and the
+conv layers pipeline through the flowing data.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+
+def output_line_buffer_length(
+    next_feature_width: int, next_kernel_h: int, next_kernel_w: int
+) -> int:
+    """Length of one output line buffer per Eq. 6.
+
+    Parameters
+    ----------
+    next_feature_width:
+        ``W^{i+1}``, the width of the next layer's input feature map.
+    next_kernel_h, next_kernel_w:
+        ``h^{i+1}`` and ``w^{i+1}``, the next layer's kernel size.
+    """
+    if next_feature_width < 1 or next_kernel_h < 1 or next_kernel_w < 1:
+        raise ValueError("feature and kernel sizes must be >= 1")
+    return next_feature_width * (next_kernel_h - 1) + next_kernel_w
+
+
+class RegisterFileModule(CircuitModule):
+    """A ``words x bits`` register file (fully-connected output buffer).
+
+    Energy models one full write of all words (the per-sample cost of a
+    fully-connected layer's output); latency is one register write.
+    """
+
+    kind = "register_file"
+
+    def __init__(self, cmos: CmosNode, words: int, bits: int) -> None:
+        if words < 1 or bits < 1:
+            raise ValueError("words and bits must be >= 1")
+        self.cmos = cmos
+        self.words = words
+        self.bits = bits
+
+    def gate_count(self) -> float:
+        """Storage flip-flops only (word lines are simple fixed wires)."""
+        return self.words * gates.register_gates(self.bits)
+
+    def performance(self) -> Performance:
+        """One full refill of the register file."""
+        return gates.logic_performance(
+            self.cmos,
+            self.gate_count(),
+            gates.FO4_DFF_CLK_TO_Q,
+        )
+
+
+class LineBufferModule(CircuitModule):
+    """A shift-register line buffer of ``length`` words of ``bits`` bits.
+
+    Each iteration a new word enters the head and every stored word shifts
+    by one register (Fig. 1(f)); the energy of one shift step clocks the
+    entire chain.
+
+    ``lanes`` replicates the buffer (e.g. one line buffer per output
+    channel of a conv layer).
+    """
+
+    kind = "line_buffer"
+
+    def __init__(
+        self, cmos: CmosNode, length: int, bits: int, lanes: int = 1
+    ) -> None:
+        if length < 1 or bits < 1 or lanes < 1:
+            raise ValueError("length, bits, lanes must be >= 1")
+        self.cmos = cmos
+        self.length = length
+        self.bits = bits
+        self.lanes = lanes
+
+    def gate_count(self) -> float:
+        """Flip-flop chain across all lanes."""
+        return self.lanes * self.length * gates.register_gates(self.bits)
+
+    def performance(self) -> Performance:
+        """One shift step (all registers clock simultaneously)."""
+        return gates.logic_performance(
+            self.cmos,
+            self.gate_count(),
+            gates.FO4_DFF_CLK_TO_Q,
+        )

@@ -1,0 +1,168 @@
+"""Memristor crossbar cost model (Sec. V.A of the paper).
+
+Area follows the memory-array formulas Eq. 7 (MOS-accessed, 1T1R) and Eq. 8
+(cross-point, 0T1R).  Computation power differs from a memory: *all* cells
+conduct simultaneously, so MNSIM replaces every cell resistance with the
+harmonic mean of ``R_min`` and ``R_max`` and every input with the average
+input voltage to get the average case.  Latency is the analog settle time of
+the array plus the wire RC (Elmore) delay of the longest line.
+
+The paper validates the area model against a 130 nm layout (Fig. 6) and
+folds the layout/estimate ratio back in as a calibration coefficient; the
+same mechanism is exposed here as ``layout_coefficient``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CROSSBAR_SETTLE_TIME
+from repro.tech.interconnect import InterconnectNode
+from repro.tech.memristor import CellType, MemristorModel
+
+# Fig. 6: the fabricated 32x32 1T1R layout measures 3420 um^2 against a
+# 2251 um^2 estimate; the ratio (~1.52) becomes the default area
+# calibration coefficient users may override for their own technology.
+DEFAULT_LAYOUT_COEFFICIENT = 3420.0 / 2251.0
+
+# Fraction of a gate's leakage attributed to one 1T1R access transistor
+# (it is a single, mostly-off device vs. a 4-transistor NAND2).
+_ACCESS_LEAKAGE_FRACTION = 0.1
+
+
+class CrossbarModule(CircuitModule):
+    """One ``rows x cols`` memristor crossbar in compute mode.
+
+    Parameters
+    ----------
+    device:
+        The memristor model (resistance window, geometry, nonlinearity).
+    cell_type:
+        1T1R or 0T1R (selects the Eq. 7 / Eq. 8 area formula).
+    rows, cols:
+        Physical array dimensions.
+    wire:
+        Interconnect node (for the Elmore wire-delay term).
+    active_rows, active_cols:
+        How much of the array a mapped sub-matrix actually uses; energy
+        scales with the active region while area covers the full array.
+    layout_coefficient:
+        Multiplier calibrating estimated area to layout area (Fig. 6).
+    cmos_leakage_per_gate:
+        Per-gate leakage of the CMOS node, used for access transistors.
+    """
+
+    kind = "crossbar"
+
+    def __init__(
+        self,
+        device: MemristorModel,
+        cell_type: CellType,
+        rows: int,
+        cols: int,
+        wire: InterconnectNode,
+        active_rows: int = None,
+        active_cols: int = None,
+        layout_coefficient: float = DEFAULT_LAYOUT_COEFFICIENT,
+        cmos_leakage_per_gate: float = 0.0,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar dimensions must be >= 1")
+        self.device = device
+        self.cell_type = cell_type
+        self.rows = rows
+        self.cols = cols
+        self.wire = wire
+        self.active_rows = rows if active_rows is None else active_rows
+        self.active_cols = cols if active_cols is None else active_cols
+        if not 0 < self.active_rows <= rows or not 0 < self.active_cols <= cols:
+            raise ValueError("active region must fit inside the array")
+        self.layout_coefficient = layout_coefficient
+        self.cmos_leakage_per_gate = cmos_leakage_per_gate
+
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> float:
+        """Array area in m^2 (Eq. 7 / Eq. 8 times the layout coefficient)."""
+        cell = self.device.cell_area(self.cell_type)
+        return self.rows * self.cols * cell * self.layout_coefficient
+
+    @property
+    def segment_resistance(self) -> float:
+        """Wire resistance ``r`` of one cell-to-cell segment (ohms)."""
+        return self.wire.segment_resistance(
+            self.device.cell_pitch(self.cell_type)
+        )
+
+    @property
+    def compute_power(self) -> float:
+        """Average-case computation power in watts (Sec. V.A).
+
+        Every active cell carries the average input voltage across the
+        harmonic-mean resistance.
+        """
+        v_avg = self.device.read_voltage / 2.0
+        cell_power = v_avg**2 / self.device.harmonic_mean_resistance
+        return self.active_rows * self.active_cols * cell_power
+
+    @property
+    def read_power(self) -> float:
+        """Memory-mode READ power in watts (one selected cell)."""
+        v = self.device.read_voltage
+        return v**2 / self.device.harmonic_mean_resistance
+
+    @property
+    def settle_time(self) -> float:
+        """Analog settle latency of one compute operation (seconds)."""
+        pitch = self.device.cell_pitch(self.cell_type)
+        r_line = self.segment_resistance * self.rows
+        c_line = self.wire.segment_capacitance(pitch) * self.rows
+        elmore = r_line * c_line / 2.0
+        return CROSSBAR_SETTLE_TIME + elmore
+
+    @property
+    def leakage_power(self) -> float:
+        """Static leakage: access-transistor leakage for 1T1R, ~0 for 0T1R."""
+        if self.cell_type is not CellType.ONE_T_ONE_R:
+            return 0.0
+        per_cell = self.cmos_leakage_per_gate * _ACCESS_LEAKAGE_FRACTION
+        return self.rows * self.cols * per_cell
+
+    # ------------------------------------------------------------------
+    def performance(self) -> Performance:
+        """Compute-mode performance of one matrix-vector operation."""
+        settle = self.settle_time
+        return Performance(
+            area=self.area,
+            dynamic_energy=self.compute_power * settle,
+            leakage_power=self.leakage_power,
+            latency=settle,
+        )
+
+    def read_performance(self) -> Performance:
+        """Memory-mode READ of one cell (for the READ instruction)."""
+        settle = self.settle_time
+        return Performance(
+            area=self.area,
+            dynamic_energy=self.read_power * settle,
+            leakage_power=self.leakage_power,
+            latency=settle,
+        )
+
+    def write_performance(self, cells: int = None) -> Performance:
+        """Programming ``cells`` cells sequentially (WRITE instruction).
+
+        Defaults to writing the whole active region, the cost of loading a
+        weight sub-matrix once before inference.
+        """
+        if cells is None:
+            cells = self.active_rows * self.active_cols
+        if cells < 0:
+            raise ValueError("cells must be >= 0")
+        pulse = self.device.write_pulse
+        return Performance(
+            area=self.area,
+            dynamic_energy=self.device.write_energy_per_cell() * cells,
+            leakage_power=self.leakage_power,
+            latency=pulse * cells,
+        )

@@ -1,0 +1,86 @@
+"""Input peripheral circuit: per-row DAC + input transfer gates.
+
+The reference computation unit drives every used crossbar row with an
+``n``-bit DAC in the same cycle (Sec. III.C.3).  The model charges the
+binary-weighted element array and an output driver per conversion; the
+current actually delivered *into* the crossbar is accounted by the
+crossbar's own compute-power model, so it is deliberately not double
+counted here.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+from repro.units import NS
+
+# Area of one unit element (current source / cap) in F^2.
+_UNIT_ELEMENT_AREA_F2 = 30.0
+
+# Switched capacitance of one unit element, relative to a NAND2 gate cap.
+_UNIT_ELEMENT_CAP_RATIO = 0.3
+
+# Gate-equivalents of the output driver and input switch network.
+_DRIVER_GE = 20.0
+
+# Default conversion (settling) time of the reference DAC.
+DEFAULT_DAC_CONVERSION_TIME = 5 * NS
+
+
+class DacModule(CircuitModule):
+    """One ``bits``-bit input DAC plus its transfer-gate switch.
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    bits:
+        Input signal precision (``signal_bits`` of the configuration).
+    conversion_time:
+        Settling time of one conversion in seconds.
+    """
+
+    kind = "dac"
+
+    def __init__(
+        self,
+        cmos: CmosNode,
+        bits: int,
+        conversion_time: float = DEFAULT_DAC_CONVERSION_TIME,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("DAC needs at least 1 bit")
+        if conversion_time <= 0:
+            raise ValueError("conversion_time must be positive")
+        self.cmos = cmos
+        self.bits = bits
+        self.conversion_time = conversion_time
+
+    @property
+    def unit_elements(self) -> int:
+        """Binary-weighted unit elements in the conversion array."""
+        return 2**self.bits
+
+    def performance(self) -> Performance:
+        """One digital-to-analog conversion."""
+        cmos = self.cmos
+        element_area = (
+            self.unit_elements * _UNIT_ELEMENT_AREA_F2 * cmos.feature_size**2
+        )
+        logic_ge = self.bits * gates.GE_DFF + _DRIVER_GE
+        # On average half the unit elements switch per conversion.
+        element_energy = (
+            0.5
+            * self.unit_elements
+            * _UNIT_ELEMENT_CAP_RATIO
+            * cmos.nand2_cap
+            * cmos.vdd**2
+        )
+        return Performance(
+            area=element_area + cmos.gate_area(logic_ge),
+            dynamic_energy=element_energy + cmos.gate_energy(logic_ge),
+            leakage_power=cmos.gate_leakage(logic_ge),
+            latency=self.conversion_time,
+        )

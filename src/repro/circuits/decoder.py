@@ -1,0 +1,77 @@
+"""Row/column decoders: memory-oriented and computation-oriented (Fig. 4).
+
+A memory decoder selects exactly one line via an address AND tree driving a
+transfer gate.  The computation-oriented decoder of the paper inserts a NOR
+gate between the address decoder and each transfer gate: when the COMPUTE
+control signal is asserted, *every* transfer gate opens so the whole
+crossbar computes in parallel (Sec. III.C.2, Sec. V.B).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+
+class DecoderModule(CircuitModule):
+    """Decoder for ``lines`` crossbar lines.
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    lines:
+        Number of selectable lines (crossbar rows or columns).
+    computation_oriented:
+        If True, add the per-line NOR gate of Fig. 4(b) enabling
+        select-all COMPUTE operation.
+    """
+
+    kind = "decoder"
+
+    def __init__(
+        self, cmos: CmosNode, lines: int, computation_oriented: bool = True
+    ) -> None:
+        if lines < 1:
+            raise ValueError("decoder needs at least one line")
+        self.cmos = cmos
+        self.lines = lines
+        self.computation_oriented = computation_oriented
+
+    @property
+    def address_bits(self) -> int:
+        """Width of the address input."""
+        return max(1, math.ceil(math.log2(self.lines)))
+
+    def gate_count(self) -> float:
+        """Total NAND2-equivalent gates in the decoder."""
+        per_line = (
+            gates.decoder_and_gates(self.address_bits)
+            + gates.GE_TRANSMISSION_GATE
+        )
+        if self.computation_oriented:
+            per_line += gates.GE_NOR2
+        address_buffers = self.address_bits * 2 * gates.GE_INVERTER
+        return self.lines * per_line + address_buffers
+
+    def fo4_depth(self) -> float:
+        """Critical path: address buffer -> AND tree -> (NOR) -> gate."""
+        depth = 1.0 + self.address_bits * gates.FO4_NAND2
+        if self.computation_oriented:
+            depth += gates.FO4_NAND2  # the added NOR stage
+        return depth
+
+    def performance(self) -> Performance:
+        """One select (or select-all) operation.
+
+        In COMPUTE mode all lines toggle, so the whole decoder's switched
+        capacitance is charged once per operation -- which is what the
+        gate-count energy model already expresses.
+        """
+        return gates.logic_performance(
+            self.cmos, self.gate_count(), self.fo4_depth()
+        )

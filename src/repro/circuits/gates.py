@@ -1,0 +1,136 @@
+"""Digital gate-level primitives in NAND2-equivalent units.
+
+All digital peripheral modules (decoders, adders, neurons, buffers, ...)
+are costed as counts of NAND2-equivalent gates plus a logic depth in FO4
+units, the same abstraction CACTI uses.  The constants below are classical
+gate-equivalent (GE) figures from standard-cell libraries.
+
+Functions return plain floats (gate counts or FO4 depths); the conversion
+to physical area/energy/delay/leakage happens through
+:class:`~repro.tech.cmos.CmosNode` helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tech.cmos import CmosNode
+from repro.report import Performance
+
+# Gate-equivalent (NAND2 = 1.0) sizes of common cells.
+GE_INVERTER = 0.5
+GE_NAND2 = 1.0
+GE_NOR2 = 1.0
+GE_AND2 = 1.5
+GE_XOR2 = 2.5
+GE_MUX2 = 2.0
+GE_TRANSMISSION_GATE = 0.5
+GE_DFF = 5.0
+GE_FULL_ADDER = 6.0
+GE_COMPARATOR_PER_BIT = 3.5
+GE_SRAM_BIT = 0.25  # ROM/LUT storage bit, denser than logic
+
+# FO4 logic depths of common cells.
+FO4_INVERTER = 0.5
+FO4_NAND2 = 1.0
+FO4_FULL_ADDER_CARRY = 2.0
+FO4_MUX2 = 1.5
+FO4_DFF_CLK_TO_Q = 3.0
+FO4_COMPARATOR_PER_BIT = 0.6
+
+
+def logic_performance(
+    cmos: CmosNode,
+    gate_count: float,
+    fo4_depth: float,
+    evaluations: float = 1.0,
+) -> Performance:
+    """Build a :class:`Performance` record for a block of random logic.
+
+    Parameters
+    ----------
+    cmos:
+        Technology node supplying area/energy/delay/leakage per gate.
+    gate_count:
+        Total NAND2-equivalent gates in the block.
+    fo4_depth:
+        Critical-path depth in FO4 units.
+    evaluations:
+        How many times the block evaluates per operation (scales dynamic
+        energy only; latency models the critical path of one evaluation).
+    """
+    if gate_count < 0 or fo4_depth < 0 or evaluations < 0:
+        raise ValueError("gate_count, fo4_depth, evaluations must be >= 0")
+    return Performance(
+        area=cmos.gate_area(gate_count),
+        dynamic_energy=cmos.gate_energy(gate_count) * evaluations,
+        leakage_power=cmos.gate_leakage(gate_count),
+        latency=cmos.gate_delay(fo4_depth),
+    )
+
+
+def register_gates(bits: int) -> float:
+    """Gate count of a ``bits``-wide register (D flip-flops)."""
+    return bits * GE_DFF
+
+
+def ripple_adder_gates(bits: int) -> float:
+    """Gate count of a ``bits``-bit ripple-carry adder."""
+    return bits * GE_FULL_ADDER
+
+
+def ripple_adder_depth(bits: int) -> float:
+    """FO4 depth of a ``bits``-bit ripple-carry adder (carry chain)."""
+    return bits * FO4_FULL_ADDER_CARRY
+
+
+def comparator_gates(bits: int) -> float:
+    """Gate count of a ``bits``-bit magnitude comparator."""
+    return bits * GE_COMPARATOR_PER_BIT
+
+
+def comparator_depth(bits: int) -> float:
+    """FO4 depth of a ``bits``-bit magnitude comparator."""
+    return bits * FO4_COMPARATOR_PER_BIT
+
+
+def counter_gates(bits: int) -> float:
+    """Gate count of a ``bits``-bit binary counter (DFF + increment)."""
+    return bits * (GE_DFF + GE_FULL_ADDER * 0.5)
+
+
+def decoder_and_gates(address_bits: int) -> float:
+    """Gate count of one output AND of an ``address_bits`` decoder.
+
+    Wide ANDs decompose into a NAND/NOR tree; cost grows with fan-in.
+    """
+    if address_bits <= 0:
+        return 0.0
+    return max(1.0, address_bits * 0.75)
+
+
+def mux_tree_gates(inputs: int, bits: int) -> float:
+    """Gate count of an ``inputs``-to-1 mux, ``bits`` wide."""
+    if inputs <= 1:
+        return 0.0
+    return (inputs - 1) * bits * GE_MUX2
+
+
+def mux_tree_depth(inputs: int) -> float:
+    """FO4 depth of an ``inputs``-to-1 mux tree."""
+    if inputs <= 1:
+        return 0.0
+    return math.ceil(math.log2(inputs)) * FO4_MUX2
+
+
+def lut_gates(address_bits: int, data_bits: int) -> float:
+    """Gate count of a ROM look-up table with 2**address_bits entries."""
+    entries = 2**address_bits
+    storage = entries * data_bits * GE_SRAM_BIT
+    decode = entries * decoder_and_gates(address_bits)
+    return storage + decode
+
+
+def lut_depth(address_bits: int) -> float:
+    """FO4 depth of a LUT read (decode + wordline + output mux)."""
+    return 2.0 * max(address_bits, 1) * FO4_NAND2

@@ -1,0 +1,81 @@
+"""Accelerator I/O interface modules (Sec. III.A).
+
+The input interface buffers a full input sample arriving over a limited
+number of bus lines (``Interface_Number[0]``) and releases it to the first
+computation bank only when complete, preserving the fully-parallel crossbar
+operation; the output interface streams the final results back over
+``Interface_Number[1]`` lines.  Transfer latency therefore serialises over
+``ceil(sample_bits / lines)`` bus cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+from repro.units import NS
+
+# One bus transfer cycle (a modest 100 MHz peripheral bus).
+BUS_CYCLE_TIME = 10 * NS
+
+
+class IoInterfaceModule(CircuitModule):
+    """Input or output interface of the accelerator.
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    lines:
+        Bus lines available (one bit per line per cycle).
+    sample_values:
+        Values per sample crossing this interface.
+    bits:
+        Precision of each value.
+    """
+
+    kind = "io_interface"
+
+    def __init__(
+        self, cmos: CmosNode, lines: int, sample_values: int, bits: int
+    ) -> None:
+        if lines < 1 or sample_values < 1 or bits < 1:
+            raise ValueError("lines, sample_values, bits must be >= 1")
+        self.cmos = cmos
+        self.lines = lines
+        self.sample_values = sample_values
+        self.bits = bits
+
+    @property
+    def sample_bits(self) -> int:
+        """Total bits per sample."""
+        return self.sample_values * self.bits
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Bus cycles to move one full sample."""
+        return math.ceil(self.sample_bits / self.lines)
+
+    def gate_count(self) -> float:
+        """Sample buffer plus the serialisation counter/muxes."""
+        buffer_ge = self.sample_values * gates.register_gates(self.bits)
+        counter_bits = max(1, math.ceil(math.log2(max(2, self.transfer_cycles))))
+        control_ge = gates.counter_gates(counter_bits) + gates.mux_tree_gates(
+            max(2, self.transfer_cycles), 1
+        )
+        return buffer_ge + control_ge
+
+    def performance(self) -> Performance:
+        """One full sample transfer."""
+        logic = gates.logic_performance(
+            self.cmos, self.gate_count(), gates.FO4_DFF_CLK_TO_Q
+        )
+        return Performance(
+            area=logic.area,
+            dynamic_energy=logic.dynamic_energy,
+            leakage_power=logic.leakage_power,
+            latency=self.transfer_cycles * BUS_CYCLE_TIME,
+        )

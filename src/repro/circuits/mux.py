@@ -1,0 +1,76 @@
+"""Column multiplexers + control counter for shared read circuits.
+
+When the parallelism degree ``p`` is smaller than the number of used
+columns, each read circuit is time-shared over ``ceil(cols / p)`` columns
+through an analog mux steered by a digital counter (Sec. III.C.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+
+class ColumnMuxModule(CircuitModule):
+    """Routing network between crossbar columns and read circuits.
+
+    Parameters
+    ----------
+    cmos:
+        CMOS technology node.
+    columns:
+        Used crossbar columns to be read.
+    read_circuits:
+        Number of read circuits (the effective parallelism degree).
+    """
+
+    kind = "column_mux"
+
+    def __init__(self, cmos: CmosNode, columns: int, read_circuits: int) -> None:
+        if columns < 1 or read_circuits < 1:
+            raise ValueError("columns and read_circuits must be >= 1")
+        if read_circuits > columns:
+            raise ValueError("cannot have more read circuits than columns")
+        self.cmos = cmos
+        self.columns = columns
+        self.read_circuits = read_circuits
+
+    @property
+    def inputs_per_circuit(self) -> int:
+        """Columns multiplexed onto each read circuit."""
+        return math.ceil(self.columns / self.read_circuits)
+
+    @property
+    def cycles(self) -> int:
+        """Sequential read cycles needed to cover all columns."""
+        return self.inputs_per_circuit
+
+    def gate_count(self) -> float:
+        """Analog transmission gates + the shared control counter.
+
+        Every multiplexed column needs its own select-line decode (the
+        counter itself is shared across the read circuits), so the
+        select network is sized per column, not per read circuit.
+        """
+        tgates = self.columns * gates.GE_TRANSMISSION_GATE
+        if self.inputs_per_circuit == 1:
+            return tgates  # all-parallel: pass gates only, no control
+        counter_bits = max(1, math.ceil(math.log2(self.inputs_per_circuit)))
+        select_decode = self.columns * gates.decoder_and_gates(counter_bits)
+        return tgates + gates.counter_gates(counter_bits) + select_decode
+
+    def fo4_depth(self) -> float:
+        """Switching delay of one mux step."""
+        if self.inputs_per_circuit == 1:
+            return gates.FO4_INVERTER
+        return gates.mux_tree_depth(self.inputs_per_circuit) + gates.FO4_DFF_CLK_TO_Q
+
+    def performance(self) -> Performance:
+        """One routing step (one read cycle's worth of switching)."""
+        return gates.logic_performance(
+            self.cmos, self.gate_count(), self.fo4_depth()
+        )

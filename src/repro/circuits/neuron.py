@@ -1,0 +1,120 @@
+"""Non-linear neuron modules: sigmoid, ReLU, integrate-and-fire.
+
+The reference designs follow Sec. III.B.4 of the paper: sigmoid for DNNs
+(a look-up-table implementation over the quantized input), ReLU for CNNs
+(sign check + mux to zero), and integrate-and-fire for SNNs (accumulator +
+threshold comparator + reset).
+"""
+
+from __future__ import annotations
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.errors import ConfigError
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+# LUT neurons index with at most this many address bits; wider inputs are
+# truncated to the MSBs first (standard piecewise-LUT sigmoid practice).
+_MAX_LUT_ADDRESS_BITS = 10
+
+
+class SigmoidNeuronModule(CircuitModule):
+    """LUT-based sigmoid neuron (DNN reference design)."""
+
+    kind = "sigmoid_neuron"
+
+    def __init__(self, cmos: CmosNode, input_bits: int, output_bits: int) -> None:
+        if input_bits < 1 or output_bits < 1:
+            raise ValueError("bit widths must be >= 1")
+        self.cmos = cmos
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+
+    @property
+    def address_bits(self) -> int:
+        """LUT address width (input truncated to the MSBs if very wide)."""
+        return min(self.input_bits, _MAX_LUT_ADDRESS_BITS)
+
+    def performance(self) -> Performance:
+        """One activation evaluation."""
+        gate_count = gates.lut_gates(self.address_bits, self.output_bits)
+        depth = gates.lut_depth(self.address_bits)
+        return gates.logic_performance(self.cmos, gate_count, depth)
+
+
+class ReluNeuronModule(CircuitModule):
+    """ReLU neuron: sign check plus a mux to zero (CNN reference design)."""
+
+    kind = "relu_neuron"
+
+    def __init__(self, cmos: CmosNode, input_bits: int) -> None:
+        if input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+        self.cmos = cmos
+        self.input_bits = input_bits
+
+    def performance(self) -> Performance:
+        """One activation evaluation."""
+        gate_count = (
+            gates.GE_INVERTER  # sign bit
+            + self.input_bits * gates.GE_AND2  # gating to zero
+        )
+        depth = gates.FO4_INVERTER + gates.FO4_NAND2
+        return gates.logic_performance(self.cmos, gate_count, depth)
+
+
+class IntegrateFireNeuronModule(CircuitModule):
+    """Integrate-and-fire neuron (SNN reference design).
+
+    An accumulator integrates the merged synapse current each cycle; a
+    comparator fires a spike and resets when the membrane potential
+    crosses the threshold.
+    """
+
+    kind = "if_neuron"
+
+    def __init__(self, cmos: CmosNode, input_bits: int,
+                 potential_bits: int = None) -> None:
+        if input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+        self.cmos = cmos
+        self.input_bits = input_bits
+        self.potential_bits = (
+            input_bits + 2 if potential_bits is None else potential_bits
+        )
+        if self.potential_bits < input_bits:
+            raise ValueError("potential_bits must be >= input_bits")
+
+    def performance(self) -> Performance:
+        """One integrate step (accumulate, compare, conditional reset)."""
+        bits = self.potential_bits
+        gate_count = (
+            gates.ripple_adder_gates(bits)  # integrator
+            + gates.register_gates(bits)  # membrane potential
+            + gates.comparator_gates(bits)  # threshold
+            + bits * gates.GE_AND2  # reset gating
+        )
+        depth = (
+            gates.ripple_adder_depth(bits)
+            + gates.comparator_depth(bits)
+            + gates.FO4_DFF_CLK_TO_Q
+        )
+        return gates.logic_performance(self.cmos, gate_count, depth)
+
+
+def neuron_for_network_type(
+    network_type: str, cmos: CmosNode, input_bits: int, output_bits: int
+) -> CircuitModule:
+    """Build the reference neuron for a network type (Sec. III.B.4).
+
+    DNN -> sigmoid, SNN -> integrate-and-fire, CNN -> ReLU.
+    """
+    normalized = str(network_type).strip().upper()
+    if normalized in ("DNN", "ANN"):
+        return SigmoidNeuronModule(cmos, input_bits, output_bits)
+    if normalized == "SNN":
+        return IntegrateFireNeuronModule(cmos, input_bits)
+    if normalized == "CNN":
+        return ReluNeuronModule(cmos, input_bits)
+    raise ConfigError(f"no reference neuron for network type {network_type!r}")

@@ -1,0 +1,64 @@
+"""Max-pooling module: a comparator tree over the pooling window.
+
+The spatial pooling function of CNNs selects the maximum of the
+neighbouring ``k x k`` results (Sec. III.B.3).  The module is a binary
+tree of ``k*k - 1`` compare-and-select stages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits import gates
+from repro.circuits.base import CircuitModule
+from repro.report import Performance
+from repro.tech.cmos import CmosNode
+
+
+class MaxPoolingModule(CircuitModule):
+    """Max pooling over a ``window x window`` region of ``bits``-bit data."""
+
+    kind = "max_pooling"
+
+    def __init__(self, cmos: CmosNode, window: int, bits: int) -> None:
+        if window < 1:
+            raise ValueError("pooling window must be >= 1")
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.cmos = cmos
+        self.window = window
+        self.bits = bits
+
+    @property
+    def inputs(self) -> int:
+        """Values compared per pooling operation."""
+        return self.window * self.window
+
+    @property
+    def stages(self) -> int:
+        """Compare-and-select stages in the tree."""
+        return max(0, self.inputs - 1)
+
+    def gate_count(self) -> float:
+        """Comparator + select mux per stage."""
+        per_stage = (
+            gates.comparator_gates(self.bits)
+            + self.bits * gates.GE_MUX2
+        )
+        return self.stages * per_stage
+
+    def fo4_depth(self) -> float:
+        """Critical path through ``ceil(log2(inputs))`` tree levels."""
+        if self.inputs <= 1:
+            return 0.0
+        levels = math.ceil(math.log2(self.inputs))
+        per_level = gates.comparator_depth(self.bits) + gates.FO4_MUX2
+        return levels * per_level
+
+    def performance(self) -> Performance:
+        """One pooling operation (identity / zero cost for window == 1)."""
+        if self.stages == 0:
+            return Performance()
+        return gates.logic_performance(
+            self.cmos, self.gate_count(), self.fo4_depth()
+        )

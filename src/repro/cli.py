@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the software flow of the paper's Fig. 3:
+
+* ``simulate`` — build the accelerator for a configuration (file or
+  flags) and a network, print the summary and optional hierarchical
+  report / breakdown;
+* ``explore`` — traversal design-space exploration with an error
+  constraint, printing the per-target optima (the Tables IV/VI flow);
+* ``netlist`` — export a SPICE netlist for a random-programmed crossbar
+  of the configured size (the hand-off path to external simulators).
+
+Network specs are compact strings: ``mlp:784,256,10``, or the built-ins
+``validation-mlp`` / ``jpeg`` / ``large-bank`` / ``caffenet`` / ``vgg16``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.breakdown import accelerator_breakdown
+from repro.config import SimConfig
+from repro.dse.explorer import explore, optimal_table
+from repro.dse.space import DesignSpace
+from repro.errors import ConfigError, MnsimError
+from repro.nn.networks import (
+    Network,
+    caffenet,
+    jpeg_autoencoder,
+    large_bank_layer,
+    mlp,
+    validation_mlp,
+    vgg16,
+)
+from repro.report import format_table
+from repro.units import MM2, UJ, US
+
+_BUILTIN_NETWORKS = {
+    "validation-mlp": validation_mlp,
+    "jpeg": jpeg_autoencoder,
+    "large-bank": large_bank_layer,
+    "caffenet": caffenet,
+    "vgg16": vgg16,
+}
+
+
+def parse_network(spec: str) -> Network:
+    """Resolve a network spec string (built-in name or ``mlp:a,b,c``)."""
+    spec = spec.strip().lower()
+    if spec in _BUILTIN_NETWORKS:
+        return _BUILTIN_NETWORKS[spec]()
+    if spec.startswith("mlp:"):
+        try:
+            sizes = [int(part) for part in spec[4:].split(",") if part]
+        except ValueError:
+            raise ConfigError(f"bad MLP spec {spec!r}") from None
+        return mlp(sizes, name=spec)
+    raise ConfigError(
+        f"unknown network {spec!r}; built-ins: "
+        f"{sorted(_BUILTIN_NETWORKS)} or mlp:a,b,c"
+    )
+
+
+def _load_config(args: argparse.Namespace) -> SimConfig:
+    if args.config:
+        config = SimConfig.from_file(args.config)
+    else:
+        config = SimConfig()
+    overrides = {}
+    for field_name in ("crossbar_size", "cmos_tech", "interconnect_tech",
+                       "parallelism_degree", "weight_bits", "signal_bits"):
+        value = getattr(args, field_name, None)
+        if value is not None:
+            overrides[field_name] = value
+    return config.replace(**overrides) if overrides else config
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", help="Table-I-style configuration file")
+    parser.add_argument("--crossbar-size", dest="crossbar_size", type=int)
+    parser.add_argument("--cmos-tech", dest="cmos_tech", type=int)
+    parser.add_argument(
+        "--interconnect-tech", dest="interconnect_tech", type=int
+    )
+    parser.add_argument(
+        "--parallelism-degree", dest="parallelism_degree", type=int
+    )
+    parser.add_argument("--weight-bits", dest="weight_bits", type=int)
+    parser.add_argument("--signal-bits", dest="signal_bits", type=int)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    network = parse_network(args.network)
+    accelerator = Accelerator(config, network)
+    summary = accelerator.summary()
+
+    print(f"network: {network.name} ({network.depth} banks)")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["area (mm^2)", f"{summary.area / MM2:.4f}"],
+            ["energy / sample (uJ)",
+             f"{summary.energy_per_sample / UJ:.4f}"],
+            ["sample latency (us)", f"{summary.sample_latency / US:.4f}"],
+            ["compute latency (us)", f"{summary.compute_latency / US:.4f}"],
+            ["pipeline cycle (us)", f"{summary.pipeline_cycle / US:.4f}"],
+            ["power (W)", f"{summary.power:.4f}"],
+            ["worst error rate", f"{summary.worst_error_rate:.2%}"],
+            ["relative accuracy", f"{summary.relative_accuracy:.2%}"],
+            ["units", accelerator.total_units],
+            ["crossbars", accelerator.total_crossbars],
+        ],
+    ))
+    if args.report:
+        print()
+        print(accelerator.report().render(max_depth=args.report_depth))
+    if args.breakdown:
+        print()
+        print(accelerator_breakdown(accelerator).render())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    network = parse_network(args.network)
+    space = DesignSpace(
+        crossbar_sizes=tuple(args.sizes),
+        parallelism_degrees=tuple(args.degrees),
+        interconnect_nodes=tuple(args.wires),
+    )
+    points = explore(
+        config, network, space, max_error_rate=args.max_error
+    )
+    print(
+        f"{len(space)} designs explored, {len(points)} feasible"
+        + (f" (error <= {args.max_error:.0%})" if args.max_error else "")
+    )
+    if not points:
+        print("no feasible design; relax --max-error", file=sys.stderr)
+        return 1
+    rows = []
+    for metric, point in optimal_table(points).items():
+        s = point.summary
+        rows.append([
+            metric,
+            f"{s.area / MM2:.3f}",
+            f"{s.energy_per_sample / UJ:.3f}",
+            f"{s.compute_latency / US:.4f}",
+            f"{s.worst_error_rate:.2%}",
+            point.crossbar_size,
+            point.interconnect_tech,
+            point.parallelism_degree,
+        ])
+    print(format_table(
+        ["target", "area mm^2", "energy uJ", "latency us", "error",
+         "xbar", "wire", "p"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_netlist(args: argparse.Namespace) -> int:
+    from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
+    from repro.spice.netlist import generate_netlist
+
+    config = _load_config(args)
+    device = config.device
+    size = config.crossbar_size
+    rng = np.random.default_rng(args.seed)
+    levels = rng.integers(0, device.levels, size=(size, size))
+    resistances = np.vectorize(device.resistance_of_level)(levels)
+    inputs = rng.uniform(0, device.read_voltage, size=size)
+    segment = config.wire.segment_resistance(
+        device.cell_pitch(config.cell_type)
+    )
+    netlist = generate_netlist(
+        resistances, inputs, segment, DEFAULT_SENSE_RESISTANCE,
+        title=f"MNSIM {size}x{size} crossbar (seed {args.seed})",
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(netlist)
+        print(f"wrote {args.output} ({len(netlist.splitlines())} lines)")
+    else:
+        print(netlist)
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.dse.autocomplete import suggest_designs
+
+    config = _load_config(args)
+    network = parse_network(args.network)
+    suggestions = suggest_designs(
+        config, network, free=tuple(args.free),
+        max_error_rate=args.max_error,
+    )
+    rows = []
+    for metric, completed in suggestions.items():
+        point = completed.point
+        rows.append([
+            metric,
+            completed.config.crossbar_size,
+            completed.config.interconnect_tech,
+            completed.config.parallelism_degree,
+            f"{point.area / MM2:.3f}",
+            f"{point.energy / UJ:.3f}",
+            f"{point.latency / US:.4f}",
+            f"{point.error_rate:.2%}",
+        ])
+    print(format_table(
+        ["target", "xbar", "wire nm", "p", "area mm^2", "energy uJ",
+         "latency us", "error"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MNSIM reproduction: behavior-level simulation of "
+        "memristor-based neuromorphic accelerators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate one design point"
+    )
+    _add_config_flags(simulate)
+    simulate.add_argument("network", help="network spec (e.g. mlp:784,256,10)")
+    simulate.add_argument(
+        "--report", action="store_true", help="print the hierarchical report"
+    )
+    simulate.add_argument(
+        "--report-depth", type=int, default=2, help="report tree depth"
+    )
+    simulate.add_argument(
+        "--breakdown", action="store_true",
+        help="print the per-category area/energy breakdown",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    explore_cmd = sub.add_parser(
+        "explore", help="design-space exploration"
+    )
+    _add_config_flags(explore_cmd)
+    explore_cmd.add_argument("network")
+    explore_cmd.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 128, 256, 512],
+    )
+    explore_cmd.add_argument(
+        "--degrees", type=int, nargs="+", default=[1, 16, 256],
+    )
+    explore_cmd.add_argument(
+        "--wires", type=int, nargs="+", default=[18, 28, 45],
+    )
+    explore_cmd.add_argument("--max-error", type=float, default=None)
+    explore_cmd.set_defaults(func=_cmd_explore)
+
+    netlist = sub.add_parser(
+        "netlist", help="export a SPICE netlist of one crossbar"
+    )
+    _add_config_flags(netlist)
+    netlist.add_argument("--seed", type=int, default=0)
+    netlist.add_argument("--output", "-o", help="output file (default stdout)")
+    netlist.set_defaults(func=_cmd_netlist)
+
+    suggest = sub.add_parser(
+        "suggest",
+        help="auto-complete unspecified design parameters per target",
+    )
+    _add_config_flags(suggest)
+    suggest.add_argument("network")
+    suggest.add_argument(
+        "--free", nargs="+",
+        default=["crossbar_size", "parallelism_degree",
+                 "interconnect_tech"],
+        help="fields the tool may choose",
+    )
+    suggest.add_argument("--max-error", type=float, default=None)
+    suggest.set_defaults(func=_cmd_suggest)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MnsimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Constraint sets for design-space exploration.
+
+The paper's case studies use a single error-rate bound ("the computing
+error rate of memristor crossbar cannot be larger than 25 %"); real
+design sign-off adds budgets on area, power, energy, and latency.
+:class:`ConstraintSet` generalises the bound into a conjunction of
+per-metric ceilings, usable both as a filter over explored points and
+as a feasibility check for a single design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dse.explorer import DesignPoint
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Ceilings per metric; ``None`` means unconstrained.
+
+    Attributes
+    ----------
+    max_area:
+        Silicon area ceiling in m^2.
+    max_energy:
+        Per-sample dynamic energy ceiling in J.
+    max_latency:
+        Per-sample compute latency ceiling in s.
+    max_power:
+        Average power ceiling in W.
+    max_error_rate:
+        Worst-case computing error ceiling (0..1).
+    """
+
+    max_area: Optional[float] = None
+    max_energy: Optional[float] = None
+    max_latency: Optional[float] = None
+    max_power: Optional[float] = None
+    max_error_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_area", "max_energy", "max_latency", "max_power",
+                     "max_error_rate"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ExplorationError(f"{name} must be positive when set")
+
+    # ------------------------------------------------------------------
+    def violations(self, point: DesignPoint) -> Dict[str, float]:
+        """Map of violated constraints to their overshoot ratio.
+
+        An overshoot of 0.2 means the metric exceeds its ceiling by
+        20 %.  Empty dict == feasible.
+        """
+        checks = {
+            "max_area": point.area,
+            "max_energy": point.energy,
+            "max_latency": point.latency,
+            "max_power": point.power,
+            "max_error_rate": point.error_rate,
+        }
+        result = {}
+        for name, value in checks.items():
+            ceiling = getattr(self, name)
+            if ceiling is not None and value > ceiling:
+                result[name] = value / ceiling - 1.0
+        return result
+
+    def satisfied_by(self, point: DesignPoint) -> bool:
+        """Feasibility of one design point."""
+        return not self.violations(point)
+
+    def filter(self, points: Sequence[DesignPoint]) -> List[DesignPoint]:
+        """Feasible subset of ``points`` (order preserved)."""
+        return [p for p in points if self.satisfied_by(p)]
+
+    def tightest_constraint(
+        self, points: Sequence[DesignPoint]
+    ) -> Optional[str]:
+        """The constraint that excludes the most points (None if all
+        feasible or no constraints are set)."""
+        counts: Dict[str, int] = {}
+        for point in points:
+            for name in self.violations(point):
+                counts[name] = counts.get(name, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=counts.get)

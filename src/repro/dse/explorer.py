@@ -1,0 +1,233 @@
+"""Traversal design-space exploration with per-metric optima (Fig. 9).
+
+The explorer simulates every valid point of a :class:`~repro.dse.space.
+DesignSpace`, discards points violating the error-rate constraint, and
+reports the optimal design per optimization target — exactly the flow of
+the paper's Tables IV and VI.  :func:`pentagon_factors` computes the
+normalized five-axis comparison of Fig. 9 (reciprocal area, energy
+efficiency, reciprocal power, speed, accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.accelerator import Accelerator, AcceleratorSummary
+from repro.config import SimConfig
+from repro.dse.space import DesignSpace
+from repro.errors import ExplorationError
+from repro.nn.networks import Network
+
+#: Optimization targets, matching the columns of Tables IV / VI.
+OPTIMIZATION_METRICS = ("area", "energy", "latency", "accuracy")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One simulated design: its swept parameters and its metrics."""
+
+    crossbar_size: int
+    parallelism_degree: int
+    interconnect_tech: int
+    summary: AcceleratorSummary
+
+    # Convenience accessors for ranking -------------------------------
+    @property
+    def area(self) -> float:
+        return self.summary.area
+
+    @property
+    def energy(self) -> float:
+        return self.summary.energy_per_sample
+
+    @property
+    def latency(self) -> float:
+        return self.summary.compute_latency
+
+    @property
+    def power(self) -> float:
+        return self.summary.power
+
+    @property
+    def error_rate(self) -> float:
+        return self.summary.worst_error_rate
+
+    def metric(self, name: str) -> float:
+        """Metric value where *smaller is better* for every name."""
+        if name == "area":
+            return self.area
+        if name == "energy":
+            return self.energy
+        if name == "latency":
+            return self.latency
+        if name == "power":
+            return self.power
+        if name == "accuracy":
+            return self.error_rate
+        raise ExplorationError(f"unknown optimization metric {name!r}")
+
+
+def explore(
+    base_config: SimConfig,
+    network: Network,
+    space: Optional[DesignSpace] = None,
+    max_error_rate: Optional[float] = None,
+) -> List[DesignPoint]:
+    """Simulate every valid design point.
+
+    Parameters
+    ----------
+    base_config:
+        Non-swept parameters (CMOS node, precisions, device, ...).
+    network:
+        The application mapped onto every candidate design.
+    space:
+        The swept grid (defaults to the paper's large-bank grid).
+    max_error_rate:
+        Optional constraint: points whose worst-case error rate exceeds
+        this bound are dropped (the paper uses 25 % / 50 %).
+    """
+    space = space if space is not None else DesignSpace()
+    points: List[DesignPoint] = []
+    for config in space.configs(base_config):
+        summary = Accelerator(config, network).summary()
+        if max_error_rate is not None and (
+            summary.worst_error_rate > max_error_rate
+        ):
+            continue
+        points.append(
+            DesignPoint(
+                crossbar_size=config.crossbar_size,
+                parallelism_degree=config.parallelism_degree,
+                interconnect_tech=config.interconnect_tech,
+                summary=summary,
+            )
+        )
+    return points
+
+
+def optimal(points: Sequence[DesignPoint], metric: str) -> DesignPoint:
+    """The best point for one optimization target (smallest value).
+
+    Raises
+    ------
+    ExplorationError
+        If no points remain (e.g. the constraint excluded everything).
+    """
+    if not points:
+        raise ExplorationError(
+            "no design satisfies the constraints; relax the error bound "
+            "or widen the design space"
+        )
+    return min(points, key=lambda p: p.metric(metric))
+
+
+def optimal_table(
+    points: Sequence[DesignPoint],
+    metrics: Iterable[str] = OPTIMIZATION_METRICS,
+) -> Dict[str, DesignPoint]:
+    """Optimal design per target — the column set of Tables IV / VI."""
+    return {metric: optimal(points, metric) for metric in metrics}
+
+
+def optimal_with_secondary(
+    points: Sequence[DesignPoint],
+    primary: str,
+    secondary: str,
+    tolerance: float = 0.0,
+) -> DesignPoint:
+    """Best point by ``primary``, ties broken by ``secondary``.
+
+    The paper's Sec. VII.C.1 observation: "changing digital modules does
+    not impact the computing accuracy of memristor crossbars, [so] the
+    user can set a secondary optimization target for accuracy
+    optimization" — many accuracy-equal designs exist and a secondary
+    target picks among them.  ``tolerance`` widens the tie band to a
+    relative margin around the primary optimum.
+    """
+    if tolerance < 0:
+        raise ExplorationError("tolerance must be non-negative")
+    best = optimal(points, primary)
+    best_value = best.metric(primary)
+    band = best_value * (1.0 + tolerance) + (
+        0.0 if best_value else tolerance
+    )
+    candidates = [p for p in points if p.metric(primary) <= band]
+    return min(candidates, key=lambda p: p.metric(secondary))
+
+
+def weighted_optimal(
+    points: Sequence[DesignPoint],
+    weights: Dict[str, float],
+) -> DesignPoint:
+    """Scalarised multi-objective optimum.
+
+    Each metric is min-max normalised over ``points`` (so weights are
+    unit-free) and combined as a weighted sum; the smallest combined
+    score wins.  Weights must be non-negative with at least one
+    positive entry; valid metric names are ``area``, ``energy``,
+    ``latency``, ``power``, ``accuracy`` (error rate).
+    """
+    if not points:
+        raise ExplorationError("weighted optimisation needs points")
+    if not weights:
+        raise ExplorationError("at least one weight is required")
+    if any(w < 0 for w in weights.values()):
+        raise ExplorationError("weights must be non-negative")
+    if all(w == 0 for w in weights.values()):
+        raise ExplorationError("at least one weight must be positive")
+
+    spans = {}
+    for metric in weights:
+        values = [p.metric(metric) for p in points]  # validates names
+        low, high = min(values), max(values)
+        spans[metric] = (low, (high - low) or 1.0)
+
+    def score(point: DesignPoint) -> float:
+        total = 0.0
+        for metric, weight in weights.items():
+            low, span = spans[metric]
+            total += weight * (point.metric(metric) - low) / span
+        return total
+
+    return min(points, key=score)
+
+
+def pentagon_factors(
+    selected: Sequence[DesignPoint],
+) -> List[Dict[str, float]]:
+    """Fig. 9's normalized five-axis factors for the given designs.
+
+    Reciprocal area, energy efficiency (1/energy), reciprocal power,
+    and speed (1/latency) are normalized by the maximum over
+    ``selected``; accuracy is ``1 - error`` (already in [0, 1]).
+    """
+    if not selected:
+        raise ExplorationError("pentagon needs at least one design")
+
+    def reciprocal(value: float) -> float:
+        return float("inf") if value == 0 else 1.0 / value
+
+    raw = [
+        {
+            "reciprocal_area": reciprocal(p.area),
+            "energy_efficiency": reciprocal(p.energy),
+            "reciprocal_power": reciprocal(p.power),
+            "speed": reciprocal(p.latency),
+            "accuracy": 1.0 - p.error_rate,
+        }
+        for p in selected
+    ]
+    result = []
+    axes = ("reciprocal_area", "energy_efficiency", "reciprocal_power",
+            "speed")
+    maxima = {axis: max(entry[axis] for entry in raw) for axis in axes}
+    for entry in raw:
+        normalized = {
+            axis: (entry[axis] / maxima[axis] if maxima[axis] > 0 else 0.0)
+            for axis in axes
+        }
+        normalized["accuracy"] = entry["accuracy"]
+        result.append(normalized)
+    return result

@@ -1,0 +1,236 @@
+"""Heterogeneous (per-bank) design-space exploration.
+
+The paper's case studies sweep one crossbar size / parallelism degree
+for the whole accelerator ("set as common variables in the entire
+accelerator level", Sec. VII.D).  Nothing in the architecture forces
+that: each computation bank is an independent island behind digital
+interfaces, so each layer can get its own crossbar size and parallelism
+degree.  This module implements the per-bank optimisation:
+
+* area and energy decompose as sums over banks, and the pipeline cycle
+  as a max — so minimising each bank independently minimises the
+  accelerator for those metrics;
+* accuracy couples the layers (Eq. 15), so the per-bank search runs
+  under a per-layer analog-error budget that guarantees the propagated
+  constraint.
+
+The headline result (and the regression the extension bench pins):
+heterogeneous mapping strictly dominates the best uniform design
+whenever layer shapes differ enough — small layers stop paying for the
+big layers' crossbar choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.accuracy.model import AccuracyModel
+from repro.accuracy.propagation import propagate_layers
+from repro.arch.bank import ComputationBank
+from repro.config import SimConfig
+from repro.errors import ExplorationError
+from repro.nn.networks import Network
+
+
+@dataclass(frozen=True)
+class BankChoice:
+    """One bank's selected parameters and its resulting costs."""
+
+    layer_index: int
+    crossbar_size: int
+    parallelism_degree: int
+    area: float
+    energy: float
+    pass_latency: float
+    sample_latency: float
+    analog_epsilon: float
+
+
+@dataclass(frozen=True)
+class HeterogeneousDesign:
+    """A per-bank configuration of the whole accelerator."""
+
+    choices: Tuple[BankChoice, ...]
+    worst_error_rate: float
+
+    @property
+    def area(self) -> float:
+        """Total area (banks only)."""
+        return sum(choice.area for choice in self.choices)
+
+    @property
+    def energy(self) -> float:
+        """Total per-sample energy (banks only)."""
+        return sum(choice.energy for choice in self.choices)
+
+    @property
+    def latency(self) -> float:
+        """Sequential per-sample latency (banks only)."""
+        return sum(choice.sample_latency for choice in self.choices)
+
+    @property
+    def pipeline_cycle(self) -> float:
+        """Pipelined cycle time: the slowest bank pass."""
+        return max(choice.pass_latency for choice in self.choices)
+
+
+def _bank_candidates(
+    base: SimConfig,
+    network: Network,
+    layer_index: int,
+    crossbar_sizes: Sequence[int],
+    parallelism_degrees: Sequence[int],
+) -> List[BankChoice]:
+    """All candidate (size, degree) builds of one bank."""
+    layers = list(network.layers)
+    layer = layers[layer_index]
+    next_layer = (
+        layers[layer_index + 1]
+        if layer_index + 1 < len(layers)
+        else None
+    )
+    candidates = []
+    for size in crossbar_sizes:
+        for degree in parallelism_degrees:
+            if degree > size:
+                continue
+            config = base.replace(
+                crossbar_size=size,
+                parallelism_degree=degree,
+                network_type=network.network_type,
+            )
+            bank = ComputationBank(config, layer, next_layer=next_layer)
+            sample = bank.sample_performance()
+            model = AccuracyModel(config)
+            rows = bank.mapping.typical_active_rows
+            epsilon = model.crossbar_epsilon(rows=rows, cols=rows)
+            candidates.append(
+                BankChoice(
+                    layer_index=layer_index,
+                    crossbar_size=size,
+                    parallelism_degree=degree,
+                    area=sample.area,
+                    energy=sample.dynamic_energy,
+                    pass_latency=bank.pass_performance().latency,
+                    sample_latency=sample.latency,
+                    analog_epsilon=epsilon,
+                )
+            )
+    if not candidates:
+        raise ExplorationError("no valid (size, degree) candidates")
+    return candidates
+
+
+_METRIC_KEYS = {
+    "area": lambda c: c.area,
+    "energy": lambda c: c.energy,
+    "latency": lambda c: c.sample_latency,
+    "pipeline": lambda c: c.pass_latency,
+}
+
+
+def optimise_heterogeneous(
+    base: SimConfig,
+    network: Network,
+    metric: str = "area",
+    crossbar_sizes: Sequence[int] = (32, 64, 128, 256, 512),
+    parallelism_degrees: Sequence[int] = (1, 4, 16, 64, 256),
+    max_error_rate: Optional[float] = None,
+) -> HeterogeneousDesign:
+    """Per-bank optimal design for a decomposable metric.
+
+    When ``max_error_rate`` is given, each bank must individually keep
+    its analog epsilon within the budget that makes the *propagated*
+    worst-case error (Eq. 15) meet the bound — a sufficient per-layer
+    condition derived by equal splitting:
+    ``(1 + eps_budget)^depth - 1 <= pre-quantization band``.
+    """
+    if metric not in _METRIC_KEYS:
+        raise ExplorationError(
+            f"metric must be one of {sorted(_METRIC_KEYS)}, got {metric!r}"
+        )
+    key = _METRIC_KEYS[metric]
+
+    eps_budget = None
+    if max_error_rate is not None:
+        if not 0 < max_error_rate <= 1:
+            raise ExplorationError("max_error_rate must lie in (0, 1]")
+        depth = network.depth
+        eps_budget = (1.0 + max_error_rate) ** (1.0 / depth) - 1.0
+
+    choices = []
+    for layer_index in range(network.depth):
+        candidates = _bank_candidates(
+            base, network, layer_index, crossbar_sizes, parallelism_degrees
+        )
+        if eps_budget is not None:
+            feasible = [
+                c for c in candidates if c.analog_epsilon <= eps_budget
+            ]
+            if not feasible:
+                raise ExplorationError(
+                    f"no candidate for layer {layer_index} meets the "
+                    f"per-layer error budget {eps_budget:.4f}"
+                )
+            candidates = feasible
+        choices.append(min(candidates, key=key))
+
+    worst = propagate_layers(
+        [choice.analog_epsilon for choice in choices],
+        base.read_levels,
+        case="worst",
+    )[-1]
+    return HeterogeneousDesign(choices=tuple(choices),
+                               worst_error_rate=worst)
+
+
+def uniform_best(
+    base: SimConfig,
+    network: Network,
+    metric: str = "area",
+    crossbar_sizes: Sequence[int] = (32, 64, 128, 256, 512),
+    parallelism_degrees: Sequence[int] = (1, 4, 16, 64, 256),
+    max_error_rate: Optional[float] = None,
+) -> HeterogeneousDesign:
+    """The best *uniform* design over the same grid, in the same
+    (banks-only) accounting — the baseline heterogeneity must beat."""
+    if metric not in _METRIC_KEYS:
+        raise ExplorationError(f"unknown metric {metric!r}")
+
+    best: Optional[HeterogeneousDesign] = None
+    for size in crossbar_sizes:
+        for degree in parallelism_degrees:
+            if degree > size:
+                continue
+            choices = []
+            for layer_index in range(network.depth):
+                candidates = _bank_candidates(
+                    base, network, layer_index, (size,), (degree,)
+                )
+                choices.append(candidates[0])
+            worst = propagate_layers(
+                [c.analog_epsilon for c in choices],
+                base.read_levels, case="worst",
+            )[-1]
+            if max_error_rate is not None and worst > max_error_rate:
+                continue
+            design = HeterogeneousDesign(
+                choices=tuple(choices), worst_error_rate=worst
+            )
+            value = {
+                "area": design.area,
+                "energy": design.energy,
+                "latency": design.latency,
+                "pipeline": design.pipeline_cycle,
+            }[metric]
+            if best is None or value < {
+                "area": best.area,
+                "energy": best.energy,
+                "latency": best.latency,
+                "pipeline": best.pipeline_cycle,
+            }[metric]:
+                best = design
+    if best is None:
+        raise ExplorationError("no uniform design meets the constraints")
+    return best

@@ -1,0 +1,169 @@
+"""Trade-off analyses: Table V, Fig. 7, Fig. 8.
+
+* :func:`size_tradeoff` — error / area / energy vs crossbar size at a
+  fixed interconnect node (Table V): the U-shaped error curve against
+  monotonically falling area and energy.
+* :func:`parallelism_sweep` — area and latency vs parallelism degree per
+  crossbar size, with per-size normalization (Fig. 7) and the raw
+  area-latency scatter (Fig. 8).
+* :func:`pareto_frontier` / :func:`inflection_point` — generic frontier
+  extraction and knee detection for the area-latency curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.errors import ExplorationError
+from repro.nn.networks import Network
+
+
+@dataclass(frozen=True)
+class SizeTradeoffRow:
+    """One column of Table V: metrics at one crossbar size."""
+
+    crossbar_size: int
+    error_rate: float
+    area: float
+    energy: float
+
+
+def size_tradeoff(
+    base_config: SimConfig,
+    network: Network,
+    sizes: Sequence[int] = (256, 128, 64, 32, 16, 8),
+) -> List[SizeTradeoffRow]:
+    """Error / area / energy against crossbar size (Table V)."""
+    rows = []
+    for size in sizes:
+        config = base_config.replace(
+            crossbar_size=size,
+            parallelism_degree=min(base_config.parallelism_degree, size)
+            if base_config.parallelism_degree
+            else 0,
+        )
+        summary = Accelerator(config, network).summary()
+        rows.append(
+            SizeTradeoffRow(
+                crossbar_size=size,
+                error_rate=summary.worst_error_rate,
+                area=summary.area,
+                energy=summary.energy_per_sample,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ParallelismRow:
+    """One (size, degree) point of the Fig. 7/8 sweeps."""
+
+    crossbar_size: int
+    parallelism_degree: int
+    area: float
+    latency: float
+    normalized_area: float = 0.0
+    normalized_latency: float = 0.0
+
+
+def parallelism_sweep(
+    base_config: SimConfig,
+    network: Network,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    degrees: Optional[Sequence[int]] = None,
+) -> List[ParallelismRow]:
+    """Area and latency vs parallelism degree per crossbar size.
+
+    Results are normalized by the maximum area and latency *within each
+    crossbar size* (the presentation of Fig. 7); the raw values serve
+    Fig. 8 directly.
+    """
+    raw: Dict[int, List[ParallelismRow]] = {}
+    for size in sizes:
+        sweep_degrees = degrees
+        if sweep_degrees is None:
+            sweep_degrees = []
+            degree = 1
+            while degree <= size:
+                sweep_degrees.append(degree)
+                degree *= 2
+        rows = []
+        for degree in sweep_degrees:
+            if degree > size:
+                continue
+            config = base_config.replace(
+                crossbar_size=size, parallelism_degree=degree
+            )
+            summary = Accelerator(config, network).summary()
+            rows.append(
+                ParallelismRow(
+                    crossbar_size=size,
+                    parallelism_degree=degree,
+                    area=summary.area,
+                    latency=summary.compute_latency,
+                )
+            )
+        raw[size] = rows
+
+    normalized: List[ParallelismRow] = []
+    for size, rows in raw.items():
+        if not rows:
+            continue
+        max_area = max(row.area for row in rows)
+        max_latency = max(row.latency for row in rows)
+        for row in rows:
+            normalized.append(
+                ParallelismRow(
+                    crossbar_size=row.crossbar_size,
+                    parallelism_degree=row.parallelism_degree,
+                    area=row.area,
+                    latency=row.latency,
+                    normalized_area=row.area / max_area,
+                    normalized_latency=row.latency / max_latency,
+                )
+            )
+    return normalized
+
+
+def pareto_frontier(
+    points: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Non-dominated subset of 2-D points (both axes: smaller = better),
+    sorted by the first axis."""
+    ordered = sorted(points)
+    frontier: List[Tuple[float, float]] = []
+    best_second = float("inf")
+    for first, second in ordered:
+        if second < best_second:
+            frontier.append((first, second))
+            best_second = second
+    return frontier
+
+
+def inflection_point(
+    points: Sequence[Tuple[float, float]]
+) -> Tuple[float, float]:
+    """Knee of a trade-off curve: the point nearest (in normalized
+    coordinates) to the utopia corner ``(min_x, min_y)``.
+
+    This locates the paper's "inflection point for each crossbar size"
+    in the Fig. 8 area-latency curves.
+    """
+    if not points:
+        raise ExplorationError("knee detection needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def distance(point: Tuple[float, float]) -> float:
+        nx = (point[0] - x_min) / x_span
+        ny = (point[1] - y_min) / y_span
+        return nx * nx + ny * ny
+
+    return min(points, key=distance)

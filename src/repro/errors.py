@@ -1,0 +1,41 @@
+"""Exception hierarchy for the MNSIM reproduction.
+
+All library-specific errors derive from :class:`MnsimError` so callers can
+catch a single base class.  Each subclass corresponds to one stage of the
+simulation flow:
+
+* configuration parsing / validation -> :class:`ConfigError`
+* technology lookup -> :class:`TechnologyError`
+* mapping a network onto crossbars -> :class:`MappingError`
+* circuit-level solving -> :class:`SolverError`
+* design-space exploration -> :class:`ExplorationError`
+"""
+
+from __future__ import annotations
+
+
+class MnsimError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(MnsimError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TechnologyError(MnsimError, KeyError):
+    """An unknown technology node, device, or module was requested."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return Exception.__str__(self)
+
+
+class MappingError(MnsimError, ValueError):
+    """A network layer cannot be mapped onto the configured hardware."""
+
+
+class SolverError(MnsimError, RuntimeError):
+    """The circuit-level solver failed to converge or was mis-specified."""
+
+
+class ExplorationError(MnsimError, RuntimeError):
+    """Design-space exploration found no design satisfying the constraints."""

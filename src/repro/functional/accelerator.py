@@ -1,0 +1,100 @@
+"""Functional accelerator: whole fully-connected networks, end to end."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.functional.bank import FunctionalBank, _ACTIVATIONS
+from repro.functional.unit import AnalogMode
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.networks import Network
+from repro.nn.quantize import dequantize, quantize
+
+
+class FunctionalAccelerator:
+    """Functional simulation of a fully-connected network.
+
+    Parameters
+    ----------
+    config:
+        Design configuration shared by every bank.
+    network:
+        The network description (fully-connected layers only).
+    weights:
+        One float ``(out, in)`` matrix per layer.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        network: Network,
+        weights: Sequence[np.ndarray],
+    ) -> None:
+        if len(weights) != network.depth:
+            raise ConfigError("one weight matrix per layer is required")
+        for layer in network.layers:
+            if not isinstance(layer, FullyConnectedLayer):
+                raise ConfigError(
+                    "functional simulation supports FC layers only"
+                )
+        self.config = config
+        self.network = network
+        self.banks = [
+            FunctionalBank(matrix, config, activation=layer.activation)
+            for layer, matrix in zip(network.layers, weights)
+        ]
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        inputs: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[np.ndarray]:
+        """Run one sample; returns every layer's float output."""
+        signal = np.asarray(inputs, dtype=float)
+        outputs = []
+        for bank in self.banks:
+            signal = bank.forward(signal, mode=mode, rng=rng)
+            outputs.append(signal)
+        return outputs
+
+    def reference_forward(self, inputs: np.ndarray) -> List[np.ndarray]:
+        """The fixed-point reference the IDEAL mode must match exactly.
+
+        Uses each bank's *effective* (mapped) weights with the same
+        quantize/activate/quantize chain, but computed with plain
+        floating-point matrix products — no crossbars involved.
+        """
+        signal = np.asarray(inputs, dtype=float)
+        bits = self.config.signal_bits
+        outputs = []
+        for bank in self.banks:
+            levels = quantize(signal, bits, signed=True)
+            driven = dequantize(levels, bits, signed=True)
+            product = driven @ bank.effective_weights().T
+            activated = _ACTIVATIONS[bank.activation](product)
+            signal = dequantize(
+                quantize(activated, bits, signed=True), bits, signed=True
+            )
+            outputs.append(signal)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def relative_output_error(
+        self,
+        inputs: np.ndarray,
+        mode: AnalogMode = AnalogMode.MODEL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Observed relative error of the final output vs IDEAL mode."""
+        ideal = self.forward(inputs, mode=AnalogMode.IDEAL)[-1]
+        noisy = self.forward(inputs, mode=mode, rng=rng)[-1]
+        scale = np.max(np.abs(ideal))
+        if scale == 0:
+            return 0.0
+        return float(np.mean(np.abs(ideal - noisy)) / scale)

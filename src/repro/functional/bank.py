@@ -1,0 +1,199 @@
+"""Functional computation bank: a whole layer through mapped tiles.
+
+Mirrors :class:`~repro.arch.bank.ComputationBank`'s datapath with real
+numbers: the layer's float weight matrix is quantized and mapped onto
+polarity planes and bit slices (:mod:`repro.nn.quantize`), tiled to the
+crossbar size, and evaluated per input vector:
+
+1. every tile computes its (possibly perturbed) partial sums;
+2. the adder tree merges row-block partials (exact digital addition);
+3. the shift-add merger reassembles bit slices;
+4. the result is rescaled to floats, the neuron function applied, and
+   the output re-quantized to the signal precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.accuracy.model import AccuracyModel
+from repro.config import SimConfig
+from repro.errors import ConfigError, MappingError
+from repro.functional.unit import AnalogMode, FunctionalUnit
+from repro.nn.quantize import dequantize, quantize, weight_to_cell_levels
+
+_ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "relu": lambda x: np.maximum(x, 0.0),
+    "none": lambda x: x,
+    "if": lambda x: x,
+}
+
+
+class FunctionalBank:
+    """One layer's functional datapath.
+
+    Parameters
+    ----------
+    weights:
+        Float weight matrix, shape ``(out_features, in_features)``.
+    config:
+        Design configuration (crossbar size, precisions, device, ...).
+    activation:
+        Neuron function name (``sigmoid`` / ``relu`` / ``none`` / ``if``).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        config: SimConfig,
+        activation: str = "sigmoid",
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise MappingError("weights must be a 2-D matrix")
+        if activation not in _ACTIVATIONS:
+            raise ConfigError(f"unknown activation {activation!r}")
+        self.config = config
+        self.activation = activation
+        self.out_features, self.in_features = weights.shape
+        self.device = config.device
+        self.signed = config.weight_polarity == 2
+
+        # Map to per-slice polarity planes (full matrices, (out, in)).
+        self._slices = weight_to_cell_levels(
+            weights, config.weight_bits, self.device, signed=self.signed
+        )
+        self.slice_bits = min(
+            self.device.precision_bits,
+            max(config.weight_bits - (1 if self.signed else 0), 1),
+        )
+
+        # Tile the (in x out) orientation into crossbar-sized units.
+        size = config.crossbar_size
+        self.row_blocks = math.ceil(self.in_features / size)
+        self.col_blocks = math.ceil(self.out_features / size)
+        self.units: List[List[List[FunctionalUnit]]] = []
+        for slice_index, (pos, neg) in enumerate(self._slices):
+            pos_t, neg_t = pos.T, neg.T  # (in, out)
+            grid = []
+            for i in range(self.row_blocks):
+                row = []
+                r0, r1 = i * size, min((i + 1) * size, self.in_features)
+                for j in range(self.col_blocks):
+                    c0, c1 = j * size, min((j + 1) * size, self.out_features)
+                    row.append(
+                        FunctionalUnit(
+                            pos_t[r0:r1, c0:c1],
+                            neg_t[r0:r1, c0:c1] if self.signed else None,
+                            self.device,
+                        )
+                    )
+                grid.append(row)
+            self.units.append(grid)
+
+        # Analog parameters for MODEL/SOLVER modes.
+        model = AccuracyModel(config)
+        tile_rows = min(size, self.in_features)
+        self.epsilon = model.crossbar_epsilon(
+            rows=tile_rows, cols=min(size, self.out_features), case="worst"
+        )
+        self.segment_resistance = model.segment_resistance
+        self.sense_resistance = model.sense_resistance
+
+    # ------------------------------------------------------------------
+    @property
+    def num_units(self) -> int:
+        """Tiles x slices (matches the performance-model mapping)."""
+        return self.row_blocks * self.col_blocks * len(self._slices)
+
+    def effective_weights(self) -> np.ndarray:
+        """The float weights the mapped arrays actually represent.
+
+        Reconstructs ``(pos - neg)`` across slices and rescales by the
+        weight full scale — the algebraic ground truth the IDEAL mode
+        must reproduce exactly.
+        """
+        merged = np.zeros((self.out_features, self.in_features),
+                          dtype=np.int64)
+        for index, (pos, neg) in enumerate(self._slices):
+            merged += (pos.astype(np.int64) - neg.astype(np.int64)) << (
+                index * self.slice_bits
+            )
+        scale = 2 ** (self.config.weight_bits - 1) if self.signed else (
+            2**self.config.weight_bits - 1
+        )
+        return merged / scale
+
+    # ------------------------------------------------------------------
+    def forward_levels(
+        self,
+        input_levels: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Input signal levels -> output signal levels.
+
+        Accepts a single vector of ``in_features`` levels or a batch
+        with the features on the last axis (IDEAL/MODEL modes only —
+        the solver path is one vector at a time).
+        """
+        input_levels = np.asarray(input_levels)
+        if input_levels.shape[-1] != self.in_features:
+            raise MappingError(
+                f"expected {self.in_features} input levels, "
+                f"got {input_levels.shape}"
+            )
+        if input_levels.ndim > 1 and mode is AnalogMode.SOLVER:
+            raise MappingError("SOLVER mode takes one vector at a time")
+        size = self.config.crossbar_size
+        full_scale = 2 ** (self.config.signal_bits - 1)
+        out_shape = input_levels.shape[:-1] + (self.out_features,)
+
+        merged = np.zeros(out_shape, dtype=float)
+        for slice_index, grid in enumerate(self.units):
+            slice_sum = np.zeros(out_shape, dtype=float)
+            for i, row in enumerate(grid):
+                r0 = i * size
+                chunk = input_levels[..., r0:r0 + row[0].rows]
+                for j, unit in enumerate(row):
+                    c0 = j * size
+                    slice_sum[..., c0:c0 + unit.cols] += (
+                        unit.partial_product(
+                            chunk,
+                            mode=mode,
+                            epsilon=self.epsilon,
+                            rng=rng,
+                            input_full_scale=full_scale,
+                            segment_resistance=self.segment_resistance,
+                            sense_resistance=self.sense_resistance,
+                        )
+                    )
+            merged += slice_sum * (2 ** (slice_index * self.slice_bits))
+
+        # Rescale integer partial sums to float products.
+        weight_scale = (
+            2 ** (self.config.weight_bits - 1)
+            if self.signed
+            else 2**self.config.weight_bits - 1
+        )
+        product = merged / (weight_scale * full_scale)
+        activated = _ACTIVATIONS[self.activation](product)
+        return quantize(activated, self.config.signal_bits, signed=True)
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One float input vector -> float output vector."""
+        levels = quantize(
+            np.asarray(inputs, dtype=float), self.config.signal_bits,
+            signed=True,
+        )
+        out_levels = self.forward_levels(levels, mode=mode, rng=rng)
+        return dequantize(out_levels, self.config.signal_bits, signed=True)

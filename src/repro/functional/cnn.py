@@ -1,0 +1,110 @@
+"""Chained functional CNN: conv banks into a fully-connected head.
+
+Completes the functional simulator for small end-to-end CNNs: a
+:class:`FunctionalCnn` chains :class:`~repro.functional.conv.
+FunctionalConvBank` stages, flattens the final feature map, and feeds
+the fully-connected :class:`~repro.functional.bank.FunctionalBank`
+head — the same bank cascade the performance model builds for a CNN
+network description.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.functional.bank import FunctionalBank
+from repro.functional.conv import FunctionalConvBank
+from repro.functional.unit import AnalogMode
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+from repro.nn.networks import Network
+
+
+class FunctionalCnn:
+    """Functional simulation of a conv-then-dense network.
+
+    Parameters
+    ----------
+    config:
+        Design configuration shared by every bank.
+    network:
+        A network whose layers are conv stages optionally followed by
+        fully-connected stages (the standard CNN shape).
+    weights:
+        Per layer: a ``(C_out, C_in, k, k)`` kernel tensor for conv
+        layers, a ``(out, in)`` matrix for fully-connected layers.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        network: Network,
+        weights: Sequence[np.ndarray],
+    ) -> None:
+        if len(weights) != network.depth:
+            raise ConfigError("one weight tensor per layer is required")
+        seen_fc = False
+        self.stages: List[Union[FunctionalConvBank, FunctionalBank]] = []
+        for layer, tensor in zip(network.layers, weights):
+            if isinstance(layer, ConvLayer):
+                if seen_fc:
+                    raise ConfigError("conv after dense is unsupported")
+                self.stages.append(
+                    FunctionalConvBank(layer, np.asarray(tensor), config)
+                )
+            elif isinstance(layer, FullyConnectedLayer):
+                seen_fc = True
+                self.stages.append(
+                    FunctionalBank(
+                        np.asarray(tensor), config,
+                        activation=layer.activation,
+                    )
+                )
+            else:  # pragma: no cover - no other layer kinds exist
+                raise ConfigError(f"unsupported layer kind {layer.kind}")
+        self.config = config
+        self.network = network
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        feature_map: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One input feature map -> final output vector."""
+        signal: np.ndarray = np.asarray(feature_map, dtype=float)
+        for stage in self.stages:
+            if isinstance(stage, FunctionalConvBank):
+                signal = stage.forward(signal, mode=mode, rng=rng)
+            else:
+                signal = stage.forward(
+                    signal.reshape(-1), mode=mode, rng=rng
+                )
+        return signal
+
+    def reference_forward(self, feature_map: np.ndarray) -> np.ndarray:
+        """The fixed-point reference of the whole chain (IDEAL target)."""
+        from repro.functional.bank import _ACTIVATIONS
+        from repro.nn.quantize import dequantize, quantize
+
+        bits = self.config.signal_bits
+        signal: np.ndarray = np.asarray(feature_map, dtype=float)
+        for stage in self.stages:
+            if isinstance(stage, FunctionalConvBank):
+                signal = stage.reference_forward(signal)
+            else:
+                flat = signal.reshape(-1)
+                driven = dequantize(
+                    quantize(flat, bits, signed=True), bits, signed=True
+                )
+                product = stage.effective_weights() @ driven
+                activated = _ACTIVATIONS[stage.activation](product)
+                signal = dequantize(
+                    quantize(activated, bits, signed=True),
+                    bits, signed=True,
+                )
+        return signal

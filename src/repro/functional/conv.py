@@ -1,0 +1,150 @@
+"""Functional convolution bank: CNN layers through mapped crossbars.
+
+A conv layer's kernels flatten to a ``(C_out, C_in * k * k)`` matrix
+(Sec. II.B.3); the crossbars then compute one output spatial position
+per pass over the im2col window — exactly the dataflow the performance
+model's ``compute_passes`` counts.  :class:`FunctionalConvBank` reuses
+:class:`~repro.functional.bank.FunctionalBank` for the matrix part and
+adds the window extraction, spatial loop, and in-bank max pooling.
+
+Intended for small feature maps (the spatial loop is Python-level); it
+exists to validate the CNN datapath, not to be a fast CNN engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.errors import MappingError
+from repro.functional.bank import FunctionalBank
+from repro.functional.unit import AnalogMode
+from repro.nn.layers import ConvLayer
+
+
+class FunctionalConvBank:
+    """One convolutional layer, functionally simulated.
+
+    Parameters
+    ----------
+    layer:
+        The conv layer description (geometry, pooling, activation).
+    kernels:
+        Float kernel tensor, shape ``(C_out, C_in, k, k)``.
+    config:
+        Design configuration.
+    """
+
+    def __init__(
+        self,
+        layer: ConvLayer,
+        kernels: np.ndarray,
+        config: SimConfig,
+    ) -> None:
+        kernels = np.asarray(kernels, dtype=float)
+        expected = (layer.out_channels, layer.in_channels,
+                    layer.kernel, layer.kernel)
+        if kernels.shape != expected:
+            raise MappingError(
+                f"kernels must have shape {expected}, got {kernels.shape}"
+            )
+        self.layer = layer
+        self.config = config
+        matrix = kernels.reshape(layer.out_channels, -1)
+        self.matrix_bank = FunctionalBank(
+            matrix, config, activation=layer.activation
+        )
+
+    # ------------------------------------------------------------------
+    def _window(self, padded: np.ndarray, y: int, x: int) -> np.ndarray:
+        k = self.layer.kernel
+        return padded[:, y:y + k, x:x + k].reshape(-1)
+
+    def forward(
+        self,
+        feature_map: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One input feature map -> pooled output feature map.
+
+        ``feature_map`` has shape ``(C_in, H, W)`` with ``H == W ==
+        layer.input_size``; the result has shape ``(C_out, out, out)``
+        with ``out == layer.output_size``.
+        """
+        feature_map = np.asarray(feature_map, dtype=float)
+        size = self.layer.input_size
+        if feature_map.shape != (self.layer.in_channels, size, size):
+            raise MappingError(
+                f"feature map must be (C_in, {size}, {size}), "
+                f"got {feature_map.shape}"
+            )
+        pad = self.layer.padding
+        padded = np.pad(
+            feature_map, ((0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+        conv_size = self.layer.conv_output_size
+        stride = self.layer.stride
+
+        conv_out = np.empty(
+            (self.layer.out_channels, conv_size, conv_size)
+        )
+        for y in range(conv_size):
+            for x in range(conv_size):
+                window = self._window(padded, y * stride, x * stride)
+                conv_out[:, y, x] = self.matrix_bank.forward(
+                    window, mode=mode, rng=rng
+                )
+        return self._pool(conv_out)
+
+    def _pool(self, conv_out: np.ndarray) -> np.ndarray:
+        window = self.layer.pooling
+        if window == 1:
+            return conv_out
+        out = self.layer.output_size
+        pooled = np.empty((self.layer.out_channels, out, out))
+        for y in range(out):
+            for x in range(out):
+                region = conv_out[
+                    :,
+                    y * window:(y + 1) * window,
+                    x * window:(x + 1) * window,
+                ]
+                pooled[:, y, x] = region.max(axis=(1, 2))
+        return pooled
+
+    # ------------------------------------------------------------------
+    def reference_forward(self, feature_map: np.ndarray) -> np.ndarray:
+        """Plain-numpy fixed-point convolution with the *effective*
+        (mapped) kernels — the IDEAL mode's exact target."""
+        from repro.functional.bank import _ACTIVATIONS
+        from repro.nn.quantize import dequantize, quantize
+
+        feature_map = np.asarray(feature_map, dtype=float)
+        pad = self.layer.padding
+        padded = np.pad(
+            feature_map, ((0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+        bits = self.config.signal_bits
+        effective = self.matrix_bank.effective_weights()
+        activation = _ACTIVATIONS[self.layer.activation]
+        conv_size = self.layer.conv_output_size
+        stride = self.layer.stride
+
+        conv_out = np.empty(
+            (self.layer.out_channels, conv_size, conv_size)
+        )
+        for y in range(conv_size):
+            for x in range(conv_size):
+                window = self._window(padded, y * stride, x * stride)
+                driven = dequantize(
+                    quantize(window, bits, signed=True), bits, signed=True
+                )
+                product = effective @ driven
+                conv_out[:, y, x] = dequantize(
+                    quantize(activation(product), bits, signed=True),
+                    bits, signed=True,
+                )
+        return self._pool(conv_out)

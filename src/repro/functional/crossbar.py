@@ -1,0 +1,128 @@
+"""Functional view of one crossbar plane: levels, conductances, MVM.
+
+A :class:`FunctionalCrossbar` holds one tile of one bit slice of one
+polarity: an integer level matrix (``in_features x out_features`` after
+transposition onto the array: inputs drive rows, outputs leave columns)
+plus the device model that turns levels into conductances.
+
+Two evaluation paths:
+
+* :meth:`ideal_mvm` — the integer matrix-vector product the analog
+  array *represents* (exact, used as the algebraic reference);
+* :meth:`solver_relative_errors` — per-column relative deviation of the
+  real resistor network (wire resistance + sinh nonlinearity) from the
+  ideal divider, measured with :mod:`repro.spice`.
+"""
+
+from __future__ import annotations
+
+
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.spice.solver import CrossbarNetwork, ideal_output_voltages
+from repro.tech.memristor import MemristorModel
+
+
+class FunctionalCrossbar:
+    """One programmed crossbar plane.
+
+    Parameters
+    ----------
+    levels:
+        Integer conductance levels, shape ``(rows, cols)`` = (inputs,
+        outputs); values in ``0 .. device.levels - 1``.
+    device:
+        The memristor model (level-to-conductance map, nonlinearity).
+    """
+
+    def __init__(self, levels: np.ndarray, device: MemristorModel) -> None:
+        levels = np.asarray(levels)
+        if levels.ndim != 2:
+            raise MappingError("levels must be a 2-D (rows x cols) array")
+        if levels.size == 0:
+            raise MappingError("crossbar cannot be empty")
+        if np.any(levels < 0) or np.any(levels >= device.levels):
+            raise MappingError(
+                f"levels must lie in 0..{device.levels - 1}"
+            )
+        self.levels = levels.astype(np.int64)
+        self.device = device
+
+    @property
+    def rows(self) -> int:
+        """Input (wordline) count."""
+        return self.levels.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Output (bitline) count."""
+        return self.levels.shape[1]
+
+    # ------------------------------------------------------------------
+    def ideal_mvm(self, input_levels: np.ndarray) -> np.ndarray:
+        """Exact integer matrix-vector product ``levels.T @ inputs``.
+
+        ``input_levels`` may be signed (negative inputs are realised by
+        a second drive phase in hardware; algebraically they pass
+        through).
+        """
+        input_levels = np.asarray(input_levels)
+        if input_levels.shape[-1] != self.rows:
+            raise MappingError(
+                f"input length {input_levels.shape[-1]} != rows {self.rows}"
+            )
+        return input_levels @ self.levels
+
+    def resistances(self) -> np.ndarray:
+        """Per-cell programmed resistances (ohms)."""
+        return np.vectorize(self.device.resistance_of_level)(self.levels)
+
+    # ------------------------------------------------------------------
+    def solver_relative_errors(
+        self,
+        input_levels: np.ndarray,
+        input_full_scale: int,
+        segment_resistance: float,
+        sense_resistance: float,
+    ) -> np.ndarray:
+        """Per-column relative deviation of the real network.
+
+        Drives the array with voltages proportional to the input
+        levels (split into positive and negative phases, as hardware
+        does for signed inputs), solves the resistor network, and
+        returns ``(ideal - actual) / ideal`` per column (0 where the
+        ideal output is ~0).
+        """
+        input_levels = np.asarray(input_levels, dtype=float)
+        if input_levels.shape != (self.rows,):
+            raise MappingError("solver mode takes one input vector")
+        resist = self.resistances()
+        scale = self.device.read_voltage / max(input_full_scale, 1)
+
+        total_ideal = np.zeros(self.cols)
+        total_actual = np.zeros(self.cols)
+        phases = (
+            (np.maximum(input_levels, 0), +1.0),
+            (np.maximum(-input_levels, 0), -1.0),
+        )
+        for phase, sign in phases:
+            if not np.any(phase):
+                continue
+            voltages = phase * scale
+            network = CrossbarNetwork(
+                resist, segment_resistance, sense_resistance,
+                device=self.device,
+            )
+            solution = network.solve(voltages)
+            ideal = ideal_output_voltages(resist, voltages, sense_resistance)
+            total_ideal += sign * ideal
+            total_actual += sign * solution.output_voltages
+
+        errors = np.zeros(self.cols)
+        mask = np.abs(total_ideal) > 1e-15
+        errors[mask] = (
+            (total_ideal[mask] - total_actual[mask]) / total_ideal[mask]
+        )
+        return errors

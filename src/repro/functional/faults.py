@@ -1,0 +1,129 @@
+"""Fault injection: stuck-at cells in the functional simulation.
+
+Fabricated crossbars ship with defective cells — the dominant RRAM
+yield failures are **stuck-at-ON** (cell fused at the lowest
+resistance) and **stuck-at-OFF** (cell open at the highest).  A
+mapped network meets these faults as corrupted weights.  This module
+injects them into a :class:`~repro.functional.accelerator.
+FunctionalAccelerator` (or any of its banks) and measures the
+application-level damage:
+
+* :func:`inject_stuck_faults` — flip a seeded random fraction of cells
+  in every plane to their stuck level (in place, returns the count);
+* :func:`fault_study` — accuracy-vs-fault-rate curve for a forward
+  function and test set, the yield-analysis view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.functional.accelerator import FunctionalAccelerator
+from repro.functional.bank import FunctionalBank
+
+FAULT_MODES = ("stuck_on", "stuck_off", "mixed")
+
+
+def _iter_planes(bank: FunctionalBank):
+    for grid in bank.units:
+        for row in grid:
+            for unit in row:
+                yield unit.positive
+                if unit.negative is not None:
+                    yield unit.negative
+
+
+def inject_stuck_faults(
+    target,
+    fault_rate: float,
+    rng: np.random.Generator,
+    mode: str = "mixed",
+) -> int:
+    """Corrupt a random fraction of cells across all planes, in place.
+
+    Parameters
+    ----------
+    target:
+        A :class:`FunctionalAccelerator` or :class:`FunctionalBank`.
+    fault_rate:
+        Probability that any individual cell is defective (0..1).
+    mode:
+        ``stuck_on`` pins faulty cells to the top conductance level,
+        ``stuck_off`` to level 0, ``mixed`` splits 50/50.
+
+    Returns the number of cells flipped.
+    """
+    if not 0 <= fault_rate <= 1:
+        raise ConfigError("fault_rate must lie in [0, 1]")
+    if mode not in FAULT_MODES:
+        raise ConfigError(f"mode must be one of {FAULT_MODES}")
+    banks: Sequence[FunctionalBank]
+    if isinstance(target, FunctionalAccelerator):
+        banks = target.banks
+    elif isinstance(target, FunctionalBank):
+        banks = [target]
+    else:
+        raise ConfigError(
+            "target must be a FunctionalAccelerator or FunctionalBank"
+        )
+
+    flipped = 0
+    for bank in banks:
+        for plane in _iter_planes(bank):
+            mask = rng.random(plane.levels.shape) < fault_rate
+            count = int(mask.sum())
+            if not count:
+                continue
+            top = plane.device.levels - 1
+            if mode == "stuck_on":
+                values = np.full(count, top)
+            elif mode == "stuck_off":
+                values = np.zeros(count, dtype=np.int64)
+            else:
+                values = rng.choice([0, top], size=count)
+            plane.levels[mask] = values
+            flipped += count
+    return flipped
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """Accuracy at one fault rate."""
+
+    fault_rate: float
+    cells_flipped: int
+    accuracy: float
+
+
+def fault_study(
+    build: Callable[[], FunctionalAccelerator],
+    score: Callable[[FunctionalAccelerator], float],
+    fault_rates: Sequence[float],
+    rng: np.random.Generator,
+    mode: str = "mixed",
+) -> List[FaultPoint]:
+    """Accuracy-vs-fault-rate curve.
+
+    ``build`` constructs a fresh (fault-free) functional accelerator;
+    ``score`` evaluates it (e.g. classification accuracy on a test
+    set).  Each rate gets its own freshly-built instance so faults do
+    not accumulate across points.
+    """
+    if not fault_rates:
+        raise ConfigError("need at least one fault rate")
+    points = []
+    for rate in fault_rates:
+        accelerator = build()
+        flipped = inject_stuck_faults(accelerator, rate, rng, mode=mode)
+        points.append(
+            FaultPoint(
+                fault_rate=float(rate),
+                cells_flipped=flipped,
+                accuracy=float(score(accelerator)),
+            )
+        )
+    return points

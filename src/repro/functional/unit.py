@@ -1,0 +1,132 @@
+"""Functional computation unit: polarity planes + analog deviation.
+
+A :class:`FunctionalUnit` holds the positive and negative crossbar
+planes of one tile of one bit slice and evaluates the signed partial
+matrix-vector product, perturbed according to the selected
+:class:`AnalogMode`:
+
+* ``IDEAL`` — exact integers, no perturbation;
+* ``MODEL`` — each plane's column outputs scaled by ``1 + delta`` with
+  ``delta`` drawn uniformly from the accuracy model's error band
+  ``[-eps, +eps]`` (the Eq.-15 band);
+* ``SOLVER`` — the deviation measured per column from the real
+  resistor network.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, MappingError
+from repro.functional.crossbar import FunctionalCrossbar
+from repro.tech.memristor import MemristorModel
+
+
+class AnalogMode(enum.Enum):
+    """Fidelity of the analog computation path."""
+
+    IDEAL = "ideal"
+    MODEL = "model"
+    SOLVER = "solver"
+
+
+class FunctionalUnit:
+    """One tile x one bit slice, with its polarity plane(s).
+
+    Parameters
+    ----------
+    positive, negative:
+        Level matrices of the two polarity planes (``negative`` is
+        ``None`` for unsigned mappings), shape (rows, cols).
+    device:
+        Memristor model shared by the planes.
+    """
+
+    def __init__(
+        self,
+        positive: np.ndarray,
+        negative: Optional[np.ndarray],
+        device: MemristorModel,
+    ) -> None:
+        self.positive = FunctionalCrossbar(positive, device)
+        self.negative = (
+            FunctionalCrossbar(negative, device)
+            if negative is not None
+            else None
+        )
+        if self.negative is not None and (
+            self.negative.levels.shape != self.positive.levels.shape
+        ):
+            raise MappingError("polarity planes must share a shape")
+        self.device = device
+
+    @property
+    def rows(self) -> int:
+        """Tile input count."""
+        return self.positive.rows
+
+    @property
+    def cols(self) -> int:
+        """Tile output count."""
+        return self.positive.cols
+
+    # ------------------------------------------------------------------
+    def _plane_outputs(
+        self,
+        plane: FunctionalCrossbar,
+        input_levels: np.ndarray,
+        mode: AnalogMode,
+        epsilon: float,
+        rng: Optional[np.random.Generator],
+        input_full_scale: int,
+        segment_resistance: float,
+        sense_resistance: float,
+    ) -> np.ndarray:
+        exact = plane.ideal_mvm(input_levels).astype(float)
+        if mode is AnalogMode.IDEAL:
+            return exact
+        if mode is AnalogMode.MODEL:
+            if rng is None:
+                raise ConfigError("MODEL mode needs an rng")
+            deltas = rng.uniform(-epsilon, epsilon, size=exact.shape)
+            return exact * (1.0 + deltas)
+        if mode is AnalogMode.SOLVER:
+            errors = plane.solver_relative_errors(
+                np.asarray(input_levels, dtype=float),
+                input_full_scale,
+                segment_resistance,
+                sense_resistance,
+            )
+            return exact * (1.0 - errors)
+        raise ConfigError(f"unknown analog mode {mode!r}")
+
+    def partial_product(
+        self,
+        input_levels: np.ndarray,
+        mode: AnalogMode = AnalogMode.IDEAL,
+        epsilon: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        input_full_scale: int = 127,
+        segment_resistance: float = 0.0,
+        sense_resistance: float = 1000.0,
+    ) -> np.ndarray:
+        """Signed partial sums of this tile for one input vector.
+
+        Returns floats (integers in IDEAL mode): ``pos - neg`` plane
+        outputs, possibly perturbed by the analog path.
+        """
+        common = dict(
+            mode=mode, epsilon=epsilon, rng=rng,
+            input_full_scale=input_full_scale,
+            segment_resistance=segment_resistance,
+            sense_resistance=sense_resistance,
+        )
+        result = self._plane_outputs(self.positive, input_levels, **common)
+        if self.negative is not None:
+            result = result - self._plane_outputs(
+                self.negative, input_levels, **common
+            )
+        return result

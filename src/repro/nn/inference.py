@@ -1,0 +1,169 @@
+"""Reference MLP inference with crossbar-error injection.
+
+Used to validate the behavior-level accuracy model end to end (the
+paper's JPEG-autoencoder experiment, Sec. VII.A): run the fixed-point
+network — the paper's *ideal* — then rerun with each layer's
+matrix-vector result perturbed by the analog deviation the crossbar
+model predicts, and compare the observed relative error against the
+model's closed-form estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.networks import Network
+from repro.nn.quantize import dequantize, quantize
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+_ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": _sigmoid,
+    "relu": _relu,
+    "none": _identity,
+    "if": _identity,  # rate-coded SNN behaves linearly at this level
+}
+
+
+class MlpInference:
+    """Fixed-point forward passes for a fully-connected network.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.nn.networks.Network` of fully-connected layers.
+    weights:
+        One ``(out, in)`` float weight matrix per layer.
+    signal_bits:
+        Fixed-point precision of inter-layer signals.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Sequence[np.ndarray],
+        signal_bits: int = 8,
+    ) -> None:
+        if len(weights) != len(network.layers):
+            raise ConfigError("one weight matrix per layer is required")
+        for layer, matrix in zip(network.layers, weights):
+            if not isinstance(layer, FullyConnectedLayer):
+                raise ConfigError("MlpInference supports FC layers only")
+            if np.shape(matrix) != layer.weight_shape:
+                raise ConfigError(
+                    f"weight shape {np.shape(matrix)} does not match "
+                    f"layer {layer.weight_shape}"
+                )
+        self.network = network
+        self.weights = [np.asarray(w, dtype=float) for w in weights]
+        self.signal_bits = signal_bits
+
+    @classmethod
+    def with_random_weights(
+        cls,
+        network: Network,
+        rng: np.random.Generator,
+        signal_bits: int = 8,
+        scale: float = None,
+    ) -> "MlpInference":
+        """Build with seeded random weights (scaled ~1/sqrt(fan_in))."""
+        weights = []
+        for layer in network.layers:
+            out_features, in_features = layer.weight_shape
+            amplitude = scale if scale is not None else 1.0 / np.sqrt(in_features)
+            weights.append(
+                rng.uniform(-amplitude, amplitude, size=(out_features, in_features))
+            )
+        return cls(network, weights, signal_bits=signal_bits)
+
+    # ------------------------------------------------------------------
+    def _quantize_signal(self, values: np.ndarray) -> np.ndarray:
+        levels = quantize(values, self.signal_bits, signed=True)
+        return dequantize(levels, self.signal_bits, signed=True)
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        layer_error_rates: Optional[Sequence[float]] = None,
+        rng: Optional[np.random.Generator] = None,
+        worst_case: bool = False,
+    ) -> List[np.ndarray]:
+        """Run one forward pass, returning every layer's output.
+
+        Parameters
+        ----------
+        inputs:
+            Input vector (or batch, last axis = features).
+        layer_error_rates:
+            Optional per-layer analog deviation rate ``eps``; each
+            layer's matrix-vector result is multiplied by
+            ``1 + delta`` with ``delta`` drawn uniformly from
+            ``[-eps, +eps]`` (or pinned to ``-eps`` when
+            ``worst_case``), modelling the crossbar error band of
+            Eq. 15.
+        rng:
+            Required when injecting random (non-worst-case) errors.
+        """
+        if layer_error_rates is not None:
+            if len(layer_error_rates) != len(self.weights):
+                raise ConfigError("one error rate per layer is required")
+            if not worst_case and rng is None:
+                raise ConfigError("random error injection needs an rng")
+
+        signal = self._quantize_signal(np.asarray(inputs, dtype=float))
+        outputs: List[np.ndarray] = []
+        for index, (layer, matrix) in enumerate(
+            zip(self.network.layers, self.weights)
+        ):
+            product = signal @ matrix.T
+            if layer_error_rates is not None:
+                eps = abs(layer_error_rates[index])
+                if worst_case:
+                    product = product * (1.0 - eps)
+                else:
+                    noise = rng.uniform(-eps, eps, size=product.shape)
+                    product = product * (1.0 + noise)
+            activation = _ACTIVATIONS.get(layer.activation)
+            if activation is None:
+                raise ConfigError(
+                    f"unknown activation {layer.activation!r}"
+                )
+            signal = self._quantize_signal(activation(product))
+            outputs.append(signal)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def relative_output_error(
+        self,
+        inputs: np.ndarray,
+        layer_error_rates: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+        worst_case: bool = False,
+    ) -> float:
+        """Mean relative deviation of the final output vs the ideal pass.
+
+        The paper's "relative accuracy" is ``1 -`` this value.
+        """
+        ideal = self.forward(inputs)[-1]
+        noisy = self.forward(
+            inputs, layer_error_rates, rng=rng, worst_case=worst_case
+        )[-1]
+        scale = np.max(np.abs(ideal))
+        if scale == 0:
+            return 0.0
+        return float(np.mean(np.abs(ideal - noisy)) / scale)

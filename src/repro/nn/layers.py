@@ -1,0 +1,184 @@
+"""Layer descriptions: the shapes the mapper and models consume.
+
+Only layers that *contain weights* (fully-connected matrices or conv
+kernels) become computation banks (Sec. III.A); activation and pooling are
+peripheral functions folded into the owning bank, so they are attributes
+of the layer spec rather than standalone layers.
+
+Every spec answers the questions the hierarchy needs:
+
+* ``weight_shape`` — the ``(out, in)`` matrix mapped onto crossbars
+  (a conv layer's kernels flatten to ``(C_out, C_in * kh * kw)``);
+* ``compute_passes`` — crossbar operations per input sample (1 for a
+  fully-connected layer, one per output spatial position for a conv);
+* ``input_values`` / ``output_values`` — sample sizes at the layer
+  boundary (interface and buffer sizing).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class LayerSpec(abc.ABC):
+    """Base class for weight-bearing neuromorphic layers."""
+
+    #: Layer-kind tag ("fc" / "conv"), set by subclasses.
+    kind: str = "layer"
+
+    @property
+    @abc.abstractmethod
+    def weight_shape(self) -> Tuple[int, int]:
+        """The ``(out_features, in_features)`` weight matrix shape."""
+
+    @property
+    @abc.abstractmethod
+    def compute_passes(self) -> int:
+        """Crossbar matrix-vector operations per input sample."""
+
+    @property
+    @abc.abstractmethod
+    def input_values(self) -> int:
+        """Values per sample entering this layer."""
+
+    @property
+    @abc.abstractmethod
+    def output_values(self) -> int:
+        """Values per sample leaving this layer (after pooling)."""
+
+    @property
+    def weight_count(self) -> int:
+        """Total weights in the layer."""
+        out_features, in_features = self.weight_shape
+        return out_features * in_features
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayer(LayerSpec):
+    """A fully-connected (dense) layer: Eq. 3/4 of the paper.
+
+    Attributes
+    ----------
+    in_features, out_features:
+        Input/output neuron counts.
+    activation:
+        Neuron-function tag (``"sigmoid"``, ``"relu"``, ``"if"``,
+        ``"none"``); informational — the bank's reference neuron is
+        chosen by the configured network type unless overridden.
+    """
+
+    in_features: int
+    out_features: int
+    activation: str = "sigmoid"
+
+    kind = "fc"
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ConfigError("fully-connected layer needs positive sizes")
+
+    @property
+    def weight_shape(self) -> Tuple[int, int]:
+        return (self.out_features, self.in_features)
+
+    @property
+    def compute_passes(self) -> int:
+        return 1
+
+    @property
+    def input_values(self) -> int:
+        return self.in_features
+
+    @property
+    def output_values(self) -> int:
+        return self.out_features
+
+
+@dataclass(frozen=True)
+class ConvLayer(LayerSpec):
+    """A convolutional layer (plus its in-bank pooling, Sec. III.B.3).
+
+    Attributes
+    ----------
+    in_channels, out_channels:
+        Feature-map channel counts.
+    kernel:
+        Square kernel spatial size ``k`` (the configuration's
+        ``Spacial_Size``).
+    input_size:
+        Input feature-map height/width (square maps).
+    stride, padding:
+        Standard convolution geometry.
+    pooling:
+        Max-pooling window applied inside the bank (1 = none).
+    activation:
+        Neuron-function tag, reference is ReLU for CNNs.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_size: int
+    stride: int = 1
+    padding: int = 0
+    pooling: int = 1
+    activation: str = "relu"
+
+    kind = "conv"
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel,
+               self.input_size) < 1:
+            raise ConfigError("conv layer needs positive dimensions")
+        if self.stride < 1 or self.padding < 0 or self.pooling < 1:
+            raise ConfigError("invalid stride/padding/pooling")
+        if self.conv_output_size < 1:
+            raise ConfigError(
+                f"kernel {self.kernel} does not fit input {self.input_size}"
+            )
+        if self.output_size < 1:
+            raise ConfigError(
+                f"pooling {self.pooling} larger than conv output "
+                f"{self.conv_output_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def conv_output_size(self) -> int:
+        """Feature-map side length after convolution, before pooling."""
+        return (
+            self.input_size + 2 * self.padding - self.kernel
+        ) // self.stride + 1
+
+    @property
+    def output_size(self) -> int:
+        """Feature-map side length after in-bank pooling.
+
+        Non-dividing windows truncate (floor), approximating the
+        overlapping-pool geometries of CaffeNet with non-overlapping
+        windows.
+        """
+        return self.conv_output_size // self.pooling
+
+    @property
+    def weight_shape(self) -> Tuple[int, int]:
+        """Kernels flattened to a matrix (Sec. II.B.3): one row per
+        output channel, one column per (channel, ky, kx) input tap."""
+        return (self.out_channels, self.in_channels * self.kernel**2)
+
+    @property
+    def compute_passes(self) -> int:
+        """One matrix-vector operation per output spatial position."""
+        return self.conv_output_size**2
+
+    @property
+    def input_values(self) -> int:
+        return self.in_channels * self.input_size**2
+
+    @property
+    def output_values(self) -> int:
+        return self.out_channels * self.output_size**2

@@ -1,0 +1,152 @@
+"""Save and load trained networks (spec + weights).
+
+A deployed design outlives one Python session: the trainer's weights,
+the network description, and the precision settings need to round-trip
+through files.  The format is a single ``.npz`` archive:
+
+* ``__spec__`` — a JSON string with the network name, type, layer
+  descriptions, and the signal/weight precisions it was saved with;
+* ``weight_<i>`` — one float array per layer.
+
+Only the library's own layer kinds are (de)serialised; the archive is
+self-describing enough for the functional simulator and the trainer to
+reconstruct their inputs exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import ConvLayer, FullyConnectedLayer, LayerSpec
+from repro.nn.networks import Network
+
+_FORMAT_VERSION = 1
+
+
+def _layer_to_dict(layer: LayerSpec) -> dict:
+    if isinstance(layer, FullyConnectedLayer):
+        return {
+            "kind": "fc",
+            "in_features": layer.in_features,
+            "out_features": layer.out_features,
+            "activation": layer.activation,
+        }
+    if isinstance(layer, ConvLayer):
+        return {
+            "kind": "conv",
+            "in_channels": layer.in_channels,
+            "out_channels": layer.out_channels,
+            "kernel": layer.kernel,
+            "input_size": layer.input_size,
+            "stride": layer.stride,
+            "padding": layer.padding,
+            "pooling": layer.pooling,
+            "activation": layer.activation,
+        }
+    raise ConfigError(f"cannot serialise layer kind {layer.kind!r}")
+
+
+def _layer_from_dict(data: dict) -> LayerSpec:
+    kind = data.get("kind")
+    if kind == "fc":
+        return FullyConnectedLayer(
+            in_features=int(data["in_features"]),
+            out_features=int(data["out_features"]),
+            activation=str(data["activation"]),
+        )
+    if kind == "conv":
+        return ConvLayer(
+            in_channels=int(data["in_channels"]),
+            out_channels=int(data["out_channels"]),
+            kernel=int(data["kernel"]),
+            input_size=int(data["input_size"]),
+            stride=int(data["stride"]),
+            padding=int(data["padding"]),
+            pooling=int(data["pooling"]),
+            activation=str(data["activation"]),
+        )
+    raise ConfigError(f"unknown serialised layer kind {kind!r}")
+
+
+def save_network(
+    path: Union[str, Path],
+    network: Network,
+    weights: Sequence[np.ndarray],
+    signal_bits: Optional[int] = None,
+    weight_bits: Optional[int] = None,
+) -> Path:
+    """Write the network spec and weights to a ``.npz`` archive."""
+    if len(weights) != network.depth:
+        raise ConfigError("one weight array per layer is required")
+    spec = {
+        "format": _FORMAT_VERSION,
+        "name": network.name,
+        "network_type": network.network_type,
+        "layers": [_layer_to_dict(layer) for layer in network.layers],
+        "signal_bits": signal_bits,
+        "weight_bits": weight_bits,
+    }
+    arrays = {
+        f"weight_{index}": np.asarray(matrix, dtype=float)
+        for index, matrix in enumerate(weights)
+    }
+    path = Path(path)
+    np.savez(path, __spec__=json.dumps(spec), **arrays)
+    # np.savez appends .npz when missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_network(
+    path: Union[str, Path],
+) -> Tuple[Network, List[np.ndarray], dict]:
+    """Load ``(network, weights, metadata)`` from a saved archive.
+
+    ``metadata`` carries the stored precisions (possibly ``None``).
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "__spec__" not in archive:
+            raise ConfigError(f"{path} is not a saved network archive")
+        spec = json.loads(str(archive["__spec__"]))
+        if spec.get("format") != _FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported archive format {spec.get('format')!r}"
+            )
+        layers = tuple(
+            _layer_from_dict(entry) for entry in spec["layers"]
+        )
+        network = Network(
+            name=str(spec["name"]),
+            layers=layers,
+            network_type=str(spec["network_type"]),
+        )
+        weights = []
+        for index, layer in enumerate(layers):
+            key = f"weight_{index}"
+            if key not in archive:
+                raise ConfigError(f"archive is missing {key}")
+            matrix = np.asarray(archive[key], dtype=float)
+            expected = (
+                layer.weight_shape
+                if isinstance(layer, FullyConnectedLayer)
+                else (
+                    layer.out_channels, layer.in_channels,
+                    layer.kernel, layer.kernel,
+                )
+            )
+            if matrix.shape != expected:
+                raise ConfigError(
+                    f"{key} has shape {matrix.shape}, expected {expected}"
+                )
+            weights.append(matrix)
+    metadata = {
+        "signal_bits": spec.get("signal_bits"),
+        "weight_bits": spec.get("weight_bits"),
+    }
+    return network, weights, metadata

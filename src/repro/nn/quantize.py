@@ -1,0 +1,120 @@
+"""Fixed-point quantization and the weight-to-conductance mapping.
+
+The paper's accuracy definition (Sec. VI) takes the *fixed-point*
+algorithm as the ideal: quantization error is excluded; only the analog
+computation error counts.  These helpers implement that fixed-point
+substrate and the mapping of signed, multi-bit weights onto memristor
+conductance levels (polarity split + bit slicing, Sec. III.B.2/III.C.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tech.memristor import MemristorModel
+
+
+def quantize(values: np.ndarray, bits: int, signed: bool = True,
+             full_scale: float = 1.0) -> np.ndarray:
+    """Quantize ``values`` to ``bits``-bit fixed point integers.
+
+    Signed quantization maps ``[-full_scale, +full_scale)`` onto
+    ``[-2**(bits-1), 2**(bits-1) - 1]``; unsigned maps
+    ``[0, full_scale)`` onto ``[0, 2**bits - 1]``.  Values outside the
+    range saturate.
+    """
+    if bits < 1:
+        raise ConfigError("bits must be >= 1")
+    if full_scale <= 0:
+        raise ConfigError("full_scale must be positive")
+    values = np.asarray(values, dtype=float)
+    if signed:
+        lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+        scale = 2 ** (bits - 1) / full_scale
+    else:
+        lo, hi = 0, 2**bits - 1
+        scale = (2**bits - 1) / full_scale
+    levels = np.round(values * scale)
+    return np.clip(levels, lo, hi).astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, bits: int, signed: bool = True,
+               full_scale: float = 1.0) -> np.ndarray:
+    """Invert :func:`quantize` back to floats."""
+    if bits < 1:
+        raise ConfigError("bits must be >= 1")
+    levels = np.asarray(levels, dtype=float)
+    if signed:
+        scale = 2 ** (bits - 1) / full_scale
+    else:
+        scale = (2**bits - 1) / full_scale
+    return levels / scale
+
+
+def split_polarity(levels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split signed integer weights into (positive, negative) magnitudes.
+
+    The differential crossbar pair stores ``w+ = max(w, 0)`` and
+    ``w- = max(-w, 0)``; the unit's subtractor restores the signed
+    result (Sec. III.C.1, method 1).
+    """
+    levels = np.asarray(levels)
+    return np.maximum(levels, 0), np.maximum(-levels, 0)
+
+
+def bit_slice(levels: np.ndarray, slice_bits: int, slices: int) -> List[np.ndarray]:
+    """Split non-negative integer weights into ``slices`` groups of
+    ``slice_bits`` bits, least-significant slice first (Sec. III.B.2).
+
+    The shift-add merger reassembles ``sum_i slice_i << (i*slice_bits)``.
+    """
+    if slice_bits < 1 or slices < 1:
+        raise ConfigError("slice_bits and slices must be >= 1")
+    levels = np.asarray(levels, dtype=np.int64)
+    if np.any(levels < 0):
+        raise ConfigError("bit slicing expects non-negative magnitudes")
+    mask = (1 << slice_bits) - 1
+    out = []
+    for i in range(slices):
+        out.append((levels >> (i * slice_bits)) & mask)
+    remaining = levels >> (slices * slice_bits)
+    if np.any(remaining):
+        raise ConfigError(
+            f"weights need more than {slices} slices of {slice_bits} bits"
+        )
+    return out
+
+
+def weight_to_cell_levels(
+    weights: np.ndarray,
+    weight_bits: int,
+    device: MemristorModel,
+    signed: bool = True,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Full mapping: float weights -> per-slice (positive, negative) levels.
+
+    Returns one ``(pos_levels, neg_levels)`` pair per bit slice (LSB
+    first), each entry a conductance level in ``0 .. device.levels - 1``
+    ready for :meth:`MemristorModel.resistance_of_level`.  For unsigned
+    mappings the negative plane is all zeros.
+    """
+    quantized = quantize(weights, weight_bits, signed=signed)
+    if signed:
+        magnitude_bits = weight_bits - 1
+        pos, neg = split_polarity(quantized)
+    else:
+        magnitude_bits = weight_bits
+        pos, neg = quantized, np.zeros_like(quantized)
+    slice_bits = min(device.precision_bits, magnitude_bits)
+    slices = -(-magnitude_bits // slice_bits)  # ceil division
+    # The sign split can produce magnitude 2**(bits-1) for the most
+    # negative value; clamp into the representable magnitude range.
+    top = (1 << magnitude_bits) - 1
+    pos = np.minimum(pos, top)
+    neg = np.minimum(neg, top)
+    pos_slices = bit_slice(pos, slice_bits, slices)
+    neg_slices = bit_slice(neg, slice_bits, slices)
+    return list(zip(pos_slices, neg_slices))

@@ -1,0 +1,107 @@
+"""Spiking-network (SNN) timing and energy model (Sec. II.B.2).
+
+MNSIM treats SNNs whose cells store fixed weights as fully-connected
+networks with integrate-and-fire neurons.  What changes against a DNN
+is the *temporal* dimension: a rate-coded SNN presents each sample as a
+spike train of ``timesteps`` binary frames, so the accelerator computes
+``timesteps`` passes per sample, with 1-bit inputs (no DAC resolution
+needed) and an accuracy that improves with the observation window.
+
+:class:`SnnTimingModel` wraps an accelerator built from an SNN-typed
+network and exposes the per-sample cost and the rate-coding accuracy
+trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.report import Performance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.accelerator import Accelerator
+
+
+@dataclass(frozen=True)
+class SnnOperatingPoint:
+    """Cost and rate-coding precision at one observation window."""
+
+    timesteps: int
+    energy_per_sample: float
+    latency_per_sample: float
+    rate_coding_error: float
+
+    @property
+    def effective_bits(self) -> float:
+        """Equivalent input precision of the spike-rate code."""
+        return math.log2(self.timesteps)
+
+
+class SnnTimingModel:
+    """Rate-coded SNN operation of a mapped accelerator.
+
+    Parameters
+    ----------
+    accelerator:
+        Built from a network whose ``network_type`` is ``SNN``.
+    """
+
+    def __init__(self, accelerator: "Accelerator") -> None:
+        if accelerator.config.network_type != "SNN":
+            raise ConfigError(
+                "SnnTimingModel requires an SNN-typed network "
+                f"(got {accelerator.config.network_type})"
+            )
+        self.accelerator = accelerator
+
+    # ------------------------------------------------------------------
+    def timestep_performance(self) -> Performance:
+        """Cost of one spike frame through every bank.
+
+        Binary spike inputs need no DAC settling resolution, but the
+        analog path (crossbar settle + reads) is unchanged, so the
+        frame cost equals one compute pass of the banks.
+        """
+        return self.accelerator.compute_sample_performance()
+
+    def sample_performance(self, timesteps: int) -> Performance:
+        """Cost of one rate-coded sample (``timesteps`` frames)."""
+        if timesteps < 1:
+            raise ConfigError("timesteps must be >= 1")
+        return self.timestep_performance().repeat(timesteps)
+
+    @staticmethod
+    def rate_coding_error(timesteps: int) -> float:
+        """Quantization error of representing a rate in ``timesteps``
+        frames: half a count out of the window."""
+        if timesteps < 1:
+            raise ConfigError("timesteps must be >= 1")
+        return 0.5 / timesteps
+
+    # ------------------------------------------------------------------
+    def operating_point(self, timesteps: int) -> SnnOperatingPoint:
+        """Cost/precision summary for one observation window."""
+        sample = self.sample_performance(timesteps)
+        return SnnOperatingPoint(
+            timesteps=timesteps,
+            energy_per_sample=sample.dynamic_energy,
+            latency_per_sample=sample.latency,
+            rate_coding_error=self.rate_coding_error(timesteps),
+        )
+
+    def window_for_error(self, max_error: float) -> int:
+        """Smallest observation window meeting a rate-coding error."""
+        if not 0 < max_error < 1:
+            raise ConfigError("max_error must lie in (0, 1)")
+        return max(1, math.ceil(0.5 / max_error))
+
+    def sweep(self, windows=(8, 16, 32, 64, 128, 256)):
+        """Operating points over a list of observation windows.
+
+        Returns the classic SNN trade-off: energy and latency rise
+        linearly with the window while the coding error falls as 1/T.
+        """
+        return [self.operating_point(t) for t in windows]

@@ -1,0 +1,197 @@
+"""Minimal numpy training substrate for application-level studies.
+
+The accuracy model predicts *signal* error rates; what a user finally
+cares about is **application accuracy** — how much classification
+accuracy a network loses when deployed on the analog substrate.  This
+module provides the smallest credible ML stack to measure that, with
+no external dependencies:
+
+* :func:`make_cluster_dataset` — a seeded Gaussian-clusters
+  classification task (well-separated, learnable by a small MLP);
+* :class:`MlpTrainer` — plain SGD with backprop for the same
+  fully-connected networks the simulator maps (sigmoid/ReLU hidden
+  layers, softmax cross-entropy head);
+* :func:`classification_accuracy` — top-1 accuracy of a forward
+  function, so the trained float network, its fixed-point reference,
+  and the functional (crossbar) simulation can all be scored on the
+  identical test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.networks import Network
+from repro.nn.layers import FullyConnectedLayer
+
+
+def make_cluster_dataset(
+    rng: np.random.Generator,
+    features: int = 16,
+    classes: int = 4,
+    samples_per_class: int = 100,
+    spread: float = 0.25,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian-cluster classification data in the signal range.
+
+    Class centres are drawn uniformly in [-0.7, 0.7]^features; samples
+    scatter around them with the given ``spread`` and are clipped into
+    (-1, 1) so they survive signal quantization unchanged in
+    distribution.  Returns ``(inputs, labels)``.
+    """
+    if classes < 2 or features < 1 or samples_per_class < 1:
+        raise ConfigError("need >= 2 classes, >= 1 feature and sample")
+    centres = rng.uniform(-0.7, 0.7, size=(classes, features))
+    inputs, labels = [], []
+    for label, centre in enumerate(centres):
+        points = centre + rng.normal(
+            0.0, spread, size=(samples_per_class, features)
+        )
+        inputs.append(points)
+        labels.append(np.full(samples_per_class, label))
+    x = np.clip(np.concatenate(inputs), -0.999, 0.999)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class TrainResult:
+    """Loss trace and final weights of one training run."""
+
+    weights: List[np.ndarray]
+    losses: List[float]
+
+
+class MlpTrainer:
+    """SGD + backprop for the library's fully-connected networks.
+
+    The final layer is treated as a linear softmax head regardless of
+    its declared activation (standard classification practice); hidden
+    layers use their declared sigmoid/ReLU.
+    """
+
+    def __init__(self, network: Network, rng: np.random.Generator) -> None:
+        for layer in network.layers:
+            if not isinstance(layer, FullyConnectedLayer):
+                raise ConfigError("trainer supports FC networks only")
+        self.network = network
+        self.rng = rng
+        self.weights: List[np.ndarray] = []
+        for layer in network.layers:
+            out_features, in_features = layer.weight_shape
+            scale = 1.0 / np.sqrt(in_features)
+            self.weights.append(
+                rng.uniform(-scale, scale, size=(out_features, in_features))
+            )
+
+    # ------------------------------------------------------------------
+    def _hidden_activation(self, index: int):
+        name = self.network.layers[index].activation
+        if name == "relu":
+            return (lambda z: np.maximum(z, 0.0),
+                    lambda z: (z > 0).astype(float))
+        # sigmoid default (also used for "if"/"none" hidden layers)
+        def sig(z):
+            return 1.0 / (1.0 + np.exp(-z))
+
+        return (sig, lambda z: sig(z) * (1.0 - sig(z)))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float forward pass returning class probabilities."""
+        signal = np.asarray(x, dtype=float)
+        last = len(self.weights) - 1
+        for index, matrix in enumerate(self.weights):
+            z = signal @ matrix.T
+            if index == last:
+                return _softmax(z)
+            activation, _grad = self._hidden_activation(index)
+            signal = activation(z)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 0.5,
+    ) -> TrainResult:
+        """Mini-batch SGD on softmax cross-entropy."""
+        if epochs < 1 or batch_size < 1 or learning_rate <= 0:
+            raise ConfigError("bad training hyper-parameters")
+        x = np.asarray(inputs, dtype=float)
+        y = np.asarray(labels)
+        classes = self.weights[-1].shape[0]
+        one_hot = np.eye(classes)[y]
+
+        losses = []
+        for _epoch in range(epochs):
+            order = self.rng.permutation(len(y))
+            epoch_loss = 0.0
+            for start in range(0, len(y), batch_size):
+                batch = order[start:start + batch_size]
+                xb, yb = x[batch], one_hot[batch]
+
+                # Forward, caching activations.
+                activations = [xb]
+                zs = []
+                last = len(self.weights) - 1
+                signal = xb
+                for index, matrix in enumerate(self.weights):
+                    z = signal @ matrix.T
+                    zs.append(z)
+                    if index == last:
+                        signal = _softmax(z)
+                    else:
+                        act, _ = self._hidden_activation(index)
+                        signal = act(z)
+                    activations.append(signal)
+
+                probs = activations[-1]
+                epoch_loss += float(
+                    -np.mean(
+                        np.log(np.clip(probs[yb.astype(bool)], 1e-12, 1))
+                    )
+                ) * len(batch)
+
+                # Backward.
+                delta = (probs - yb) / len(batch)
+                for index in range(last, -1, -1):
+                    grad = delta.T @ activations[index]
+                    if index > 0:
+                        _, dact = self._hidden_activation(index - 1)
+                        delta = (delta @ self.weights[index]) * dact(
+                            zs[index - 1]
+                        )
+                    self.weights[index] -= learning_rate * grad
+            losses.append(epoch_loss / len(y))
+        return TrainResult(weights=[w.copy() for w in self.weights],
+                           losses=losses)
+
+
+def classification_accuracy(
+    forward: Callable[[np.ndarray], np.ndarray],
+    inputs: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """Top-1 accuracy of any forward function (float, fixed-point, or
+    functional-crossbar).  ``forward`` maps one input vector to class
+    scores."""
+    correct = 0
+    for x, y in zip(inputs, labels):
+        scores = np.asarray(forward(x))
+        if int(np.argmax(scores)) == int(y):
+            correct += 1
+    return correct / len(labels)

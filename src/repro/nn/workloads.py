@@ -1,0 +1,125 @@
+"""Synthetic workload generators for experiments and benchmarks.
+
+The paper's validation protocols use "random samples of weight matrices"
+and "random input samples" (Sec. VII.A) plus an image-block application
+(JPEG encoding of 8x8 blocks).  These seeded generators provide those
+workloads without external data:
+
+* :func:`random_weights` — layer-shaped weight matrices with a chosen
+  distribution and fan-in scaling;
+* :func:`random_inputs` — input-sample batches in the signal range;
+* :func:`image_blocks` — smooth synthetic 8x8 image blocks (a stand-in
+  for JPEG's DCT inputs: low-frequency dominated, bounded);
+* :func:`crossbar_workload` — a fully-specified (resistances, inputs)
+  pair for circuit-level runs, built through the real device mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.networks import Network
+from repro.nn.quantize import weight_to_cell_levels
+from repro.tech.memristor import MemristorModel
+
+
+def random_weights(
+    network: Network,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+) -> List[np.ndarray]:
+    """One weight matrix per layer, scaled by 1/sqrt(fan_in).
+
+    ``distribution`` is ``"uniform"`` (paper-style random matrices) or
+    ``"normal"`` (Xavier-style init).
+    """
+    if distribution not in ("uniform", "normal"):
+        raise ConfigError("distribution must be 'uniform' or 'normal'")
+    weights = []
+    for layer in network.layers:
+        out_features, in_features = layer.weight_shape
+        scale = 1.0 / np.sqrt(in_features)
+        if distribution == "uniform":
+            matrix = rng.uniform(
+                -scale, scale, size=(out_features, in_features)
+            )
+        else:
+            matrix = rng.normal(
+                0.0, scale, size=(out_features, in_features)
+            )
+        weights.append(matrix)
+    return weights
+
+
+def random_inputs(
+    network: Network,
+    rng: np.random.Generator,
+    batch: int = 1,
+    signed: bool = True,
+) -> np.ndarray:
+    """A batch of input samples in the signal range.
+
+    Shape ``(batch, input_values)``; signed inputs span (-1, 1),
+    unsigned (0, 1).
+    """
+    if batch < 1:
+        raise ConfigError("batch must be >= 1")
+    low = -1.0 if signed else 0.0
+    return rng.uniform(low, 1.0, size=(batch, network.input_values))
+
+
+def image_blocks(
+    rng: np.random.Generator, count: int = 1, size: int = 8
+) -> np.ndarray:
+    """Smooth synthetic image blocks (JPEG-autoencoder inputs).
+
+    Each block is a sum of a random gradient and a low-frequency
+    cosine, normalised into [-1, 1] — matching the statistics the
+    64-16-64 autoencoder sees (smooth, low-frequency-dominated).
+    Returns shape ``(count, size * size)``.
+    """
+    if count < 1 or size < 2:
+        raise ConfigError("count must be >= 1 and size >= 2")
+    axis = np.linspace(0.0, 1.0, size)
+    yy, xx = np.meshgrid(axis, axis, indexing="ij")
+    blocks = []
+    for _ in range(count):
+        gx, gy = rng.uniform(-1, 1, size=2)
+        fx, fy = rng.uniform(0.5, 2.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        block = (
+            gx * xx + gy * yy
+            + 0.5 * np.cos(2 * np.pi * (fx * xx + fy * yy) + phase)
+        )
+        peak = np.max(np.abs(block))
+        if peak > 0:
+            block = block / peak
+        blocks.append(block.reshape(-1))
+    return np.stack(blocks)
+
+
+def crossbar_workload(
+    device: MemristorModel,
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    weight_bits: int = 8,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A circuit-level crossbar problem from real weight mapping.
+
+    Draws a random signed weight matrix, maps it through
+    :func:`~repro.nn.quantize.weight_to_cell_levels`, and returns the
+    positive plane's resistances plus an input-voltage vector:
+    ``(weights, resistances, inputs)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+    weights = rng.uniform(-1, 1, size=(cols, rows)) / np.sqrt(rows)
+    slices = weight_to_cell_levels(weights, weight_bits, device)
+    pos_levels, _neg = slices[-1]  # most-significant slice
+    resistances = np.vectorize(device.resistance_of_level)(pos_levels).T
+    inputs = rng.uniform(0, device.read_voltage, size=rows)
+    return weights, resistances, inputs

@@ -1,0 +1,23 @@
+"""Related-work case studies: PRIME and ISAAC (Sec. VII.E, Table VII).
+
+Both designs are expressed as *customizations* of the reference
+hierarchy, exercising the flexibility interfaces of Sec. III.E:
+
+* :mod:`~repro.related.prime` — PRIME's FF-subarray: peripheral modules
+  folded into reconfigurable computation units, 6-bit I/O, 4-bit cells;
+* :mod:`~repro.related.isaac` — an ISAAC tile: imported published costs
+  for the eDRAM buffer, S&H and DAC/ADC (CustomModule path) and the
+  22-stage inner pipeline for latency/energy accounting.
+"""
+
+from repro.related.prime import PrimeResult, build_prime_ffsubarray, simulate_prime
+from repro.related.isaac import IsaacResult, build_isaac_tile, simulate_isaac
+
+__all__ = [
+    "PrimeResult",
+    "build_prime_ffsubarray",
+    "simulate_prime",
+    "IsaacResult",
+    "build_isaac_tile",
+    "simulate_isaac",
+]

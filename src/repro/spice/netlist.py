@@ -1,0 +1,75 @@
+"""SPICE netlist export of the crossbar network (Sec. IV.A).
+
+MNSIM can hand a specific weight matrix and input vector off to an external
+circuit simulator by emitting a netlist of the same resistor network the
+internal solver uses: input sources, wordline/bitline wire segments, one
+resistor per cell (at its programmed state), and per-column sense
+resistors.  The format is plain SPICE3 cards with an operating-point
+analysis, so the file loads in ngspice/HSPICE unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+def generate_netlist(
+    resistances: np.ndarray,
+    inputs: np.ndarray,
+    wire_resistance: float,
+    sense_resistance: float,
+    title: str = "MNSIM crossbar export",
+) -> str:
+    """Return a SPICE netlist for one crossbar solve.
+
+    Node naming: ``wl_i_j`` / ``bl_i_j`` for the input/output node of
+    cell ``(i, j)``; ``in_i`` for the driven end of wordline ``i``;
+    ``0`` is ground.
+
+    Parameters mirror :class:`~repro.spice.solver.CrossbarNetwork`.
+    """
+    resistances = np.asarray(resistances, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    if resistances.ndim != 2:
+        raise SolverError("resistances must be a 2-D (M x N) array")
+    rows, cols = resistances.shape
+    if inputs.shape != (rows,):
+        raise SolverError(f"inputs must have shape ({rows},)")
+    if wire_resistance <= 0 or sense_resistance <= 0:
+        raise SolverError("resistances must be positive for netlist export")
+
+    lines: List[str] = [f"* {title}", f"* {rows}x{cols} memristor crossbar"]
+
+    for i in range(rows):
+        lines.append(f"Vin{i} in_{i} 0 DC {inputs[i]:.6g}")
+        lines.append(f"Rwin{i} in_{i} wl_{i}_0 {wire_resistance:.6g}")
+
+    for i in range(rows):
+        for j in range(cols):
+            lines.append(
+                f"Rcell{i}_{j} wl_{i}_{j} bl_{i}_{j} "
+                f"{resistances[i, j]:.6g}"
+            )
+            if j + 1 < cols:
+                lines.append(
+                    f"Rwl{i}_{j} wl_{i}_{j} wl_{i}_{j + 1} "
+                    f"{wire_resistance:.6g}"
+                )
+            if i + 1 < rows:
+                lines.append(
+                    f"Rbl{i}_{j} bl_{i}_{j} bl_{i + 1}_{j} "
+                    f"{wire_resistance:.6g}"
+                )
+
+    for j in range(cols):
+        lines.append(
+            f"Rs{j} bl_{rows - 1}_{j} 0 {sense_resistance:.6g}"
+        )
+
+    outputs = " ".join(f"v(bl_{rows - 1}_{j})" for j in range(cols))
+    lines.extend([".op", f".print op {outputs}", ".end", ""])
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""SPICE netlist parser: load a crossbar netlist back into the solver.
+
+The inverse of :func:`repro.spice.netlist.generate_netlist`: parses the
+cards of an exported crossbar netlist (sources, cell resistors, wire
+segments, sense resistors) and reconstructs the
+:class:`~repro.spice.solver.CrossbarNetwork` plus the input vector, so
+an exported design can be re-simulated and cross-checked without the
+original Python objects.  Only the netlist dialect this library emits
+is supported (plus whitespace/comment/case tolerance) — it is a
+round-trip tool, not a general SPICE front end.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.spice.solver import CrossbarNetwork
+from repro.tech.memristor import MemristorModel
+
+_CELL_RE = re.compile(r"^rcell(\d+)_(\d+)$")
+_SOURCE_RE = re.compile(r"^vin(\d+)$")
+_SENSE_RE = re.compile(r"^rs(\d+)$")
+_WIRE_RE = re.compile(r"^(rwin|rwl|rbl)", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ParsedNetlist:
+    """The reconstructed crossbar problem."""
+
+    resistances: np.ndarray
+    inputs: np.ndarray
+    wire_resistance: float
+    sense_resistance: float
+    title: str
+
+    def build_network(
+        self, device: Optional[MemristorModel] = None
+    ) -> CrossbarNetwork:
+        """Instantiate the solver network (optionally with a nonlinear
+        device model, which the netlist itself cannot carry)."""
+        return CrossbarNetwork(
+            self.resistances,
+            self.wire_resistance,
+            self.sense_resistance,
+            device=device,
+        )
+
+
+def _parse_value(token: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise SolverError(f"cannot parse SPICE value {token!r}") from None
+
+
+def parse_netlist(text: str) -> ParsedNetlist:
+    """Parse a crossbar netlist produced by :func:`generate_netlist`.
+
+    Raises
+    ------
+    SolverError
+        On malformed cards, inconsistent wire values, or missing
+        components.
+    """
+    title = ""
+    cells: Dict[Tuple[int, int], float] = {}
+    sources: Dict[int, float] = {}
+    senses: Dict[int, float] = {}
+    wire_values = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith((".", "*")):
+            if line.startswith("*") and not title:
+                title = line.lstrip("* ").strip()
+            continue
+        parts = line.split()
+        name = parts[0].lower()
+
+        match = _CELL_RE.match(name)
+        if match:
+            if len(parts) != 4:
+                raise SolverError(f"line {lineno}: malformed cell card")
+            i, j = int(match.group(1)), int(match.group(2))
+            cells[(i, j)] = _parse_value(parts[3])
+            continue
+
+        match = _SOURCE_RE.match(name)
+        if match:
+            # Vin<i> in_<i> 0 DC <value>
+            if len(parts) != 5 or parts[3].upper() != "DC":
+                raise SolverError(f"line {lineno}: malformed source card")
+            sources[int(match.group(1))] = _parse_value(parts[4])
+            continue
+
+        match = _SENSE_RE.match(name)
+        if match:
+            if len(parts) != 4:
+                raise SolverError(f"line {lineno}: malformed sense card")
+            senses[int(match.group(1))] = _parse_value(parts[3])
+            continue
+
+        if _WIRE_RE.match(name):
+            if len(parts) != 4:
+                raise SolverError(f"line {lineno}: malformed wire card")
+            wire_values.add(round(_parse_value(parts[3]), 12))
+            continue
+
+        raise SolverError(f"line {lineno}: unrecognised card {parts[0]!r}")
+
+    if not cells:
+        raise SolverError("netlist contains no cell resistors")
+    if not sources:
+        raise SolverError("netlist contains no input sources")
+    if not senses:
+        raise SolverError("netlist contains no sense resistors")
+    if len(wire_values) > 1:
+        raise SolverError(
+            f"inconsistent wire segment values: {sorted(wire_values)}"
+        )
+
+    rows = max(i for i, _j in cells) + 1
+    cols = max(j for _i, j in cells) + 1
+    if len(cells) != rows * cols:
+        raise SolverError(
+            f"incomplete cell grid: {len(cells)} cards for {rows}x{cols}"
+        )
+    if set(sources) != set(range(rows)):
+        raise SolverError("input sources do not cover every row")
+    if set(senses) != set(range(cols)):
+        raise SolverError("sense resistors do not cover every column")
+
+    sense_values = set(round(v, 12) for v in senses.values())
+    if len(sense_values) > 1:
+        raise SolverError("per-column sense resistances differ")
+
+    resistances = np.empty((rows, cols))
+    for (i, j), value in cells.items():
+        resistances[i, j] = value
+    inputs = np.array([sources[i] for i in range(rows)])
+
+    wire = wire_values.pop() if wire_values else 0.0
+    return ParsedNetlist(
+        resistances=resistances,
+        inputs=inputs,
+        wire_resistance=float(wire),
+        sense_resistance=float(next(iter(senses.values()))),
+        title=title,
+    )

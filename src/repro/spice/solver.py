@@ -1,0 +1,295 @@
+"""Modified-nodal-analysis solver for the full crossbar network.
+
+The network modelled here is exactly the one the paper's Sec. VI derives
+its behavior-level shortcut from: ``M x N`` memristor cells, ``2MN``
+interconnect segments of resistance ``r`` (one wordline and one bitline
+segment per cell), and ``N`` sense resistors ``R_s`` to ground.  Input
+voltage sources drive the wordlines through the first wire segment.
+
+Unknowns are the ``2MN`` internal node voltages (the input/output node of
+every cell).  The conductance matrix is assembled sparse and solved with
+``scipy.sparse.linalg.spsolve``; the memristor nonlinearity is handled by a
+damped fixed-point iteration that re-evaluates each cell's effective
+conductance at its present operating voltage — the "slow, exact" path that
+MNSIM's analytic model is validated against and benchmarked for speed-up
+(Tables II/III, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SolverError
+from repro.tech.memristor import MemristorModel
+
+# Wire resistances below this are clamped to keep the MNA matrix
+# well-conditioned (an exactly-zero r would short nodes together).
+_MIN_WIRE_RESISTANCE = 1e-6
+
+_DEFAULT_TOLERANCE = 1e-10
+_DEFAULT_MAX_ITERATIONS = 60
+_DAMPING = 0.7
+
+
+@dataclass
+class CrossbarSolution:
+    """Result of one circuit-level crossbar solve.
+
+    Attributes
+    ----------
+    output_voltages:
+        Voltage across each column's sense resistor, shape ``(N,)``.
+    cell_voltages:
+        Voltage across each memristor cell, shape ``(M, N)``.
+    cell_currents:
+        Current through each cell, shape ``(M, N)``.
+    input_currents:
+        Current delivered by each input source, shape ``(M,)``.
+    total_power:
+        Total power delivered by the sources, watts.
+    iterations:
+        Nonlinear fixed-point iterations performed (1 for ideal devices).
+    converged:
+        Whether the nonlinear iteration met the tolerance.
+    """
+
+    output_voltages: np.ndarray
+    cell_voltages: np.ndarray
+    cell_currents: np.ndarray
+    input_currents: np.ndarray
+    total_power: float
+    iterations: int
+    converged: bool
+
+
+class CrossbarNetwork:
+    """The resistor network of one crossbar, ready to solve.
+
+    Parameters
+    ----------
+    resistances:
+        Programmed (ideal, ohmic) cell resistances, shape ``(M, N)``.
+    wire_resistance:
+        Per-segment interconnect resistance ``r`` in ohms.
+    sense_resistance:
+        Sense resistor ``R_s`` per column in ohms.
+    device:
+        Optional memristor model supplying the nonlinear V-I curve; if
+        ``None`` the cells are ideal ohmic resistors.
+    """
+
+    def __init__(
+        self,
+        resistances: np.ndarray,
+        wire_resistance: float,
+        sense_resistance: float,
+        device: Optional[MemristorModel] = None,
+    ) -> None:
+        resistances = np.asarray(resistances, dtype=float)
+        if resistances.ndim != 2:
+            raise SolverError("resistances must be a 2-D (M x N) array")
+        if np.any(resistances <= 0):
+            raise SolverError("all cell resistances must be positive")
+        if sense_resistance <= 0:
+            raise SolverError("sense_resistance must be positive")
+        if wire_resistance < 0:
+            raise SolverError("wire_resistance must be non-negative")
+        self.resistances = resistances
+        self.rows, self.cols = resistances.shape
+        self.wire_resistance = max(wire_resistance, _MIN_WIRE_RESISTANCE)
+        self.sense_resistance = sense_resistance
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # Node numbering: wordline node of cell (i, j) -> i*N + j
+    #                 bitline  node of cell (i, j) -> M*N + i*N + j
+    # ------------------------------------------------------------------
+    def _wl(self, i: int, j: int) -> int:
+        return i * self.cols + j
+
+    def _bl(self, i: int, j: int) -> int:
+        return self.rows * self.cols + i * self.cols + j
+
+    @property
+    def num_nodes(self) -> int:
+        """Internal unknown node count (2MN, per Sec. VI)."""
+        return 2 * self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self, cell_conductances: np.ndarray, inputs: np.ndarray
+    ):
+        """Assemble the sparse conductance matrix and RHS vector."""
+        m, n = self.rows, self.cols
+        g_wire = 1.0 / self.wire_resistance
+        g_sense = 1.0 / self.sense_resistance
+
+        row_idx = []
+        col_idx = []
+        values = []
+        rhs = np.zeros(self.num_nodes)
+
+        def stamp(a: int, b: int, g: float) -> None:
+            """Stamp conductance g between nodes a and b (-1 = ground/source
+            handled by the caller via the diagonal + rhs)."""
+            row_idx.extend((a, b, a, b))
+            col_idx.extend((a, b, b, a))
+            values.extend((g, g, -g, -g))
+
+        def stamp_to_ref(a: int, g: float, v_ref: float = 0.0) -> None:
+            """Stamp conductance g between node a and a fixed voltage."""
+            row_idx.append(a)
+            col_idx.append(a)
+            values.append(g)
+            if v_ref:
+                rhs[a] += g * v_ref
+
+        for i in range(m):
+            # Input source through the first wordline segment.
+            stamp_to_ref(self._wl(i, 0), g_wire, inputs[i])
+            for j in range(n):
+                # Cell between its wordline and bitline nodes.
+                stamp(self._wl(i, j), self._bl(i, j), cell_conductances[i, j])
+                # Wordline segment to the next cell.
+                if j + 1 < n:
+                    stamp(self._wl(i, j), self._wl(i, j + 1), g_wire)
+                # Bitline segment to the next row.
+                if i + 1 < m:
+                    stamp(self._bl(i, j), self._bl(i + 1, j), g_wire)
+        for j in range(n):
+            # Sense resistor from the bitline bottom to ground.
+            stamp_to_ref(self._bl(m - 1, j), g_sense)
+
+        matrix = sp.csr_matrix(
+            (values, (row_idx, col_idx)),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+        return matrix, rhs
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        inputs: np.ndarray,
+        tolerance: float = _DEFAULT_TOLERANCE,
+        max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    ) -> CrossbarSolution:
+        """Solve the network for the given input voltage vector.
+
+        Runs the linear MNA solve, then (for nonlinear devices) iterates:
+        evaluate each cell's voltage, update its effective conductance
+        ``I(V)/V`` from the sinh characteristic, and re-solve, with
+        damping, until node voltages stop moving.
+
+        Raises
+        ------
+        SolverError
+            On malformed inputs or a singular system.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.shape != (self.rows,):
+            raise SolverError(
+                f"inputs must have shape ({self.rows},), got {inputs.shape}"
+            )
+
+        conductances = 1.0 / self.resistances
+        voltages = None
+        converged = True
+        iterations = 0
+        nonlinear = self.device is not None and not np.isinf(
+            getattr(self.device, "nonlinearity_v0", np.inf)
+        )
+
+        max_rounds = max_iterations if nonlinear else 1
+        previous = None
+        for iterations in range(1, max_rounds + 1):
+            matrix, rhs = self._assemble(conductances, inputs)
+            try:
+                voltages = spla.spsolve(matrix, rhs)
+            except RuntimeError as exc:  # pragma: no cover - singular system
+                raise SolverError(f"sparse solve failed: {exc}") from exc
+            if np.any(~np.isfinite(voltages)):
+                raise SolverError("solver produced non-finite node voltages")
+
+            if not nonlinear:
+                break
+
+            v_cell = self._cell_voltages(voltages)
+            new_cond = np.empty_like(conductances)
+            for i in range(self.rows):
+                for j in range(self.cols):
+                    r_act = self.device.actual_resistance(
+                        self.resistances[i, j], v_cell[i, j]
+                    )
+                    new_cond[i, j] = 1.0 / r_act
+            conductances = (
+                _DAMPING * new_cond + (1.0 - _DAMPING) * conductances
+            )
+
+            if previous is not None:
+                delta = float(np.max(np.abs(voltages - previous)))
+                if delta < tolerance:
+                    break
+            previous = voltages
+        else:  # pragma: no cover - pathological devices only
+            converged = False
+
+        return self._package(voltages, conductances, inputs, iterations,
+                             converged)
+
+    # ------------------------------------------------------------------
+    def _cell_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        m, n = self.rows, self.cols
+        wl = voltages[: m * n].reshape(m, n)
+        bl = voltages[m * n:].reshape(m, n)
+        return wl - bl
+
+    def _package(
+        self,
+        voltages: np.ndarray,
+        conductances: np.ndarray,
+        inputs: np.ndarray,
+        iterations: int,
+        converged: bool,
+    ) -> CrossbarSolution:
+        m, n = self.rows, self.cols
+        v_cell = self._cell_voltages(voltages)
+        i_cell = v_cell * conductances
+        v_out = voltages[[self._bl(m - 1, j) for j in range(n)]]
+        g_wire = 1.0 / self.wire_resistance
+        i_in = (inputs - voltages[[self._wl(i, 0) for i in range(m)]]) * g_wire
+        total_power = float(np.dot(inputs, i_in))
+        return CrossbarSolution(
+            output_voltages=np.asarray(v_out, dtype=float),
+            cell_voltages=v_cell,
+            cell_currents=i_cell,
+            input_currents=np.asarray(i_in, dtype=float),
+            total_power=total_power,
+            iterations=iterations,
+            converged=converged,
+        )
+
+
+def ideal_output_voltages(
+    resistances: np.ndarray,
+    inputs: np.ndarray,
+    sense_resistance: float,
+) -> np.ndarray:
+    """Ideal (r = 0, ohmic) column outputs per Eq. 1/Eq. 2 of the paper.
+
+    For column ``k``: ``v_out = sum_j g_jk v_j / (g_s + sum_j g_jk)``,
+    the exact solution of each column divider with zero wire resistance.
+    """
+    resistances = np.asarray(resistances, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    if resistances.ndim != 2 or inputs.shape != (resistances.shape[0],):
+        raise SolverError("shape mismatch between resistances and inputs")
+    conductances = 1.0 / resistances
+    g_sense = 1.0 / sense_resistance
+    numerator = conductances.T @ inputs
+    denominator = g_sense + conductances.sum(axis=0)
+    return numerator / denominator

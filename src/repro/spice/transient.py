@@ -1,0 +1,114 @@
+"""RC settle-time estimation from the real crossbar network.
+
+The behavior-level latency model uses a fixed analog settle time
+(:data:`repro.tech.cmos.CROSSBAR_SETTLE_TIME`, 20 ns) consistent with
+the 10-100 ns memristor read window the paper cites.  This module
+derives the settle time from first principles for any configuration,
+so the constant can be justified (and overridden) per design:
+
+* every node of the crossbar carries the wire capacitance of its two
+  adjacent segments;
+* the network's dominant time constant is estimated by **power
+  iteration** on the (diagonally preconditioned) RC system
+  ``C dv/dt = -G v``: the slowest eigenmode of ``G^{-1} C``;
+* settling to half an LSB of an ``n``-bit read takes
+  ``tau * ln(2^(n+1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SolverError
+from repro.spice.solver import CrossbarNetwork
+
+_MAX_POWER_ITERATIONS = 2000
+_POWER_TOLERANCE = 1e-8
+
+
+@dataclass(frozen=True)
+class SettleEstimate:
+    """Dominant RC time constant and derived settle times."""
+
+    time_constant: float
+    node_capacitance: float
+
+    def settle_time(self, bits: int = 8) -> float:
+        """Time to settle within half an LSB of a ``bits``-bit read."""
+        if bits < 1:
+            raise SolverError("bits must be >= 1")
+        return self.time_constant * math.log(2.0 ** (bits + 1))
+
+
+def estimate_settle(
+    network: CrossbarNetwork,
+    segment_capacitance: float,
+) -> SettleEstimate:
+    """Dominant time constant of the crossbar's RC network.
+
+    Parameters
+    ----------
+    network:
+        The resistor network (cell resistances at their programmed
+        values; the linearised conductances are used).
+    segment_capacitance:
+        Wire capacitance of one cell-to-cell segment (farads); every
+        internal node carries two segments' worth.
+    """
+    if segment_capacitance <= 0:
+        raise SolverError("segment_capacitance must be positive")
+
+    conductances = 1.0 / network.resistances
+    matrix, _rhs = network._assemble(
+        conductances, np.zeros(network.rows)
+    )
+    # Node capacitance: two adjacent wire segments per node.
+    c_node = 2.0 * segment_capacitance
+
+    # Power iteration on A = G^{-1} C  (C = c_node * I): the dominant
+    # eigenvalue of A is the slowest time constant.  Each step solves
+    # G x = C v.
+    solve = spla.factorized(sp.csc_matrix(matrix))
+    vector = np.ones(network.num_nodes)
+    vector /= np.linalg.norm(vector)
+    eigenvalue = 0.0
+    for _ in range(_MAX_POWER_ITERATIONS):
+        step = solve(c_node * vector)
+        norm = np.linalg.norm(step)
+        if norm == 0:  # pragma: no cover - degenerate network
+            raise SolverError("RC power iteration collapsed")
+        vector = step / norm
+        if eigenvalue and abs(norm - eigenvalue) <= (
+            _POWER_TOLERANCE * eigenvalue
+        ):
+            eigenvalue = norm
+            break
+        eigenvalue = norm
+    return SettleEstimate(
+        time_constant=float(eigenvalue), node_capacitance=c_node
+    )
+
+
+def settle_time_for_config(config, bits: int = None) -> float:
+    """Settle time of one configured crossbar (convenience wrapper).
+
+    Builds the worst-case (all cells at ``R_min``) network for the
+    configuration's crossbar size, wire node, and device, and returns
+    the ``signal_bits``-accurate settle time.
+    """
+    device = config.device
+    size = config.crossbar_size
+    pitch = device.cell_pitch(config.cell_type)
+    segment_r = config.wire.segment_resistance(pitch)
+    segment_c = config.wire.segment_capacitance(pitch)
+    resistances = np.full((size, size), device.r_min)
+    network = CrossbarNetwork(resistances, segment_r, 1000.0)
+    estimate = estimate_settle(network, segment_c)
+    return estimate.settle_time(
+        config.signal_bits if bits is None else bits
+    )

@@ -1,0 +1,42 @@
+"""Technology substrate: CMOS nodes, interconnect wires, memristor devices.
+
+This package plays the role of the external technology inputs the paper
+relies on (CACTI, NVSim, and the Predictive Technology Model): first-order,
+per-node scaling tables from which every circuit module derives its area,
+energy, delay, and leakage.
+
+Public API
+----------
+:func:`repro.tech.cmos.get_cmos_node`
+    Look up a :class:`~repro.tech.cmos.CmosNode` by feature size in nm.
+:func:`repro.tech.interconnect.get_interconnect_node`
+    Look up an :class:`~repro.tech.interconnect.InterconnectNode`.
+:func:`repro.tech.memristor.get_memristor_model`
+    Look up a :class:`~repro.tech.memristor.MemristorModel` (RRAM / PCM).
+"""
+
+from repro.tech.cmos import CmosNode, get_cmos_node, available_cmos_nodes
+from repro.tech.interconnect import (
+    InterconnectNode,
+    get_interconnect_node,
+    available_interconnect_nodes,
+)
+from repro.tech.memristor import (
+    CellType,
+    MemristorModel,
+    get_memristor_model,
+    available_memristor_models,
+)
+
+__all__ = [
+    "CmosNode",
+    "get_cmos_node",
+    "available_cmos_nodes",
+    "InterconnectNode",
+    "get_interconnect_node",
+    "available_interconnect_nodes",
+    "CellType",
+    "MemristorModel",
+    "get_memristor_model",
+    "available_memristor_models",
+]

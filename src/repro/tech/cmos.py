@@ -1,0 +1,146 @@
+"""CMOS technology-node models.
+
+Each :class:`CmosNode` carries the handful of first-order parameters that the
+behavior-level circuit models need: supply voltage, FO4 inverter delay, gate
+capacitance, leakage, and a standard-cell area factor.  The values follow
+classical scaling theory anchored at the 90 nm node (the node used for the
+paper's SPICE validation) and are consistent with the published CACTI / PTM
+trends; they are *not* sign-off-quality numbers, matching MNSIM's stated goal
+of early-stage estimation.
+
+Derived helpers (:meth:`CmosNode.gate_area`, :meth:`CmosNode.gate_energy`,
+:meth:`CmosNode.gate_delay`, :meth:`CmosNode.gate_leakage`) express every
+digital module in the library as "NAND2-equivalent" gate counts, the same
+abstraction CACTI uses for peripheral logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.units import NM, FF, NS
+
+# Area of one NAND2-equivalent standard cell, in units of F^2.  Standard-cell
+# libraries land between 300 and 500 F^2 for a 2-input NAND including routing
+# overhead; 400 F^2 is a representative midpoint.
+_NAND2_AREA_F2 = 400.0
+
+# Input capacitance of a NAND2-equivalent gate at 90 nm (both inputs), farads.
+_NAND2_CAP_90NM = 3.0 * FF
+
+# Activity factor applied to dynamic gate energy: not every gate toggles each
+# cycle.  0.5 matches the usual CACTI assumption for datapath logic.
+_ACTIVITY_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class CmosNode:
+    """First-order electrical model of one CMOS technology node.
+
+    Attributes
+    ----------
+    feature_size:
+        Drawn feature size ``F`` in metres.
+    vdd:
+        Nominal supply voltage in volts.
+    fo4_delay:
+        Fanout-of-4 inverter delay in seconds; digital module latencies are
+        expressed as FO4 multiples.
+    nand2_cap:
+        Switched capacitance of a NAND2-equivalent gate in farads.
+    leakage_per_gate:
+        Static leakage power of a NAND2-equivalent gate in watts.
+    """
+
+    feature_size: float
+    vdd: float
+    fo4_delay: float
+    nand2_cap: float
+    leakage_per_gate: float
+
+    @property
+    def node_nm(self) -> int:
+        """Feature size in nanometres (for display and lookups)."""
+        return int(round(self.feature_size / NM))
+
+    def gate_area(self, num_gates: float) -> float:
+        """Area in m^2 of ``num_gates`` NAND2-equivalent gates."""
+        return num_gates * _NAND2_AREA_F2 * self.feature_size**2
+
+    def gate_energy(self, num_gates: float) -> float:
+        """Dynamic switching energy in joules for one evaluation of
+        ``num_gates`` NAND2-equivalent gates (activity factor included)."""
+        return num_gates * _ACTIVITY_FACTOR * self.nand2_cap * self.vdd**2
+
+    def gate_delay(self, fo4_depth: float) -> float:
+        """Delay in seconds of a logic path ``fo4_depth`` FO4 units deep."""
+        return fo4_depth * self.fo4_delay
+
+    def gate_leakage(self, num_gates: float) -> float:
+        """Static leakage power in watts of ``num_gates`` gates."""
+        return num_gates * self.leakage_per_gate
+
+
+def _node(nm: float, vdd: float, fo4_ps: float, cap_scale: float,
+          leak_nw: float) -> CmosNode:
+    """Build a :class:`CmosNode` from display-unit inputs.
+
+    ``cap_scale`` scales the 90 nm NAND2 capacitance (gate cap shrinks
+    roughly linearly with feature size); ``leak_nw`` is per-gate leakage in
+    nanowatts (leakage *rises* at smaller nodes until high-k/FinFET).
+    """
+    return CmosNode(
+        feature_size=nm * NM,
+        vdd=vdd,
+        fo4_delay=fo4_ps * 1e-12,
+        nand2_cap=_NAND2_CAP_90NM * cap_scale,
+        leakage_per_gate=leak_nw * 1e-9,
+    )
+
+
+# Keyed by node in nm.  FO4 ~ 16 ps/um * L_gate trend; Vdd per ITRS.
+_CMOS_NODES = {
+    130: _node(130, vdd=1.30, fo4_ps=50.0, cap_scale=1.45, leak_nw=2.0),
+    90: _node(90, vdd=1.20, fo4_ps=35.0, cap_scale=1.00, leak_nw=5.0),
+    65: _node(65, vdd=1.10, fo4_ps=25.0, cap_scale=0.72, leak_nw=8.0),
+    45: _node(45, vdd=1.00, fo4_ps=17.0, cap_scale=0.50, leak_nw=12.0),
+    32: _node(32, vdd=0.90, fo4_ps=12.0, cap_scale=0.36, leak_nw=15.0),
+    28: _node(28, vdd=0.90, fo4_ps=11.0, cap_scale=0.31, leak_nw=14.0),
+    22: _node(22, vdd=0.80, fo4_ps=9.0, cap_scale=0.24, leak_nw=10.0),
+    18: _node(18, vdd=0.80, fo4_ps=8.0, cap_scale=0.20, leak_nw=9.0),
+}
+
+
+def available_cmos_nodes() -> tuple:
+    """Return the supported CMOS nodes in nm, largest first."""
+    return tuple(sorted(_CMOS_NODES, reverse=True))
+
+
+def get_cmos_node(node_nm: int) -> CmosNode:
+    """Look up the :class:`CmosNode` for a feature size in nm.
+
+    Raises
+    ------
+    TechnologyError
+        If the node is not in the built-in table.
+    """
+    try:
+        return _CMOS_NODES[int(node_nm)]
+    except (KeyError, ValueError, TypeError):
+        raise TechnologyError(
+            f"unknown CMOS node {node_nm!r} nm; "
+            f"available: {available_cmos_nodes()}"
+        ) from None
+
+
+# Reference ADC-match frequency: the paper argues the read circuit should run
+# at >= 10 MHz to match memristor read latencies of 10-100 ns, and adopts a
+# 50 MHz variable-level sense amplifier as the reference design.
+REFERENCE_READ_FREQUENCY = 50e6
+REFERENCE_READ_PERIOD = 1.0 / REFERENCE_READ_FREQUENCY
+
+# Crossbar analog settle time: dominated by the RC of the array and the DAC
+# slew; consistent with the 10-100 ns memristor read window cited in the
+# paper (Sec. V.C).
+CROSSBAR_SETTLE_TIME = 20 * NS

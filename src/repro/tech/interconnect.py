@@ -1,0 +1,119 @@
+"""Interconnect (wire) technology models for crossbar segments.
+
+The accuracy model of the paper (Sec. VI.B) reduces each wire segment between
+two neighbouring crossbar cells to a lumped resistor ``r``.  The value of
+``r`` depends on the interconnect technology node: scaled-down copper wires
+get dramatically more resistive both geometrically (smaller cross-section)
+and physically (surface/grain-boundary scattering raises the effective
+resistivity below ~100 nm).
+
+The model here:
+
+* cross-section = ``width x (aspect_ratio * width)`` with AR = 2,
+* effective resistivity ``rho_eff = rho_cu * (1 + scatter_length / width)``,
+* segment length = the crossbar cell pitch (shared with the memristor model).
+
+This yields per-segment resistances from ~0.2 ohm (90 nm) to ~9 ohm (18 nm),
+reproducing the spread of error-rate curves in Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.units import NM
+
+# Bulk copper resistivity (ohm * m).
+_RHO_CU = 1.9e-8
+
+# Characteristic length for size-effect scattering in copper (m).  The
+# effective resistivity grows as (1 + _SCATTER_LENGTH / width).
+_SCATTER_LENGTH = 38 * NM
+
+# Wire aspect ratio (thickness / width) for local interconnect.
+_ASPECT_RATIO = 2.0
+
+# Crossbar array wires are pitch-limited by the memristor cell (~150 nm),
+# not by the wire node, so they are drawn wider than minimum: this
+# multiplier widens the array wire relative to the node feature size.
+_ARRAY_WIDTH_MULTIPLIER = 2.0
+
+# Capacitance per unit length of local interconnect (F/m); nearly node
+# independent for scaled wires.  Used only for energy bookkeeping -- the
+# accuracy model deliberately ignores wire capacitance (Sec. VI.B).
+_CAP_PER_LENGTH = 0.2e-9 * 1e-3  # 0.2 fF/um
+
+
+@dataclass(frozen=True)
+class InterconnectNode:
+    """Electrical model of one interconnect technology node.
+
+    Attributes
+    ----------
+    width:
+        Drawn wire width in metres (equals the node feature size).
+    resistance_per_length:
+        Wire resistance per metre (ohm/m), including size effects.
+    capacitance_per_length:
+        Wire capacitance per metre (F/m).
+    """
+
+    width: float
+    resistance_per_length: float
+    capacitance_per_length: float
+
+    @property
+    def node_nm(self) -> int:
+        """Node feature size in nanometres."""
+        return int(round(self.width / NM))
+
+    def segment_resistance(self, pitch: float) -> float:
+        """Resistance in ohms of one cell-to-cell wire segment.
+
+        ``pitch`` is the crossbar cell pitch in metres (set by the memristor
+        cell, not by the wire node).
+        """
+        return self.resistance_per_length * pitch
+
+    def segment_capacitance(self, pitch: float) -> float:
+        """Capacitance in farads of one cell-to-cell wire segment."""
+        return self.capacitance_per_length * pitch
+
+
+def _wire(node_nm: float) -> InterconnectNode:
+    width = node_nm * NM * _ARRAY_WIDTH_MULTIPLIER
+    thickness = _ASPECT_RATIO * width
+    rho_eff = _RHO_CU * (1.0 + _SCATTER_LENGTH / width)
+    return InterconnectNode(
+        width=node_nm * NM,
+        resistance_per_length=rho_eff / (width * thickness),
+        capacitance_per_length=_CAP_PER_LENGTH,
+    )
+
+
+# The paper sweeps interconnect nodes {18, 22, 28, 36, 45} nm for the large
+# computation-bank case and extends the range to 90 nm for the CNN case.
+_INTERCONNECT_NODES = {nm: _wire(nm) for nm in (18, 22, 28, 36, 45, 65, 90)}
+
+
+def available_interconnect_nodes() -> tuple:
+    """Return the supported interconnect nodes in nm, smallest first."""
+    return tuple(sorted(_INTERCONNECT_NODES))
+
+
+def get_interconnect_node(node_nm: int) -> InterconnectNode:
+    """Look up the :class:`InterconnectNode` for a node in nm.
+
+    Raises
+    ------
+    TechnologyError
+        If the node is not in the built-in table.
+    """
+    try:
+        return _INTERCONNECT_NODES[int(node_nm)]
+    except (KeyError, ValueError, TypeError):
+        raise TechnologyError(
+            f"unknown interconnect node {node_nm!r} nm; "
+            f"available: {available_interconnect_nodes()}"
+        ) from None

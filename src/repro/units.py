@@ -1,0 +1,103 @@
+"""Unit conventions and small conversion helpers.
+
+The whole library uses SI base units internally:
+
+* length  — metres       (``M``)
+* area    — square metres
+* time    — seconds
+* power   — watts
+* energy  — joules
+* resistance — ohms
+* capacitance — farads
+* voltage — volts
+
+Helpers below convert to/from the display units used by the paper's tables
+(nm, um^2, mm^2, ns, us, uJ, mJ, mW, W).  Keeping the conversions in one
+module avoids scattered magic constants.
+"""
+
+from __future__ import annotations
+
+# Length
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+
+# Area
+UM2 = UM * UM
+MM2 = MM * MM
+
+# Time
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# Energy
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# Power
+UW = 1e-6
+MW = 1e-3
+
+# Resistance
+KOHM = 1e3
+MOHM = 1e6
+
+# Capacitance
+FF = 1e-15
+PF = 1e-12
+
+# Frequency
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def to_unit(value: float, unit: float) -> float:
+    """Convert an SI ``value`` to the given display ``unit``.
+
+    >>> round(to_unit(2.5e-6, US), 9)
+    2.5
+    """
+    return value / unit
+
+
+def from_unit(value: float, unit: float) -> float:
+    """Convert a ``value`` expressed in ``unit`` back to SI.
+
+    >>> round(from_unit(2.5, US), 12)
+    2.5e-06
+    """
+    return value * unit
+
+
+def fmt_si(value: float, quantity: str = "") -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``1.23 uJ``.
+
+    ``quantity`` is the bare unit symbol appended after the prefix
+    (``"J"``, ``"W"``, ``"s"``, ``"m^2"`` ...).  Values of exactly zero
+    format without a prefix.
+    """
+    prefixes = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ]
+    if value == 0:
+        return f"0 {quantity}".strip()
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.4g} {prefix}{quantity}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.4g} {prefix}{quantity}".strip()

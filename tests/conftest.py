@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.nn.networks import jpeg_autoencoder, large_bank_layer, validation_mlp
+
+
+@pytest.fixture
+def default_config() -> SimConfig:
+    """The Table-I default configuration (90 nm, 128 crossbar, RRAM)."""
+    return SimConfig()
+
+
+@pytest.fixture
+def paper_45nm_config() -> SimConfig:
+    """The large-bank case-study base: 45 nm CMOS, 4-bit weights."""
+    return SimConfig(
+        cmos_tech=45,
+        interconnect_tech=45,
+        weight_bits=4,
+        signal_bits=8,
+        crossbar_size=128,
+    )
+
+
+@pytest.fixture
+def mlp_network():
+    """The Table II validation workload (two 128x128 weight layers)."""
+    return validation_mlp()
+
+
+@pytest.fixture
+def autoencoder_network():
+    """The 64-16-64 accuracy-validation workload."""
+    return jpeg_autoencoder()
+
+
+@pytest.fixture
+def large_layer_network():
+    """The 2048x1024 large-bank case-study workload."""
+    return large_bank_layer()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator: every randomised test is reproducible."""
+    return np.random.default_rng(20160314)  # DATE'16 vintage

@@ -1,0 +1,84 @@
+"""Wire-term calibration against the circuit-level solver (Fig. 5 flow).
+
+These tests run the real solver on small grids, so they are the slowest
+unit tests in the suite (a few seconds).
+"""
+
+import pytest
+
+from repro.accuracy.fitting import (
+    fit_wire_term,
+    solver_worst_column_error,
+)
+from repro.accuracy.interconnect import (
+    WIRE_FIT_COEFFICIENT,
+    WIRE_FIT_EXPONENT,
+    analog_error_rate,
+)
+from repro.tech import get_memristor_model
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_memristor_model("RRAM")
+
+
+@pytest.fixture(scope="module")
+def small_fit(device):
+    """A reduced calibration grid shared by the tests below."""
+    return fit_wire_term(
+        device,
+        segment_resistances=(0.25, 2.25),
+        sizes=(8, 16, 32, 64),
+    )
+
+
+def test_fit_rmse_beats_paper_bound(small_fit):
+    """The paper reports a fit RMSE below 0.01; ours is far smaller."""
+    assert small_fit.rmse < 0.01
+
+
+def test_fitted_constants_near_defaults(small_fit):
+    """The shipped (kappa, beta) defaults must match a fresh fit."""
+    assert small_fit.kappa == pytest.approx(WIRE_FIT_COEFFICIENT, rel=0.3)
+    assert small_fit.beta == pytest.approx(WIRE_FIT_EXPONENT, rel=0.05)
+
+
+def test_fit_points_cover_the_grid(small_fit):
+    assert len(small_fit.points) == 2 * 4
+    assert small_fit.max_abs_residual < 0.01
+
+
+def test_solver_error_sign_flips_with_size(device):
+    """Small arrays: nonlinearity dominates (negative error); large
+    arrays at resistive wires: IR drop dominates (positive error)."""
+    small = solver_worst_column_error(device, 8, 2.25)
+    large = solver_worst_column_error(device, 64, 2.25)
+    assert small < 0
+    assert large > 0
+
+
+def test_default_model_tracks_solver(device):
+    """With the shipped constants, model vs solver deviation stays
+    inside the paper's 0.01 RMSE budget pointwise."""
+    for size, r in ((16, 0.25), (32, 0.77), (64, 0.25)):
+        solver_eps = solver_worst_column_error(device, size, r)
+        model_eps = analog_error_rate(size, size, r, device)
+        assert model_eps == pytest.approx(solver_eps, abs=0.01)
+
+
+def test_fit_constants_generalise_across_devices():
+    """The shipped (kappa, beta) defaults were calibrated on the
+    reference RRAM; devices with different windows (PCM, 4-bit RRAM)
+    must fit to nearly the same constants — the wire term is geometry
+    physics, not device physics."""
+    reference = fit_wire_term(
+        get_memristor_model("RRAM"), (0.25, 2.25), sizes=(8, 16, 32)
+    )
+    for name in ("PCM", "RRAM-4BIT"):
+        fit = fit_wire_term(
+            get_memristor_model(name), (0.25, 2.25), sizes=(8, 16, 32)
+        )
+        assert fit.kappa == pytest.approx(reference.kappa, rel=0.25)
+        assert fit.beta == pytest.approx(reference.beta, rel=0.05)
+        assert fit.rmse < 0.01

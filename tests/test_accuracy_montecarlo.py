@@ -1,0 +1,95 @@
+"""Monte-Carlo accuracy simulation against the circuit solver."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.interconnect import analog_error_rate
+from repro.accuracy.montecarlo import (
+    MonteCarloResult,
+    bound_check,
+    run_monte_carlo,
+)
+from repro.errors import ConfigError
+from repro.tech import get_memristor_model
+
+SEG_45NM = 0.25
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_memristor_model("RRAM")
+
+
+@pytest.fixture(scope="module")
+def mc_result(device):
+    rng = np.random.default_rng(99)
+    return run_monte_carlo(device, size=16, segment_resistance=SEG_45NM,
+                           rng=rng, trials=5)
+
+
+class TestDistribution:
+    def test_statistics_consistent(self, mc_result):
+        assert 0 <= mc_result.mean_abs_error <= mc_result.max_abs_error
+        assert mc_result.percentile(50) <= mc_result.percentile(99)
+        assert mc_result.percentile(100) == pytest.approx(
+            mc_result.max_abs_error
+        )
+
+    def test_reproducible_with_same_seed(self, device):
+        a = run_monte_carlo(device, 8, SEG_45NM,
+                            np.random.default_rng(7), trials=3)
+        b = run_monte_carlo(device, 8, SEG_45NM,
+                            np.random.default_rng(7), trials=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_full_input_mode_is_deterministic_worse(self, device):
+        rng = np.random.default_rng(3)
+        random_inputs = run_monte_carlo(
+            device, 16, SEG_45NM, rng, trials=3, input_mode="random"
+        )
+        rng = np.random.default_rng(3)
+        full_inputs = run_monte_carlo(
+            device, 16, SEG_45NM, rng, trials=3, input_mode="full"
+        )
+        # Driving every row at full scale biases cells harder.
+        assert full_inputs.mean_abs_error >= (
+            random_inputs.mean_abs_error * 0.5
+        )
+
+
+class TestVariation:
+    def test_variation_widens_the_distribution(self, device):
+        base = run_monte_carlo(
+            device, 16, SEG_45NM, np.random.default_rng(5), trials=4,
+            sigma=0.0,
+        )
+        noisy = run_monte_carlo(
+            device, 16, SEG_45NM, np.random.default_rng(5), trials=4,
+            sigma=0.3,
+        )
+        assert noisy.max_abs_error > base.max_abs_error
+
+
+class TestBoundCheck:
+    def test_worst_case_model_dominates_random_samples(self, device,
+                                                       mc_result):
+        """The closed-form worst case must bound the Monte-Carlo
+        distribution — the basic soundness of Sec. VI.C."""
+        worst = abs(analog_error_rate(16, 16, SEG_45NM, device))
+        assert bound_check(mc_result, worst, slack=2.0)
+
+    def test_bound_check_rejects_negative_bound(self, mc_result):
+        with pytest.raises(ConfigError):
+            bound_check(mc_result, -0.1)
+
+    def test_bound_check_fails_for_tiny_bound(self, mc_result):
+        assert not bound_check(mc_result, 1e-9, slack=1.0)
+
+
+class TestValidation:
+    def test_invalid_args(self, device):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            run_monte_carlo(device, 8, SEG_45NM, rng, trials=0)
+        with pytest.raises(ConfigError):
+            run_monte_carlo(device, 8, SEG_45NM, rng, input_mode="spiky")

@@ -1,0 +1,72 @@
+"""Sensitivity analysis of the accuracy model."""
+
+import pytest
+
+from repro.accuracy.sensitivity import (
+    PARAMETERS,
+    sensitivity_analysis,
+    sensitivity_sweep,
+)
+from repro.errors import ConfigError
+from repro.tech import get_memristor_model
+
+SEG_45NM = 0.25
+
+
+@pytest.fixture
+def device():
+    return get_memristor_model("RRAM")
+
+
+class TestReport:
+    def test_all_parameters_reported(self, device):
+        report = sensitivity_analysis(device, 128, SEG_45NM)
+        assert set(report.sensitivities) == set(PARAMETERS)
+        assert report.size == 128
+        assert report.epsilon != 0
+
+    def test_regime_change_along_the_u_curve(self, device):
+        """The paper's Table V explanation, quantified: wire resistance
+        dominates large crossbars, device nonlinearity small ones."""
+        small, large = sensitivity_sweep(device, (8, 256), SEG_45NM)
+        assert small.dominant() == "nonlinearity_v0"
+        assert large.dominant() == "segment_resistance"
+
+    def test_wire_sensitivity_positive_on_large_branch(self, device):
+        report = sensitivity_analysis(device, 256, SEG_45NM)
+        assert report.sensitivities["segment_resistance"] > 0
+
+    def test_nonlinearity_sensitivity_large_on_small_branch(self, device):
+        report = sensitivity_analysis(device, 8, SEG_45NM)
+        assert abs(report.sensitivities["nonlinearity_v0"]) > 1.0
+
+    def test_ideal_device_has_no_nonlinearity_sensitivity(self):
+        ideal = get_memristor_model("IDEAL")
+        report = sensitivity_analysis(ideal, 128, SEG_45NM)
+        assert report.sensitivities["nonlinearity_v0"] == 0.0
+
+    def test_zero_wire_sensitivity_at_zero_wire(self, device):
+        report = sensitivity_analysis(device, 8, 0.0)
+        assert report.sensitivities["segment_resistance"] == 0.0
+
+
+class TestValidation:
+    def test_invalid_size(self, device):
+        with pytest.raises(ConfigError):
+            sensitivity_analysis(device, 0, SEG_45NM)
+
+    def test_invalid_step(self, device):
+        with pytest.raises(ConfigError):
+            sensitivity_analysis(device, 64, SEG_45NM, relative_step=0.0)
+        with pytest.raises(ConfigError):
+            sensitivity_analysis(device, 64, SEG_45NM, relative_step=0.9)
+
+    def test_step_size_robustness(self, device):
+        """Sensitivities stable across perturbation step sizes."""
+        fine = sensitivity_analysis(device, 256, SEG_45NM,
+                                    relative_step=0.005)
+        coarse = sensitivity_analysis(device, 256, SEG_45NM,
+                                      relative_step=0.05)
+        assert fine.sensitivities["segment_resistance"] == pytest.approx(
+            coarse.sensitivities["segment_resistance"], rel=0.1
+        )

@@ -1,0 +1,77 @@
+"""Public API facade: everything advertised in ``repro.__all__`` works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_flow():
+    """The module docstring's quickstart must actually run."""
+    config = repro.SimConfig(crossbar_size=128, cmos_tech=45)
+    accelerator = repro.Accelerator(
+        config, repro.mlp([784, 256, 10], name="demo")
+    )
+    summary = accelerator.summary()
+    assert summary.area > 0
+    assert 0 <= summary.worst_error_rate <= 1
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.tech",
+        "repro.circuits",
+        "repro.spice",
+        "repro.accuracy",
+        "repro.nn",
+        "repro.arch",
+        "repro.dse",
+        "repro.related",
+        "repro.functional",
+        "repro.cli",
+    ],
+)
+def test_subpackages_importable(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} needs a module docstring"
+
+
+def test_subpackage_alls_resolve():
+    for name in (
+        "repro.tech", "repro.circuits", "repro.spice", "repro.accuracy",
+        "repro.nn", "repro.arch", "repro.dse", "repro.related",
+        "repro.functional",
+    ):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+
+def test_exceptions_form_a_hierarchy():
+    for exc in (repro.ConfigError, repro.TechnologyError,
+                repro.MappingError, repro.SolverError,
+                repro.ExplorationError):
+        assert issubclass(exc, repro.MnsimError)
+
+
+def test_doctests_in_documented_modules():
+    """Docstring examples must stay executable."""
+    import doctest
+
+    from repro import units
+    from repro.arch import isa
+
+    for module in (units, isa):
+        failures, _tests = doctest.testmod(module)
+        assert failures == 0, f"doctest failures in {module.__name__}"

@@ -1,0 +1,109 @@
+"""Level-2 Computation Bank cost model."""
+
+import pytest
+
+from repro.arch.bank import ComputationBank
+from repro.circuits import LineBufferModule, RegisterFileModule
+from repro.config import SimConfig
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+
+
+@pytest.fixture
+def config():
+    return SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+
+
+@pytest.fixture
+def fc_bank(config):
+    return ComputationBank(config, FullyConnectedLayer(2048, 1024))
+
+
+@pytest.fixture
+def conv_layer():
+    return ConvLayer(64, 128, kernel=3, input_size=56, padding=1, pooling=2)
+
+
+class TestStructure:
+    def test_unit_count_matches_mapping(self, fc_bank):
+        assert fc_bank.units == fc_bank.mapping.units
+        assert fc_bank.crossbars == fc_bank.mapping.crossbars
+        assert fc_bank.mapping.row_blocks == 16
+        assert fc_bank.mapping.col_blocks == 8
+
+    def test_fc_output_buffer_is_register_file(self, fc_bank):
+        assert isinstance(fc_bank.output_buffer, RegisterFileModule)
+        assert fc_bank.output_buffer.words == 1024
+
+    def test_fc_bank_has_no_pooling(self, fc_bank):
+        assert fc_bank.pooling is None
+
+    def test_conv_bank_gets_pooling_and_line_buffers(self, config, conv_layer):
+        next_layer = ConvLayer(128, 128, kernel=3, input_size=28, padding=1)
+        bank = ComputationBank(config, conv_layer, next_layer=next_layer)
+        assert bank.pooling is not None
+        assert isinstance(bank.pooling_buffer, LineBufferModule)
+        assert isinstance(bank.output_buffer, LineBufferModule)
+        # Eq. 6: W_{i+1}(h-1) + w = 28*2 + 3.
+        assert bank.output_buffer.length == 59
+        assert bank.output_buffer.lanes == 128
+
+    def test_final_conv_gets_row_band_buffer(self, config, conv_layer):
+        bank = ComputationBank(config, conv_layer, next_layer=None)
+        assert isinstance(bank.output_buffer, LineBufferModule)
+        assert bank.output_buffer.length == conv_layer.output_size
+
+
+class TestCosts:
+    def test_pass_is_serial_composition(self, fc_bank):
+        synapse = fc_bank.synapse_pass_performance()
+        merge = fc_bank.merge_pass_performance()
+        neuron = fc_bank.neuron_pass_performance()
+        total = fc_bank.pass_performance()
+        assert total.latency == pytest.approx(
+            synapse.latency + merge.latency + neuron.latency
+        )
+        assert total.area == pytest.approx(
+            synapse.area + merge.area + neuron.area
+        )
+
+    def test_fc_sample_equals_single_pass(self, fc_bank):
+        assert fc_bank.sample_performance().latency == pytest.approx(
+            fc_bank.pass_performance().latency
+        )
+
+    def test_conv_sample_scales_with_positions(self, config, conv_layer):
+        bank = ComputationBank(config, conv_layer)
+        sample = bank.sample_performance()
+        single = bank.pass_performance()
+        assert sample.latency == pytest.approx(
+            single.latency * conv_layer.compute_passes
+        )
+        assert sample.area == pytest.approx(single.area)
+
+    def test_synapse_units_run_in_parallel(self, fc_bank):
+        """Bank synapse latency equals one unit's latency, not the sum."""
+        unit, _count = fc_bank._shaped_units[0]
+        assert fc_bank.synapse_pass_performance().latency == pytest.approx(
+            unit.compute_performance().latency
+        )
+
+    def test_larger_crossbars_shrink_bank_area(self, config):
+        layer = FullyConnectedLayer(2048, 1024)
+        small = ComputationBank(config.replace(crossbar_size=64), layer)
+        large = ComputationBank(config.replace(crossbar_size=256), layer)
+        assert large.pass_performance().area < small.pass_performance().area
+
+    def test_write_cost_positive(self, fc_bank):
+        write = fc_bank.write_performance()
+        assert write.dynamic_energy > 0
+        assert write.latency > 0
+
+
+class TestReport:
+    def test_report_structure(self, fc_bank):
+        node = fc_bank.report(name="bank[0]")
+        names = [child.name for child in node.children]
+        assert "synapse_sub_bank" in names
+        assert "adder_tree+shift_add" in names
+        assert "neuron+pooling+buffers" in names
+        assert "units" in node.notes

@@ -1,0 +1,98 @@
+"""Per-category area/energy breakdown."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.breakdown import CATEGORIES, accelerator_breakdown
+from repro.config import SimConfig
+from repro.nn.networks import caffenet, large_bank_layer, validation_mlp
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        crossbar_size=128, cmos_tech=45, interconnect_tech=45,
+        weight_bits=8, signal_bits=8,
+    )
+
+
+class TestTotalsMatchSummary:
+    @pytest.mark.parametrize(
+        "network_builder", [validation_mlp, large_bank_layer, caffenet]
+    )
+    def test_area_and_energy_reconcile(self, config, network_builder):
+        """The breakdown must partition the summary exactly — every
+        joule and square metre attributed to exactly one category."""
+        accelerator = Accelerator(config, network_builder())
+        breakdown = accelerator_breakdown(accelerator)
+        summary = accelerator.summary()
+        assert breakdown.total_area == pytest.approx(summary.area, rel=1e-9)
+        assert breakdown.total_energy == pytest.approx(
+            summary.energy_per_sample, rel=1e-9
+        )
+
+
+class TestFractions:
+    def test_fractions_sum_to_one(self, config):
+        breakdown = accelerator_breakdown(
+            Accelerator(config, validation_mlp())
+        )
+        area_total = sum(
+            breakdown.area_fraction(c) for c in breakdown.area
+        )
+        energy_total = sum(
+            breakdown.energy_fraction(c) for c in breakdown.energy
+        )
+        assert area_total == pytest.approx(1.0)
+        assert energy_total == pytest.approx(1.0)
+
+    def test_known_categories_only(self, config):
+        breakdown = accelerator_breakdown(
+            Accelerator(config, caffenet())
+        )
+        assert set(breakdown.area) <= set(CATEGORIES)
+
+    def test_missing_category_is_zero(self, config):
+        breakdown = accelerator_breakdown(
+            Accelerator(config, validation_mlp())
+        )
+        assert breakdown.area_fraction("pooling") == 0.0  # FC net
+
+    def test_conv_network_has_pooling_share(self, config):
+        breakdown = accelerator_breakdown(Accelerator(config, caffenet()))
+        assert breakdown.area_fraction("pooling") > 0
+
+
+class TestAdcDominanceClaim:
+    def test_read_circuits_take_about_half_at_full_parallelism(self, config):
+        """Sec. V.C (citing ISAAC): ADCs take about half of area and
+        energy in fully-parallel memristor DNNs."""
+        accelerator = Accelerator(
+            config.replace(parallelism_degree=0), large_bank_layer()
+        )
+        breakdown = accelerator_breakdown(accelerator)
+        assert breakdown.area_fraction("read_circuit") > 0.35
+        assert breakdown.energy_fraction("read_circuit") > 0.35
+
+    def test_sharing_read_circuits_shrinks_their_area_share(self, config):
+        full = accelerator_breakdown(
+            Accelerator(config.replace(parallelism_degree=0),
+                        large_bank_layer())
+        )
+        shared = accelerator_breakdown(
+            Accelerator(config.replace(parallelism_degree=4),
+                        large_bank_layer())
+        )
+        assert shared.area_fraction("read_circuit") < (
+            full.area_fraction("read_circuit")
+        )
+
+
+class TestRender:
+    def test_render_is_a_table(self, config):
+        breakdown = accelerator_breakdown(
+            Accelerator(config, validation_mlp())
+        )
+        text = breakdown.render()
+        assert "read_circuit" in text
+        assert "%" in text

@@ -1,0 +1,65 @@
+"""Design comparison utility and network describe()."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.compare import compare_designs, relative_to
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp, vgg16
+
+
+@pytest.fixture
+def designs():
+    network = validation_mlp()
+    base = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    return {
+        "parallel": Accelerator(base, network),
+        "serial": Accelerator(
+            base.replace(parallelism_degree=1), network
+        ),
+    }
+
+
+class TestCompare:
+    def test_one_column_per_design(self, designs):
+        text = compare_designs(designs)
+        header = text.splitlines()[0]
+        assert "parallel" in header and "serial" in header
+        assert "area (mm^2)" in text
+        assert "crossbars" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_designs({})
+
+
+class TestRelative:
+    def test_baseline_column_is_unity(self, designs):
+        text = relative_to(designs, baseline="parallel")
+        area_row = [l for l in text.splitlines() if "area" in l][0]
+        assert "1.000x" in area_row
+
+    def test_ratios_reflect_known_ordering(self, designs):
+        """Serial reads save area relative to the parallel design."""
+        text = relative_to(designs, baseline="parallel")
+        area_row = [l for l in text.splitlines() if "area" in l][0]
+        serial_ratio = float(area_row.split()[-1].rstrip("x"))
+        assert serial_ratio < 1.0
+
+    def test_unknown_baseline_rejected(self, designs):
+        with pytest.raises(ConfigError):
+            relative_to(designs, baseline="missing")
+
+
+class TestDescribe:
+    def test_describe_lists_every_layer(self):
+        text = validation_mlp().describe()
+        assert "validation-mlp-128" in text
+        assert text.count("fc") >= 2
+        assert "128x128" in text
+
+    def test_describe_vgg_totals(self):
+        text = vgg16().describe()
+        assert "16 layers" in text
+        assert "conv" in text and "fc" in text

@@ -1,0 +1,90 @@
+"""Instruction set and controller."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.isa import Controller, Instruction, Opcode, assemble
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp
+
+
+@pytest.fixture
+def accelerator():
+    config = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    return Accelerator(config, validation_mlp())
+
+
+@pytest.fixture
+def controller(accelerator):
+    return Controller(accelerator)
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble("WRITE\nREAD 0\nCOMPUTE 10\n")
+        assert [i.opcode for i in program] == [
+            Opcode.WRITE, Opcode.READ, Opcode.COMPUTE,
+        ]
+        assert program[2].operand == 10
+
+    def test_case_insensitive_and_comments(self):
+        program = assemble("# load\nwrite all\ncompute  # one sample\n")
+        assert len(program) == 2
+        assert program[0].operand is None
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ConfigError, match="unknown instruction"):
+            assemble("JUMP 3")
+
+    def test_bad_operand(self):
+        with pytest.raises(ConfigError, match="bad operand"):
+            assemble("READ x")
+
+    def test_too_many_operands(self):
+        with pytest.raises(ConfigError, match="too many"):
+            assemble("COMPUTE 1 2")
+
+    def test_str_round_trip(self):
+        inst = Instruction(Opcode.COMPUTE, 5)
+        assert assemble(str(inst)) == [inst]
+
+
+class TestController:
+    def test_write_then_compute(self, controller, accelerator):
+        trace = controller.run(assemble("WRITE\nCOMPUTE 3"))
+        assert trace.instructions == 2
+        assert trace.banks_written == len(accelerator.banks)
+        assert trace.samples_computed == 3
+        expected = (
+            accelerator.write_performance().latency
+            + 3 * accelerator.sample_performance().latency
+        )
+        assert trace.total_latency == pytest.approx(expected)
+
+    def test_write_single_bank(self, controller):
+        trace = controller.run([Instruction(Opcode.WRITE, 0)])
+        assert trace.banks_written == 1
+
+    def test_read_counts_cells(self, controller):
+        trace = controller.run(assemble("READ 0\nREAD 1"))
+        assert trace.cells_read == 2
+
+    def test_write_amortised_over_many_computes(self, controller, accelerator):
+        """The fixed-weights argument (Sec. II.B.1): programming once and
+        computing many samples keeps the write share small."""
+        trace = controller.run(assemble("WRITE\nCOMPUTE 10000"))
+        write_energy = accelerator.write_performance().dynamic_energy
+        assert write_energy / trace.total_energy < 0.5
+
+    def test_bank_index_checked(self, controller):
+        with pytest.raises(ConfigError, match="out of range"):
+            controller.run([Instruction(Opcode.WRITE, 99)])
+
+    def test_compute_needs_positive_count(self, controller):
+        with pytest.raises(ConfigError):
+            controller.run([Instruction(Opcode.COMPUTE, 0)])
+
+    def test_history_records_instructions(self, controller):
+        trace = controller.run(assemble("WRITE 0\nCOMPUTE"))
+        assert trace.history == ["WRITE 0", "COMPUTE"]

@@ -1,0 +1,105 @@
+"""Weight-matrix to crossbar mapping."""
+
+import pytest
+
+from repro.arch.mapping import LayerMapping
+from repro.config import SimConfig
+from repro.errors import MappingError
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+
+
+def mapping_for(in_features, out_features, **config_kwargs):
+    config = SimConfig(**config_kwargs)
+    layer = FullyConnectedLayer(in_features, out_features)
+    return LayerMapping.for_layer(layer, config)
+
+
+class TestGrid:
+    def test_exact_fit_single_tile(self):
+        m = mapping_for(128, 128, crossbar_size=128)
+        assert (m.row_blocks, m.col_blocks) == (1, 1)
+        assert m.units == 1 * m.slices
+        assert m.utilization == 1.0
+
+    def test_large_layer_tiling(self):
+        # The paper's 2048x1024 layer on 256 crossbars: 8 x 4 tiles.
+        m = mapping_for(2048, 1024, crossbar_size=256)
+        assert (m.row_blocks, m.col_blocks) == (8, 4)
+
+    def test_partial_tiles_round_up(self):
+        m = mapping_for(130, 100, crossbar_size=128)
+        assert (m.row_blocks, m.col_blocks) == (2, 1)
+        assert m.block_rows(0) == 128
+        assert m.block_rows(1) == 2
+        assert m.block_cols(0) == 100
+
+    def test_small_layer_in_big_crossbar(self):
+        m = mapping_for(16, 64, crossbar_size=256)
+        assert m.units == m.slices
+        assert m.typical_active_rows == 16
+        assert m.typical_active_cols == 64
+
+    def test_block_index_bounds_checked(self):
+        m = mapping_for(128, 128, crossbar_size=128)
+        with pytest.raises(MappingError):
+            m.block_rows(1)
+        with pytest.raises(MappingError):
+            m.block_cols(-1)
+
+
+class TestPolarityAndSlices:
+    def test_prime_case_four_crossbars(self):
+        """256x256 layer, 8-bit signed weights, 4-bit cells, size-256
+        crossbars -> 2 units, 4 crossbars (Sec. VII.E.1)."""
+        m = mapping_for(
+            256, 256, crossbar_size=256,
+            memristor_model="RRAM-4BIT", weight_bits=8,
+        )
+        assert m.slices == 2
+        assert m.units == 2
+        assert m.crossbars == 4
+
+    def test_unsigned_mapping_halves_crossbars(self):
+        # 4-bit weights fit one 7-bit cell either way, so polarity is
+        # the only difference.
+        signed = mapping_for(128, 128, weight_polarity=2, weight_bits=4)
+        unsigned = mapping_for(128, 128, weight_polarity=1, weight_bits=4)
+        assert signed.crossbars == 2 * unsigned.crossbars
+
+    def test_cells_counts_full_arrays(self):
+        m = mapping_for(100, 100, crossbar_size=128)
+        assert m.cells == m.crossbars * 128 * 128
+
+
+class TestBlockShapes:
+    def test_shapes_partition_all_tiles(self):
+        m = mapping_for(300, 200, crossbar_size=128)
+        shapes = m.block_shapes()
+        assert sum(s.count for s in shapes) == m.row_blocks * m.col_blocks
+
+    def test_shape_cell_totals_match_weights(self):
+        m = mapping_for(300, 200, crossbar_size=128)
+        active = sum(s.rows * s.cols * s.count for s in m.block_shapes())
+        assert active == 300 * 200
+
+    def test_iter_blocks_consistent_with_shapes(self):
+        m = mapping_for(300, 200, crossbar_size=128)
+        tiles = list(m.iter_blocks())
+        assert len(tiles) == m.row_blocks * m.col_blocks
+        total = sum(rows * cols for _i, _j, rows, cols in tiles)
+        assert total == 300 * 200
+
+    def test_exact_grid_has_one_shape(self):
+        m = mapping_for(256, 512, crossbar_size=128)
+        shapes = m.block_shapes()
+        assert len(shapes) == 1
+        assert shapes[0].count == 2 * 4
+
+
+class TestConvMapping:
+    def test_conv_matrix_shape(self):
+        layer = ConvLayer(64, 128, kernel=3, input_size=56, padding=1)
+        m = LayerMapping.for_layer(layer, SimConfig(crossbar_size=128))
+        assert m.in_features == 64 * 9
+        assert m.out_features == 128
+        assert m.row_blocks == 5  # ceil(576 / 128)

@@ -1,0 +1,117 @@
+"""Inner-layer pipeline modelling."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.pipeline import (
+    InnerPipeline,
+    PipelineStage,
+    bank_inner_pipeline,
+)
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp
+
+
+@pytest.fixture
+def stages():
+    return [
+        PipelineStage("a", 10e-9, 1e-12),
+        PipelineStage("b", 20e-9, 2e-12),
+        PipelineStage("c", 5e-9, 0.5e-12),
+    ]
+
+
+class TestInnerPipeline:
+    def test_cycle_time_is_slowest_stage(self, stages):
+        pipe = InnerPipeline(stages)
+        assert pipe.cycle_time == 20e-9
+        assert pipe.depth == 3
+
+    def test_explicit_slower_clock_allowed(self, stages):
+        pipe = InnerPipeline(stages, cycle_time=100e-9)
+        assert pipe.cycle_time == 100e-9
+
+    def test_clock_faster_than_slowest_stage_rejected(self, stages):
+        with pytest.raises(ConfigError):
+            InnerPipeline(stages, cycle_time=15e-9)
+
+    def test_run_latency_fill_plus_stream(self, stages):
+        pipe = InnerPipeline(stages)
+        assert pipe.fill_latency == pytest.approx(3 * 20e-9)
+        assert pipe.run_latency(1) == pytest.approx(pipe.fill_latency)
+        assert pipe.run_latency(11) == pytest.approx(
+            pipe.fill_latency + 10 * 20e-9
+        )
+
+    def test_throughput(self, stages):
+        assert InnerPipeline(stages).throughput() == pytest.approx(50e6)
+
+    def test_run_energy_linear_in_tokens(self, stages):
+        pipe = InnerPipeline(stages)
+        assert pipe.run_energy(10) == pytest.approx(10 * 3.5e-12)
+
+    def test_speedup_approaches_balanced_depth(self):
+        balanced = [PipelineStage(str(i), 10e-9) for i in range(4)]
+        pipe = InnerPipeline(balanced)
+        assert pipe.speedup_over_sequential(1) == pytest.approx(1.0)
+        assert pipe.speedup_over_sequential(10_000) == pytest.approx(
+            4.0, rel=0.01
+        )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            InnerPipeline([])
+
+    def test_invalid_tokens(self, stages):
+        pipe = InnerPipeline(stages)
+        with pytest.raises(ConfigError):
+            pipe.run_latency(0)
+        with pytest.raises(ConfigError):
+            pipe.run_energy(0)
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineStage("bad", -1.0)
+
+    def test_run_performance_record(self, stages):
+        perf = InnerPipeline(stages).run_performance(5, area=1e-6)
+        assert perf.area == 1e-6
+        assert perf.dynamic_energy == pytest.approx(5 * 3.5e-12)
+
+
+class TestBankDecomposition:
+    @pytest.fixture
+    def bank(self):
+        config = SimConfig(
+            crossbar_size=128, cmos_tech=45, interconnect_tech=45,
+            parallelism_degree=16,
+        )
+        return Accelerator(config, validation_mlp()).banks[0]
+
+    def test_stage_names(self, bank):
+        pipe = bank_inner_pipeline(bank)
+        assert [s.name for s in pipe.stages] == [
+            "input_drive", "crossbar", "read", "merge", "neuron_buffer",
+        ]
+
+    def test_energy_per_token_matches_bank_pass(self, bank):
+        pipe = bank_inner_pipeline(bank)
+        assert pipe.run_energy(1) == pytest.approx(
+            bank.pass_performance().dynamic_energy, rel=1e-9
+        )
+
+    def test_stage_latencies_sum_to_pass_latency(self, bank):
+        pipe = bank_inner_pipeline(bank)
+        total = sum(stage.latency for stage in pipe.stages)
+        assert total == pytest.approx(
+            bank.pass_performance().latency, rel=1e-9
+        )
+
+    def test_pipelining_beats_sequential_on_streams(self, bank):
+        """The read phase dominates this configuration, so the speed-up
+        is modest (bounded by sum/max stage latency) but real."""
+        pipe = bank_inner_pipeline(bank)
+        speedup = pipe.speedup_over_sequential(10_000)
+        upper_bound = sum(s.latency for s in pipe.stages) / pipe.cycle_time
+        assert 1.05 < speedup <= upper_bound + 1e-9

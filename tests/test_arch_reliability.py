@@ -1,0 +1,104 @@
+"""Retention / read-disturb / refresh lifetime model."""
+
+import math
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.reliability import (
+    max_sample_rate_for_lifetime,
+    reliability_report,
+)
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp
+
+YEAR = 365.0 * 24 * 3600
+
+
+@pytest.fixture
+def accelerator():
+    config = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    return Accelerator(config, validation_mlp())
+
+
+class TestReport:
+    def test_idle_device_is_retention_limited(self, accelerator):
+        report = reliability_report(accelerator, samples_per_second=0.0)
+        assert report.retention_limited
+        # Half-level budget at one level/year -> refresh every 6 months.
+        assert report.refresh_interval == pytest.approx(YEAR / 2)
+        assert report.refreshes_per_year == pytest.approx(2.0)
+
+    def test_heavy_read_traffic_becomes_disturb_limited(self, accelerator):
+        report = reliability_report(
+            accelerator, samples_per_second=1e6,
+            disturb_per_read=1e-6,
+        )
+        assert not report.retention_limited
+        assert report.refresh_interval < YEAR / 2
+
+    def test_refresh_costs_scale_with_frequency(self, accelerator):
+        relaxed = reliability_report(accelerator, 0.0)
+        stressed = reliability_report(
+            accelerator, 1e6, disturb_per_read=1e-6
+        )
+        assert stressed.refresh_energy_per_year > (
+            relaxed.refresh_energy_per_year
+        )
+        assert stressed.refresh_duty_cycle >= relaxed.refresh_duty_cycle
+
+    def test_duty_cycle_bounded(self, accelerator):
+        report = reliability_report(
+            accelerator, 1e9, disturb_per_read=1e-3
+        )
+        assert 0 < report.refresh_duty_cycle <= 1.0
+
+    def test_endurance_lifetime_positive(self, accelerator):
+        report = reliability_report(accelerator, 100.0)
+        # 2 refreshes/year, 1 pulse/cell, 1e9 endurance -> ~5e8 years.
+        assert report.endurance_lifetime_years > 1e6
+
+    def test_invalid_args(self, accelerator):
+        with pytest.raises(ConfigError):
+            reliability_report(accelerator, -1.0)
+        with pytest.raises(ConfigError):
+            reliability_report(accelerator, 1.0, drift_budget=0.0)
+        with pytest.raises(ConfigError):
+            reliability_report(accelerator, 1.0, retention_per_level=0.0)
+
+
+class TestLifetimeBudget:
+    def test_generous_target_allows_unbounded_rate_wo_disturb(
+        self, accelerator
+    ):
+        rate = max_sample_rate_for_lifetime(
+            accelerator, target_years=1.0, disturb_per_read=0.0
+        )
+        assert rate == math.inf
+
+    def test_rate_budget_meets_the_target(self, accelerator):
+        target = 10.0
+        rate = max_sample_rate_for_lifetime(
+            accelerator, target_years=target, disturb_per_read=1e-6,
+            write_endurance=1e6,
+        )
+        assert rate is not None and rate > 0
+        achieved = reliability_report(
+            accelerator, rate, disturb_per_read=1e-6,
+            write_endurance=1e6,
+        )
+        assert achieved.endurance_lifetime_years == pytest.approx(
+            target, rel=0.01
+        )
+
+    def test_retention_floor_detected(self, accelerator):
+        """A fragile device cannot reach a decade even when idle."""
+        rate = max_sample_rate_for_lifetime(
+            accelerator, target_years=10.0, write_endurance=10.0,
+        )
+        assert rate is None
+
+    def test_invalid_target(self, accelerator):
+        with pytest.raises(ConfigError):
+            max_sample_rate_for_lifetime(accelerator, target_years=0.0)

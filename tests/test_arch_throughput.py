@@ -1,0 +1,91 @@
+"""Throughput / bottleneck analysis."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.throughput import (
+    bus_lines_for_balance,
+    throughput_report,
+)
+from repro.config import SimConfig
+from repro.nn.networks import caffenet, mlp, validation_mlp
+
+
+@pytest.fixture
+def accelerator():
+    config = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    return Accelerator(config, validation_mlp())
+
+
+class TestReport:
+    def test_stage_per_bank_plus_interfaces(self, accelerator):
+        report = throughput_report(accelerator)
+        names = {stage.name for stage in report.stages}
+        assert "bank[0]" in names and "bank[1]" in names
+        assert "input_interface" in names
+
+    def test_bottleneck_is_the_slowest_stage(self, accelerator):
+        report = throughput_report(accelerator)
+        slowest = min(
+            report.stages, key=lambda s: s.samples_per_second
+        )
+        assert report.bottleneck == slowest
+        assert report.samples_per_second == pytest.approx(
+            slowest.samples_per_second
+        )
+
+    def test_headroom_of_bottleneck_is_one(self, accelerator):
+        report = throughput_report(accelerator)
+        assert report.bottleneck.headroom(
+            report.samples_per_second
+        ) == pytest.approx(1.0)
+        for stage in report.stages:
+            assert stage.headroom(report.samples_per_second) >= 1.0 - 1e-12
+
+    def test_render_marks_bottleneck(self, accelerator):
+        text = throughput_report(accelerator).render()
+        assert "<-- bottleneck" in text
+
+
+class TestBottleneckIdentity:
+    def test_small_fc_net_is_bus_bound(self, accelerator):
+        """Two fast 128x128 banks behind a 128-line bus: the interface
+        limits throughput."""
+        report = throughput_report(accelerator)
+        assert report.is_bus_bound
+
+    def test_conv_network_is_compute_bound(self):
+        """A conv bank runs thousands of passes per sample — the banks,
+        not the bus, limit CNN throughput."""
+        config = SimConfig(crossbar_size=128, cmos_tech=45,
+                           interconnect_tech=45)
+        report = throughput_report(Accelerator(config, caffenet()))
+        assert not report.is_bus_bound
+        assert report.bottleneck.name.startswith("bank")
+
+    def test_serial_reads_shift_the_bottleneck(self):
+        """Dropping the parallelism degree slows the banks until they
+        overtake the bus as the bottleneck."""
+        config = SimConfig(crossbar_size=128, cmos_tech=45,
+                           interconnect_tech=45, parallelism_degree=1)
+        report = throughput_report(Accelerator(config, validation_mlp()))
+        assert not report.is_bus_bound
+
+
+class TestBalancing:
+    def test_balanced_lines_remove_bus_bottleneck(self, accelerator):
+        in_lines, out_lines = bus_lines_for_balance(accelerator)
+        rebalanced = Accelerator(
+            accelerator.config.replace(
+                interface_number=(in_lines, out_lines)
+            ),
+            validation_mlp(),
+        )
+        report = throughput_report(rebalanced)
+        assert not report.is_bus_bound
+
+    def test_compute_bound_design_keeps_its_lines(self):
+        config = SimConfig(crossbar_size=128, cmos_tech=45,
+                           interconnect_tech=45, parallelism_degree=1)
+        accelerator = Accelerator(config, validation_mlp())
+        assert bus_lines_for_balance(accelerator) == (128, 128)

@@ -1,0 +1,106 @@
+"""On-chip training cost and endurance model."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.training import (
+    DEFAULT_WRITE_ENDURANCE,
+    TrainingCostModel,
+)
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp
+
+
+@pytest.fixture
+def accelerator():
+    config = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    return Accelerator(config, validation_mlp())
+
+
+@pytest.fixture
+def model(accelerator):
+    return TrainingCostModel(accelerator, update_sparsity=0.1)
+
+
+class TestConstruction:
+    def test_invalid_sparsity(self, accelerator):
+        with pytest.raises(ConfigError):
+            TrainingCostModel(accelerator, update_sparsity=0.0)
+        with pytest.raises(ConfigError):
+            TrainingCostModel(accelerator, update_sparsity=1.5)
+
+    def test_invalid_endurance(self, accelerator):
+        with pytest.raises(ConfigError):
+            TrainingCostModel(accelerator, write_endurance=0)
+
+
+class TestUpdateCost:
+    def test_sparse_update_cheaper_than_full_write(self, accelerator, model):
+        full = accelerator.write_performance()
+        update = model.update_performance()
+        assert update.dynamic_energy == pytest.approx(
+            full.dynamic_energy * 0.1
+        )
+        assert update.latency < full.latency
+
+    def test_denser_updates_cost_more(self, accelerator):
+        sparse = TrainingCostModel(accelerator, update_sparsity=0.05)
+        dense = TrainingCostModel(accelerator, update_sparsity=0.5)
+        assert dense.update_performance().dynamic_energy > (
+            sparse.update_performance().dynamic_energy
+        )
+
+
+class TestEpochCost:
+    def test_epoch_combines_compute_and_updates(self, accelerator, model):
+        epoch = model.epoch_performance(samples_per_epoch=100, batch_size=10)
+        forward = accelerator.sample_performance()
+        # At least the 2x-forward compute cost plus some update cost.
+        assert epoch.dynamic_energy > 200 * forward.dynamic_energy
+        assert epoch.latency > 200 * forward.latency
+
+    def test_bigger_batches_mean_fewer_updates(self, model):
+        small_batch = model.epoch_performance(1000, batch_size=1)
+        big_batch = model.epoch_performance(1000, batch_size=100)
+        assert big_batch.dynamic_energy < small_batch.dynamic_energy
+
+    def test_invalid_geometry(self, model):
+        with pytest.raises(ConfigError):
+            model.epoch_performance(0, 1)
+        with pytest.raises(ConfigError):
+            model.epoch_performance(10, 0)
+
+
+class TestEndurance:
+    def test_endurance_horizon(self, model):
+        cost = model.evaluate(samples_per_epoch=1000, batch_size=10)
+        # 0.1 writes per cell per update, 1e9 endurance -> 1e10 updates.
+        assert cost.endurance_updates == pytest.approx(
+            DEFAULT_WRITE_ENDURANCE / 0.1
+        )
+        assert cost.endurance_epochs == pytest.approx(
+            cost.endurance_updates / 100
+        )
+        assert cost.supports_run(epochs=100)
+        assert not cost.supports_run(epochs=int(cost.endurance_epochs) + 1)
+
+    def test_fragile_device_limits_training(self, accelerator):
+        fragile = TrainingCostModel(
+            accelerator, update_sparsity=1.0, write_endurance=1e3
+        )
+        cost = fragile.evaluate(samples_per_epoch=10000, batch_size=1)
+        assert cost.endurance_epochs < 1.0  # cannot finish one epoch
+
+
+class TestInferenceAmortisation:
+    def test_write_share_vanishes_with_samples(self, model):
+        """Sec. II.B.1: fixed weights amortise the write cost away."""
+        early = model.inference_amortisation(samples=1)
+        late = model.inference_amortisation(samples=1_000_000)
+        assert late < early
+        assert late < 0.05
+
+    def test_invalid_samples(self, model):
+        with pytest.raises(ConfigError):
+            model.inference_amortisation(0)

@@ -1,0 +1,127 @@
+"""Level-3 Computation Unit cost model."""
+
+import math
+
+import pytest
+
+from repro.arch.unit import ComputationUnit
+from repro.circuits import ModuleRegistry
+from repro.config import SimConfig
+from repro.report import Performance
+
+
+@pytest.fixture
+def config():
+    return SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+
+
+class TestStructure:
+    def test_default_active_region_is_full(self, config):
+        unit = ComputationUnit(config)
+        assert unit.active_rows == unit.active_cols == 128
+
+    def test_active_region_validated(self, config):
+        with pytest.raises(ValueError):
+            ComputationUnit(config, active_rows=129)
+        with pytest.raises(ValueError):
+            ComputationUnit(config, active_cols=0)
+
+    def test_signed_config_has_subtractor(self, config):
+        assert ComputationUnit(config).subtractor is not None
+        unsigned = ComputationUnit(config.replace(weight_polarity=1))
+        assert unsigned.subtractor is None
+
+    def test_read_cycles_from_parallelism(self, config):
+        full = ComputationUnit(config)  # p = 0 -> all parallel
+        assert full.read_cycles == 1
+        shared = ComputationUnit(config.replace(parallelism_degree=8))
+        assert shared.read_cycles == 16
+        assert shared.parallelism == 8
+
+
+class TestComputeCost:
+    def test_all_metrics_positive(self, config):
+        perf = ComputationUnit(config).compute_performance()
+        assert perf.area > 0
+        assert perf.dynamic_energy > 0
+        assert perf.leakage_power > 0
+        assert perf.latency > 0
+
+    def test_lower_parallelism_trades_area_for_latency(self, config):
+        serial = ComputationUnit(
+            config.replace(parallelism_degree=1)
+        ).compute_performance()
+        parallel = ComputationUnit(config).compute_performance()
+        assert serial.area < parallel.area
+        assert serial.latency > parallel.latency
+
+    def test_serial_read_costs_more_energy(self, config):
+        """Holding the crossbar through a long read phase burns more
+        energy than reading everything at once (the Table IV effect)."""
+        serial = ComputationUnit(
+            config.replace(parallelism_degree=1)
+        ).compute_performance()
+        parallel = ComputationUnit(config).compute_performance()
+        assert serial.dynamic_energy > parallel.dynamic_energy
+
+    def test_polarity_doubles_crossbar_contribution(self, config):
+        signed = ComputationUnit(config)
+        unsigned = ComputationUnit(config.replace(weight_polarity=1))
+        assert signed.compute_performance().area > (
+            unsigned.compute_performance().area
+        )
+
+    def test_partial_fill_saves_energy(self, config):
+        full = ComputationUnit(config).compute_performance()
+        partial = ComputationUnit(
+            config, active_rows=32, active_cols=32
+        ).compute_performance()
+        assert partial.dynamic_energy < full.dynamic_energy
+
+
+class TestOtherOps:
+    def test_write_scales_with_cells(self, config):
+        big = ComputationUnit(config).write_performance()
+        small = ComputationUnit(
+            config, active_rows=16, active_cols=16
+        ).write_performance()
+        assert big.dynamic_energy > small.dynamic_energy
+        assert big.latency > small.latency
+
+    def test_memory_read_much_cheaper_than_compute(self, config):
+        unit = ComputationUnit(config)
+        assert unit.read_performance().dynamic_energy < (
+            unit.compute_performance().dynamic_energy
+        )
+
+
+class TestCustomization:
+    def test_registry_override_reaches_unit(self, config):
+        registry = ModuleRegistry()
+        registry.override_fixed(
+            "read_circuit", Performance(area=0.0, dynamic_energy=0.0,
+                                        latency=1e-9)
+        )
+        custom = ComputationUnit(config, registry=registry)
+        reference = ComputationUnit(config)
+        assert custom.compute_performance().area < (
+            reference.compute_performance().area
+        )
+
+    def test_removed_dac_slot(self, config):
+        """The DAC-free structure of refs [24]/[30] (Sec. III.E.2)."""
+        registry = ModuleRegistry()
+        registry.remove("dac")
+        stripped = ComputationUnit(config, registry=registry)
+        reference = ComputationUnit(config)
+        assert stripped.compute_performance().area < (
+            reference.compute_performance().area
+        )
+
+
+class TestReport:
+    def test_report_lists_submodules(self, config):
+        node = ComputationUnit(config).report()
+        names = {child.name for child in node.children}
+        assert {"crossbar", "row_decoder", "dac", "read_circuit"} <= names
+        assert "p=" in node.notes

@@ -1,0 +1,218 @@
+"""Array-side circuit modules: crossbar, decoders, DAC, ADC, column mux."""
+
+import pytest
+
+from repro.circuits.adc import AdcModule, available_adc_designs, get_adc_design
+from repro.circuits.crossbar import (
+    DEFAULT_LAYOUT_COEFFICIENT,
+    CrossbarModule,
+)
+from repro.circuits.dac import DacModule
+from repro.circuits.decoder import DecoderModule
+from repro.circuits.mux import ColumnMuxModule
+from repro.errors import TechnologyError
+from repro.tech import get_cmos_node, get_interconnect_node, get_memristor_model
+from repro.tech.memristor import CellType
+
+
+@pytest.fixture
+def cmos():
+    return get_cmos_node(45)
+
+
+@pytest.fixture
+def device():
+    return get_memristor_model("RRAM")
+
+
+@pytest.fixture
+def wire():
+    return get_interconnect_node(45)
+
+
+def make_crossbar(device, wire, rows=128, cols=128, **kwargs):
+    return CrossbarModule(
+        device, CellType.ONE_T_ONE_R, rows, cols, wire, **kwargs
+    )
+
+
+class TestCrossbar:
+    def test_area_matches_eq7_with_layout_coefficient(self, device, wire):
+        xbar = make_crossbar(device, wire, 32, 32)
+        cells = 32 * 32 * device.cell_area(CellType.ONE_T_ONE_R)
+        assert xbar.area == pytest.approx(cells * DEFAULT_LAYOUT_COEFFICIENT)
+
+    def test_layout_coefficient_reproduces_fig6_ratio(self):
+        # 3420 um^2 measured vs 2251 um^2 estimated (Fig. 6).
+        assert DEFAULT_LAYOUT_COEFFICIENT == pytest.approx(3420 / 2251)
+
+    def test_compute_power_uses_harmonic_mean(self, device, wire):
+        xbar = make_crossbar(device, wire, 128, 128)
+        v_avg = device.read_voltage / 2
+        expected = 128 * 128 * v_avg**2 / device.harmonic_mean_resistance
+        assert xbar.compute_power == pytest.approx(expected)
+
+    def test_compute_power_scales_with_active_region(self, device, wire):
+        full = make_crossbar(device, wire, 128, 128)
+        partial = make_crossbar(
+            device, wire, 128, 128, active_rows=64, active_cols=32
+        )
+        assert partial.compute_power == pytest.approx(full.compute_power / 8)
+        assert partial.area == full.area  # area covers the full array
+
+    def test_read_power_much_smaller_than_compute(self, device, wire):
+        xbar = make_crossbar(device, wire, 128, 128)
+        assert xbar.read_power < xbar.compute_power / 1000
+
+    def test_settle_time_grows_with_array(self, device, wire):
+        small = make_crossbar(device, wire, 16, 16)
+        large = make_crossbar(device, wire, 512, 512)
+        assert large.settle_time > small.settle_time
+
+    def test_leakage_zero_for_cross_point(self, device, wire, cmos):
+        zero = CrossbarModule(
+            device, CellType.CROSS_POINT, 64, 64, wire,
+            cmos_leakage_per_gate=cmos.leakage_per_gate,
+        )
+        some = CrossbarModule(
+            device, CellType.ONE_T_ONE_R, 64, 64, wire,
+            cmos_leakage_per_gate=cmos.leakage_per_gate,
+        )
+        assert zero.leakage_power == 0.0
+        assert some.leakage_power > 0.0
+
+    def test_write_performance_scales_with_cells(self, device, wire):
+        xbar = make_crossbar(device, wire, 64, 64)
+        one = xbar.write_performance(cells=1)
+        many = xbar.write_performance(cells=100)
+        assert many.dynamic_energy == pytest.approx(100 * one.dynamic_energy)
+        assert many.latency == pytest.approx(100 * one.latency)
+
+    def test_write_defaults_to_active_region(self, device, wire):
+        xbar = make_crossbar(device, wire, 64, 64, active_rows=8,
+                             active_cols=8)
+        assert xbar.write_performance().latency == pytest.approx(
+            xbar.write_performance(cells=64).latency
+        )
+
+    def test_invalid_dimensions_raise(self, device, wire):
+        with pytest.raises(ValueError):
+            make_crossbar(device, wire, 0, 10)
+        with pytest.raises(ValueError):
+            make_crossbar(device, wire, 8, 8, active_rows=9)
+
+
+class TestDecoder:
+    def test_computation_oriented_adds_nor_per_line(self, cmos):
+        memory = DecoderModule(cmos, 128, computation_oriented=False)
+        compute = DecoderModule(cmos, 128, computation_oriented=True)
+        assert compute.gate_count() == pytest.approx(
+            memory.gate_count() + 128 * 1.0
+        )
+        assert compute.fo4_depth() > memory.fo4_depth()
+
+    def test_address_bits(self, cmos):
+        assert DecoderModule(cmos, 128).address_bits == 7
+        assert DecoderModule(cmos, 1).address_bits == 1
+
+    def test_performance_scales_with_lines(self, cmos):
+        small = DecoderModule(cmos, 16).performance()
+        large = DecoderModule(cmos, 256).performance()
+        assert large.area > small.area
+        assert large.dynamic_energy > small.dynamic_energy
+
+    def test_zero_lines_rejected(self, cmos):
+        with pytest.raises(ValueError):
+            DecoderModule(cmos, 0)
+
+
+class TestDac:
+    def test_energy_grows_with_bits(self, cmos):
+        e4 = DacModule(cmos, 4).performance().dynamic_energy
+        e8 = DacModule(cmos, 8).performance().dynamic_energy
+        assert e8 > e4
+
+    def test_latency_is_conversion_time(self, cmos):
+        dac = DacModule(cmos, 8, conversion_time=7e-9)
+        assert dac.performance().latency == pytest.approx(7e-9)
+
+    def test_invalid_parameters(self, cmos):
+        with pytest.raises(ValueError):
+            DacModule(cmos, 0)
+        with pytest.raises(ValueError):
+            DacModule(cmos, 8, conversion_time=0)
+
+
+class TestAdc:
+    def test_energy_follows_walden_fom(self, cmos):
+        adc = AdcModule(cmos, bits=8, fom=50e-15)
+        assert adc.conversion_energy() == pytest.approx(50e-15 * 256)
+
+    def test_default_fom_scales_with_node(self):
+        coarse = AdcModule(get_cmos_node(90), bits=8)
+        fine = AdcModule(get_cmos_node(45), bits=8)
+        assert fine.conversion_energy() < coarse.conversion_energy()
+
+    def test_latency_from_frequency(self, cmos):
+        adc = AdcModule(cmos, bits=8, frequency=50e6)
+        assert adc.performance().latency == pytest.approx(20e-9)
+
+    def test_overrides_win(self, cmos):
+        adc = AdcModule(
+            cmos, bits=8, area_override=1e-9, energy_override=2e-12
+        )
+        perf = adc.performance()
+        assert perf.area == 1e-9
+        assert perf.dynamic_energy == 2e-12
+
+    def test_design_library(self, cmos):
+        assert "SA-50MHZ" in available_adc_designs()
+        design = get_adc_design("sar-1.2gs-32nm")
+        module = design.build(get_cmos_node(32))
+        assert module.frequency == pytest.approx(1.2e9)
+        # Published point: 3.1 mW at 1.2 GS/s.
+        assert module.conversion_energy() == pytest.approx(3.1e-3 / 1.2e9)
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(TechnologyError):
+            get_adc_design("FLASH-ADC")
+
+
+class TestColumnMux:
+    def test_cycles_cover_all_columns(self, cmos):
+        mux = ColumnMuxModule(cmos, columns=100, read_circuits=8)
+        assert mux.cycles == 13  # ceil(100 / 8)
+        assert mux.cycles * 8 >= 100
+
+    def test_all_parallel_needs_no_counter(self, cmos):
+        parallel = ColumnMuxModule(cmos, columns=64, read_circuits=64)
+        shared = ColumnMuxModule(cmos, columns=64, read_circuits=8)
+        assert parallel.cycles == 1
+        assert parallel.gate_count() < shared.gate_count()
+
+    def test_more_read_circuits_than_columns_rejected(self, cmos):
+        with pytest.raises(ValueError):
+            ColumnMuxModule(cmos, columns=8, read_circuits=16)
+
+
+class TestAdcDesignLibrary:
+    def test_all_survey_points_build(self, cmos):
+        for name in available_adc_designs():
+            module = get_adc_design(name).build(cmos)
+            perf = module.performance()
+            assert perf.area > 0
+            assert perf.dynamic_energy > 0
+
+    def test_flash_is_fast_but_hungry(self, cmos):
+        flash = get_adc_design("FLASH-4B-2GS").build(cmos)
+        sar = get_adc_design("SAR-8B-100MS").build(cmos)
+        assert flash.conversion_time < sar.conversion_time
+        # Energy per *step* (level) is far worse for flash.
+        assert flash.conversion_energy() / flash.levels > (
+            sar.conversion_energy() / sar.levels
+        )
+
+    def test_low_power_sa_point(self, cmos):
+        sa = get_adc_design("SA-10MHZ").build(cmos)
+        reference = AdcModule(cmos, bits=8)
+        assert sa.conversion_energy() < reference.conversion_energy()

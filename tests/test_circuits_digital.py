@@ -1,0 +1,204 @@
+"""Digital peripheral modules: gates, adders, neurons, pooling, buffers,
+interfaces."""
+
+import math
+
+import pytest
+
+from repro.circuits import gates
+from repro.circuits.adder import (
+    AdderModule,
+    AdderTreeModule,
+    ShiftAddModule,
+    SubtractorModule,
+)
+from repro.circuits.buffers import (
+    LineBufferModule,
+    RegisterFileModule,
+    output_line_buffer_length,
+)
+from repro.circuits.interface import BUS_CYCLE_TIME, IoInterfaceModule
+from repro.circuits.neuron import (
+    IntegrateFireNeuronModule,
+    ReluNeuronModule,
+    SigmoidNeuronModule,
+    neuron_for_network_type,
+)
+from repro.circuits.pooling import MaxPoolingModule
+from repro.errors import ConfigError
+from repro.tech import get_cmos_node
+
+
+@pytest.fixture
+def cmos():
+    return get_cmos_node(45)
+
+
+class TestGates:
+    def test_logic_performance_fields(self, cmos):
+        perf = gates.logic_performance(cmos, gate_count=100, fo4_depth=10)
+        assert perf.area == pytest.approx(cmos.gate_area(100))
+        assert perf.latency == pytest.approx(cmos.gate_delay(10))
+        assert perf.leakage_power == pytest.approx(cmos.gate_leakage(100))
+
+    def test_evaluations_scale_energy_only(self, cmos):
+        once = gates.logic_performance(cmos, 50, 5, evaluations=1)
+        thrice = gates.logic_performance(cmos, 50, 5, evaluations=3)
+        assert thrice.dynamic_energy == pytest.approx(3 * once.dynamic_energy)
+        assert thrice.latency == once.latency
+
+    def test_negative_inputs_rejected(self, cmos):
+        with pytest.raises(ValueError):
+            gates.logic_performance(cmos, -1, 1)
+
+    def test_mux_tree_trivial_cases(self):
+        assert gates.mux_tree_gates(1, 8) == 0
+        assert gates.mux_tree_depth(1) == 0
+
+    def test_lut_gates_grow_exponentially(self):
+        assert gates.lut_gates(8, 8) > 10 * gates.lut_gates(4, 8)
+
+
+class TestAdders:
+    def test_ripple_adder_scales_linearly(self, cmos):
+        a8 = AdderModule(cmos, 8).performance()
+        a16 = AdderModule(cmos, 16).performance()
+        assert a16.area == pytest.approx(2 * a8.area)
+        assert a16.latency == pytest.approx(2 * a8.latency)
+
+    def test_tree_depth_and_output_bits(self, cmos):
+        tree = AdderTreeModule(cmos, inputs=16, bits=8)
+        assert tree.depth == 4
+        assert tree.output_bits == 12
+
+    def test_tree_single_input_is_a_wire(self, cmos):
+        tree = AdderTreeModule(cmos, inputs=1, bits=8)
+        perf = tree.performance()
+        assert perf.area == 0
+        assert perf.latency == 0
+
+    def test_tree_adder_count_matches_inputs_minus_one(self, cmos):
+        # A binary reduction of N leaves uses N-1 adders; the widths
+        # grow per level so area exceeds N-1 8-bit adders.
+        tree = AdderTreeModule(cmos, inputs=8, bits=8)
+        single = AdderModule(cmos, 8).performance()
+        assert tree.performance().area >= 7 * single.area
+
+    def test_tree_handles_non_powers_of_two(self, cmos):
+        tree = AdderTreeModule(cmos, inputs=5, bits=8)
+        assert tree.depth == 3
+        assert tree.performance().area > 0
+
+    def test_shift_add_single_slice_is_free(self, cmos):
+        merge = ShiftAddModule(cmos, slices=1, slice_bits=4, input_bits=8)
+        assert merge.performance().area == 0
+
+    def test_shift_add_output_width(self, cmos):
+        merge = ShiftAddModule(cmos, slices=2, slice_bits=4, input_bits=10)
+        assert merge.output_bits == 14
+        assert merge.performance().dynamic_energy > 0
+
+    def test_subtractor_slightly_larger_than_adder(self, cmos):
+        add = AdderModule(cmos, 8).performance()
+        sub = SubtractorModule(cmos, 8).performance()
+        assert sub.area > add.area
+        assert sub.latency > add.latency
+
+
+class TestNeurons:
+    def test_sigmoid_lut_grows_with_output_bits(self, cmos):
+        small = SigmoidNeuronModule(cmos, 8, 4).performance()
+        large = SigmoidNeuronModule(cmos, 8, 8).performance()
+        assert large.area > small.area
+
+    def test_sigmoid_truncates_wide_inputs(self, cmos):
+        neuron = SigmoidNeuronModule(cmos, 16, 8)
+        assert neuron.address_bits == 10
+
+    def test_relu_is_the_cheapest(self, cmos):
+        relu = ReluNeuronModule(cmos, 8).performance()
+        sigmoid = SigmoidNeuronModule(cmos, 8, 8).performance()
+        integrate = IntegrateFireNeuronModule(cmos, 8).performance()
+        assert relu.area < sigmoid.area
+        assert relu.area < integrate.area
+
+    def test_if_neuron_potential_bits_default(self, cmos):
+        neuron = IntegrateFireNeuronModule(cmos, 8)
+        assert neuron.potential_bits == 10
+
+    def test_reference_neuron_selection(self, cmos):
+        assert isinstance(
+            neuron_for_network_type("DNN", cmos, 8, 8), SigmoidNeuronModule
+        )
+        assert isinstance(
+            neuron_for_network_type("ANN", cmos, 8, 8), SigmoidNeuronModule
+        )
+        assert isinstance(
+            neuron_for_network_type("CNN", cmos, 8, 8), ReluNeuronModule
+        )
+        assert isinstance(
+            neuron_for_network_type("SNN", cmos, 8, 8),
+            IntegrateFireNeuronModule,
+        )
+
+    def test_unknown_type_raises(self, cmos):
+        with pytest.raises(ConfigError):
+            neuron_for_network_type("RNN", cmos, 8, 8)
+
+
+class TestPooling:
+    def test_stage_count(self, cmos):
+        pool = MaxPoolingModule(cmos, window=2, bits=8)
+        assert pool.inputs == 4
+        assert pool.stages == 3
+
+    def test_window_one_is_free(self, cmos):
+        pool = MaxPoolingModule(cmos, window=1, bits=8)
+        assert pool.performance().area == 0
+
+    def test_bigger_windows_cost_more(self, cmos):
+        p2 = MaxPoolingModule(cmos, 2, 8).performance()
+        p3 = MaxPoolingModule(cmos, 3, 8).performance()
+        assert p3.area > p2.area
+        assert p3.latency > p2.latency
+
+
+class TestBuffers:
+    def test_eq6_line_buffer_length(self):
+        # L_out = W * (h - 1) + w (Eq. 6).
+        assert output_line_buffer_length(28, 3, 3) == 28 * 2 + 3
+        assert output_line_buffer_length(10, 1, 1) == 1
+
+    def test_eq6_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            output_line_buffer_length(0, 3, 3)
+
+    def test_register_file_scales_with_words(self, cmos):
+        small = RegisterFileModule(cmos, 16, 8).performance()
+        large = RegisterFileModule(cmos, 64, 8).performance()
+        assert large.area == pytest.approx(4 * small.area)
+
+    def test_line_buffer_lanes_multiply(self, cmos):
+        one = LineBufferModule(cmos, length=59, bits=8, lanes=1).performance()
+        many = LineBufferModule(cmos, length=59, bits=8, lanes=4).performance()
+        assert many.area == pytest.approx(4 * one.area)
+        assert many.latency == one.latency  # lanes shift in parallel
+
+
+class TestInterface:
+    def test_transfer_cycles(self, cmos):
+        # 784 values x 8 bits over 128 lines -> 49 cycles.
+        iface = IoInterfaceModule(cmos, lines=128, sample_values=784, bits=8)
+        assert iface.transfer_cycles == 49
+        assert iface.performance().latency == pytest.approx(
+            49 * BUS_CYCLE_TIME
+        )
+
+    def test_wider_bus_is_faster(self, cmos):
+        narrow = IoInterfaceModule(cmos, 32, 1024, 8).performance()
+        wide = IoInterfaceModule(cmos, 256, 1024, 8).performance()
+        assert wide.latency < narrow.latency
+
+    def test_invalid_parameters(self, cmos):
+        with pytest.raises(ValueError):
+            IoInterfaceModule(cmos, 0, 10, 8)

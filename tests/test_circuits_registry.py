@@ -1,0 +1,99 @@
+"""Module registry: the customization hooks of Sec. III.E."""
+
+import pytest
+
+from repro.circuits.adder import AdderModule
+from repro.circuits.base import CircuitModule, CustomModule
+from repro.circuits.registry import ModuleRegistry
+from repro.errors import ConfigError
+from repro.report import Performance
+from repro.tech import get_cmos_node
+
+
+@pytest.fixture
+def cmos():
+    return get_cmos_node(45)
+
+
+def test_custom_module_returns_supplied_numbers():
+    perf = Performance(area=1e-6, dynamic_energy=2e-9, latency=3e-9)
+    module = CustomModule("edram", perf)
+    assert module.performance() is perf
+
+
+def test_custom_module_requires_name():
+    with pytest.raises(ValueError):
+        CustomModule("", Performance())
+
+
+def test_build_uses_default_factory(cmos):
+    registry = ModuleRegistry()
+    module = registry.build("adder", AdderModule, cmos=cmos, bits=8)
+    assert isinstance(module, AdderModule)
+
+
+def test_override_replaces_reference_design(cmos):
+    registry = ModuleRegistry()
+    registry.override("adder", lambda cmos, bits: AdderModule(cmos, bits * 2))
+    module = registry.build("adder", AdderModule, cmos=cmos, bits=8)
+    assert module.bits == 16
+
+
+def test_override_fixed_pins_published_numbers(cmos):
+    registry = ModuleRegistry()
+    published = Performance(area=5e-7, dynamic_energy=1e-12)
+    registry.override_fixed("read_circuit", published)
+    module = registry.build("read_circuit", AdderModule, cmos=cmos, bits=8)
+    assert module.performance() == published
+
+
+def test_remove_slot_yields_zero_cost(cmos):
+    """DAC/ADC-free structures (Sec. III.E.2, refs [24][30]) remove the
+    converter slots entirely."""
+    registry = ModuleRegistry()
+    registry.remove("dac")
+    module = registry.build("dac", AdderModule, cmos=cmos, bits=8)
+    perf = module.performance()
+    assert perf.area == 0 and perf.dynamic_energy == 0 and perf.latency == 0
+    assert registry.is_removed("dac")
+
+
+def test_restore_undoes_override_and_removal(cmos):
+    registry = ModuleRegistry()
+    registry.remove("dac")
+    registry.restore("dac")
+    assert not registry.is_removed("dac")
+    module = registry.build("dac", AdderModule, cmos=cmos, bits=8)
+    assert isinstance(module, AdderModule)
+
+
+def test_override_after_remove_reinstates_slot(cmos):
+    registry = ModuleRegistry()
+    registry.remove("neuron")
+    registry.override_fixed("neuron", Performance(area=1.0))
+    module = registry.build("neuron", AdderModule, cmos=cmos, bits=8)
+    assert module.performance().area == 1.0
+
+
+def test_non_callable_factory_rejected():
+    with pytest.raises(ConfigError):
+        ModuleRegistry().override("adder", 42)
+
+
+def test_copy_is_independent(cmos):
+    registry = ModuleRegistry()
+    registry.remove("dac")
+    clone = registry.copy()
+    clone.restore("dac")
+    assert registry.is_removed("dac")
+    assert not clone.is_removed("dac")
+
+
+def test_circuit_module_repr():
+    class Dummy(CircuitModule):
+        kind = "dummy"
+
+        def performance(self):
+            return Performance()
+
+    assert "dummy" in repr(Dummy())

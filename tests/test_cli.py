@@ -1,0 +1,129 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_network
+from repro.errors import ConfigError
+
+
+class TestParseNetwork:
+    def test_builtins(self):
+        assert parse_network("validation-mlp").depth == 2
+        assert parse_network("vgg16").depth == 16
+        assert parse_network("JPEG").name.startswith("jpeg")
+
+    def test_mlp_spec(self):
+        net = parse_network("mlp:784,256,10")
+        assert net.depth == 2
+        assert net.input_values == 784
+
+    def test_bad_specs(self):
+        with pytest.raises(ConfigError):
+            parse_network("resnet50")
+        with pytest.raises(ConfigError):
+            parse_network("mlp:a,b")
+
+
+class TestSimulate:
+    def test_summary_output(self, capsys):
+        code = main(["simulate", "mlp:64,32", "--cmos-tech", "45"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "area (mm^2)" in out
+        assert "relative accuracy" in out
+
+    def test_report_and_breakdown_flags(self, capsys):
+        code = main([
+            "simulate", "mlp:64,32", "--report", "--breakdown",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bank[0]" in out
+        assert "read_circuit" in out
+
+    def test_config_file(self, tmp_path, capsys):
+        config = tmp_path / "mnsim.cfg"
+        config.write_text("Crossbar_Size = 64\nCMOS_Tech = 65\n")
+        code = main(["simulate", "mlp:64,32", "--config", str(config)])
+        assert code == 0
+
+    def test_flag_overrides_file(self, tmp_path, capsys):
+        config = tmp_path / "mnsim.cfg"
+        config.write_text("Crossbar_Size = 64\n")
+        code = main([
+            "simulate", "mlp:64,32", "--config", str(config),
+            "--crossbar-size", "128",
+        ])
+        assert code == 0
+
+    def test_unknown_network_is_an_error(self, capsys):
+        code = main(["simulate", "resnet"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplore:
+    def test_optima_table(self, capsys):
+        code = main([
+            "explore", "mlp:256,128", "--sizes", "64", "128",
+            "--degrees", "1", "64", "--wires", "28", "45",
+            "--weight-bits", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "designs explored" in out
+        assert "accuracy" in out
+
+    def test_infeasible_constraint_fails(self, capsys):
+        code = main([
+            "explore", "mlp:4096,4096", "--sizes", "1024",
+            "--degrees", "1", "--wires", "18",
+            "--max-error", "0.000001",
+        ])
+        assert code == 1
+        assert "no feasible" in capsys.readouterr().err
+
+
+class TestNetlist:
+    def test_stdout_netlist(self, capsys):
+        code = main(["netlist", "--crossbar-size", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Rcell0_0" in out
+        assert ".end" in out
+
+    def test_file_output_round_trips(self, tmp_path, capsys):
+        from repro.spice.parser import parse_netlist
+
+        target = tmp_path / "xbar.sp"
+        code = main([
+            "netlist", "--crossbar-size", "4", "--seed", "3",
+            "-o", str(target),
+        ])
+        assert code == 0
+        parsed = parse_netlist(target.read_text())
+        assert parsed.resistances.shape == (4, 4)
+
+
+class TestSuggest:
+    def test_suggest_table(self, capsys):
+        code = main([
+            "suggest", "mlp:256,128", "--weight-bits", "4",
+            "--free", "parallelism_degree",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "target" in out
+        assert "accuracy" in out
+
+    def test_suggest_unknown_field_errors(self, capsys):
+        code = main(["suggest", "mlp:64,32", "--free", "cmos_tech"])
+        assert code == 2
+        assert "cannot sweep" in capsys.readouterr().err
+
+    def test_suggest_infeasible_constraint_errors(self, capsys):
+        code = main([
+            "suggest", "mlp:4096,4096", "--free", "crossbar_size",
+            "--max-error", "0.0000001",
+        ])
+        assert code == 2

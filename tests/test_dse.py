@@ -1,0 +1,230 @@
+"""Design-space exploration: space, explorer, trade-offs."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.explorer import (
+    DesignPoint,
+    explore,
+    optimal,
+    optimal_table,
+    pentagon_factors,
+)
+from repro.dse.space import DesignSpace
+from repro.dse.tradeoff import (
+    inflection_point,
+    parallelism_sweep,
+    pareto_frontier,
+    size_tradeoff,
+)
+from repro.errors import ConfigError, ExplorationError
+from repro.nn.networks import large_bank_layer
+
+
+@pytest.fixture
+def base_config():
+    return SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+
+
+@pytest.fixture
+def small_space():
+    return DesignSpace(
+        crossbar_sizes=(64, 128, 256),
+        parallelism_degrees=(1, 32, 256),
+        interconnect_nodes=(28, 45),
+    )
+
+
+@pytest.fixture
+def points(base_config, small_space, large_layer_network):
+    return explore(base_config, large_layer_network, small_space)
+
+
+class TestSpace:
+    def test_default_space_matches_paper_sweep(self):
+        space = DesignSpace()
+        assert 4 in space.crossbar_sizes and 1024 in space.crossbar_sizes
+        assert set(space.interconnect_nodes) == {18, 22, 28, 36, 45}
+
+    def test_invalid_degrees_filtered(self, small_space):
+        for size, degree, _node in small_space.valid_points():
+            assert degree <= size
+
+    def test_len_counts_valid_points(self, small_space):
+        # sizes 64 (p in 1,32), 128 (1,32), 256 (1,32,256) -> 7 combos x 2 wires.
+        assert len(small_space) == 14
+
+    def test_unknown_interconnect_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace(interconnect_nodes=(10,))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignSpace(crossbar_sizes=())
+
+    def test_configs_inherit_base(self, base_config, small_space):
+        for config in small_space.configs(base_config):
+            assert config.cmos_tech == 45
+            assert config.weight_bits == 4
+
+
+class TestExplorer:
+    def test_every_valid_point_simulated(self, points, small_space):
+        assert len(points) == len(small_space)
+
+    def test_constraint_filters_points(
+        self, base_config, small_space, large_layer_network
+    ):
+        all_points = explore(base_config, large_layer_network, small_space)
+        tight = explore(
+            base_config, large_layer_network, small_space,
+            max_error_rate=0.03,
+        )
+        assert len(tight) < len(all_points)
+        assert all(p.error_rate <= 0.03 for p in tight)
+
+    def test_optimal_minimises_metric(self, points):
+        best_area = optimal(points, "area")
+        assert all(best_area.area <= p.area for p in points)
+        best_energy = optimal(points, "energy")
+        assert all(best_energy.energy <= p.energy for p in points)
+
+    def test_optimal_accuracy_minimises_error(self, points):
+        best = optimal(points, "accuracy")
+        assert all(best.error_rate <= p.error_rate for p in points)
+
+    def test_optimal_table_has_all_metrics(self, points):
+        table = optimal_table(points)
+        assert set(table) == {"area", "energy", "latency", "accuracy"}
+
+    def test_empty_points_raise(self):
+        with pytest.raises(ExplorationError):
+            optimal([], "area")
+
+    def test_unknown_metric_raises(self, points):
+        with pytest.raises(ExplorationError):
+            optimal(points, "speedup")
+
+    def test_area_optimum_prefers_big_crossbars_low_parallelism(self, points):
+        """The Table IV trend: area-optimal designs use large crossbars
+        and few shared read circuits."""
+        best = optimal(points, "area")
+        assert best.crossbar_size == max(p.crossbar_size for p in points)
+        assert best.parallelism_degree <= 32
+
+    def test_latency_optimum_prefers_high_parallelism(self, points):
+        best = optimal(points, "latency")
+        assert best.parallelism_degree >= 32
+
+
+class TestPentagon:
+    def test_factors_normalised(self, points):
+        table = optimal_table(points)
+        factors = pentagon_factors(list(table.values()))
+        assert len(factors) == 4
+        for axis in ("reciprocal_area", "energy_efficiency",
+                     "reciprocal_power", "speed"):
+            values = [f[axis] for f in factors]
+            assert max(values) == pytest.approx(1.0)
+            assert all(0 <= v <= 1.0 for v in values)
+
+    def test_accuracy_axis_unnormalised(self, points):
+        factors = pentagon_factors([optimal(points, "accuracy")])
+        assert 0 <= factors[0]["accuracy"] <= 1
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(ExplorationError):
+            pentagon_factors([])
+
+
+class TestTradeoffs:
+    def test_size_tradeoff_shapes(self, base_config, large_layer_network):
+        rows = size_tradeoff(
+            base_config.replace(interconnect_tech=45),
+            large_layer_network,
+            sizes=(256, 128, 64, 32, 16, 8),
+        )
+        by_size = {r.crossbar_size: r for r in rows}
+        # Table V: area and energy fall monotonically with crossbar size.
+        ordered = sorted(by_size)
+        areas = [by_size[s].area for s in ordered]
+        energies = [by_size[s].energy for s in ordered]
+        assert areas == sorted(areas, reverse=True)
+        assert energies == sorted(energies, reverse=True)
+        # Error rate is U-shaped with an interior minimum.
+        errors = [by_size[s].error_rate for s in ordered]
+        best = errors.index(min(errors))
+        assert 0 < best < len(errors) - 1
+
+    def test_parallelism_sweep_normalisation(
+        self, base_config, large_layer_network
+    ):
+        rows = parallelism_sweep(
+            base_config.replace(interconnect_tech=45),
+            large_layer_network,
+            sizes=(128, 256),
+        )
+        for size in (128, 256):
+            group = [r for r in rows if r.crossbar_size == size]
+            assert max(r.normalized_area for r in group) == pytest.approx(1.0)
+            assert max(
+                r.normalized_latency for r in group
+            ) == pytest.approx(1.0)
+            # Latency falls as the parallelism degree rises (Fig. 7).
+            ordered = sorted(group, key=lambda r: r.parallelism_degree)
+            latencies = [r.latency for r in ordered]
+            assert latencies == sorted(latencies, reverse=True)
+            # Area rises with the parallelism degree.
+            areas = [r.area for r in ordered]
+            assert areas == sorted(areas)
+
+    def test_pareto_frontier_is_nondominated(self):
+        points = [(1, 10), (2, 5), (3, 7), (4, 1), (5, 2)]
+        frontier = pareto_frontier(points)
+        assert frontier == [(1, 10), (2, 5), (4, 1)]
+
+    def test_inflection_point_finds_knee(self):
+        # An L-shaped curve: the knee is the corner point.
+        curve = [(1, 100), (2, 50), (3, 10), (10, 9), (20, 8)]
+        assert inflection_point(curve) == (3, 10)
+
+    def test_inflection_empty_raises(self):
+        with pytest.raises(ExplorationError):
+            inflection_point([])
+
+
+class TestWeightedOptimal:
+    def test_single_weight_matches_plain_optimal(self, points):
+        from repro.dse.explorer import weighted_optimal
+
+        assert weighted_optimal(points, {"area": 1.0}) == optimal(
+            points, "area"
+        )
+        assert weighted_optimal(points, {"energy": 1.0}) == optimal(
+            points, "energy"
+        )
+
+    def test_balanced_weights_compromise(self, points):
+        from repro.dse.explorer import weighted_optimal
+
+        area_opt = optimal(points, "area")
+        latency_opt = optimal(points, "latency")
+        balanced = weighted_optimal(
+            points, {"area": 1.0, "latency": 1.0}
+        )
+        # The compromise never loses to either extreme on both axes.
+        assert balanced.area <= latency_opt.area + 1e-18
+        assert balanced.latency <= area_opt.latency + 1e-18
+
+    def test_weights_validated(self, points):
+        from repro.dse.explorer import weighted_optimal
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError):
+            weighted_optimal(points, {})
+        with pytest.raises(ExplorationError):
+            weighted_optimal(points, {"area": -1.0})
+        with pytest.raises(ExplorationError):
+            weighted_optimal(points, {"area": 0.0})
+        with pytest.raises(ExplorationError):
+            weighted_optimal([], {"area": 1.0})

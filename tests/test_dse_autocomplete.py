@@ -1,0 +1,99 @@
+"""Configuration auto-completion."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.autocomplete import FREE_AXES, suggest_designs
+from repro.errors import ExplorationError
+from repro.nn.networks import mlp
+
+
+@pytest.fixture(scope="module")
+def network():
+    return mlp([512, 256], name="autocomplete-demo")
+
+
+@pytest.fixture(scope="module")
+def base():
+    return SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+
+
+@pytest.fixture(scope="module")
+def suggestions(base, network):
+    return suggest_designs(
+        base, network,
+        candidates={
+            "crossbar_size": (64, 128, 256),
+            "parallelism_degree": (1, 64),
+            "interconnect_tech": (28, 45),
+        },
+    )
+
+
+class TestSuggestions:
+    def test_all_four_targets_completed(self, suggestions):
+        assert set(suggestions) == {"area", "energy", "latency",
+                                    "accuracy"}
+
+    def test_configs_are_fully_specified_and_valid(self, suggestions,
+                                                   base):
+        for completed in suggestions.values():
+            config = completed.config
+            assert config.crossbar_size in (64, 128, 256)
+            assert config.cmos_tech == base.cmos_tech  # pinned field
+            assert config.weight_bits == base.weight_bits
+
+    def test_suggested_config_reproduces_the_point(self, suggestions,
+                                                   network):
+        from repro.arch.accelerator import Accelerator
+
+        completed = suggestions["energy"]
+        summary = Accelerator(completed.config, network).summary()
+        assert summary.energy_per_sample == pytest.approx(
+            completed.point.summary.energy_per_sample
+        )
+
+    def test_each_target_is_optimal_for_its_metric(self, suggestions):
+        assert suggestions["area"].point.area <= (
+            suggestions["energy"].point.area
+        ) or suggestions["area"].point.area <= (
+            suggestions["latency"].point.area
+        )
+
+
+class TestPinnedFields:
+    def test_pinned_axis_never_changes(self, base, network):
+        suggestions = suggest_designs(
+            base.replace(crossbar_size=128), network,
+            free=("parallelism_degree",),
+            candidates={"parallelism_degree": (1, 16, 128)},
+        )
+        for completed in suggestions.values():
+            assert completed.config.crossbar_size == 128
+            assert completed.config.interconnect_tech == (
+                base.interconnect_tech
+            )
+
+
+class TestValidation:
+    def test_no_free_fields_rejected(self, base, network):
+        with pytest.raises(ExplorationError):
+            suggest_designs(base, network, free=())
+
+    def test_unknown_field_rejected(self, base, network):
+        with pytest.raises(ExplorationError, match="cannot sweep"):
+            suggest_designs(base, network, free=("cmos_tech",))
+
+    def test_infeasible_constraint_raises(self, base, network):
+        with pytest.raises(ExplorationError, match="no completion"):
+            suggest_designs(
+                base, network,
+                candidates={"crossbar_size": (1024,)},
+                free=("crossbar_size",),
+                max_error_rate=1e-9,
+            )
+
+    def test_free_axes_registry_is_sane(self):
+        assert set(FREE_AXES) == {
+            "crossbar_size", "parallelism_degree", "interconnect_tech",
+        }

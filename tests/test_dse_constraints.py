@@ -1,0 +1,77 @@
+"""Constraint sets for design-space exploration."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.constraints import ConstraintSet
+from repro.dse.explorer import explore
+from repro.dse.space import DesignSpace
+from repro.errors import ExplorationError
+from repro.nn.networks import mlp
+
+
+@pytest.fixture(scope="module")
+def points():
+    base = SimConfig(cmos_tech=45, weight_bits=4)
+    space = DesignSpace(
+        crossbar_sizes=(64, 128, 256),
+        parallelism_degrees=(1, 64),
+        interconnect_nodes=(28, 45),
+    )
+    return explore(base, mlp([512, 256]), space)
+
+
+class TestValidation:
+    def test_non_positive_ceilings_rejected(self):
+        with pytest.raises(ExplorationError):
+            ConstraintSet(max_area=0)
+        with pytest.raises(ExplorationError):
+            ConstraintSet(max_error_rate=-0.1)
+
+    def test_empty_set_accepts_everything(self, points):
+        constraints = ConstraintSet()
+        assert constraints.filter(points) == list(points)
+        assert constraints.tightest_constraint(points) is None
+
+
+class TestFiltering:
+    def test_error_constraint_matches_explorer_bound(self, points):
+        constraints = ConstraintSet(max_error_rate=0.05)
+        kept = constraints.filter(points)
+        assert kept
+        assert all(p.error_rate <= 0.05 for p in kept)
+        assert len(kept) < len(points)
+
+    def test_conjunction_of_constraints(self, points):
+        area_median = sorted(p.area for p in points)[len(points) // 2]
+        constraints = ConstraintSet(
+            max_area=area_median, max_error_rate=0.05
+        )
+        kept = constraints.filter(points)
+        for p in kept:
+            assert p.area <= area_median
+            assert p.error_rate <= 0.05
+
+    def test_violations_report_overshoot(self, points):
+        worst_area = max(p.area for p in points)
+        tight = ConstraintSet(max_area=worst_area / 2)
+        violator = max(points, key=lambda p: p.area)
+        violations = tight.violations(violator)
+        assert "max_area" in violations
+        assert violations["max_area"] == pytest.approx(1.0)  # 2x over
+
+    def test_satisfied_by(self, points):
+        generous = ConstraintSet(max_area=1.0)  # 1 m^2
+        assert all(generous.satisfied_by(p) for p in points)
+
+
+class TestDiagnostics:
+    def test_tightest_constraint_identified(self, points):
+        tiny_area = min(p.area for p in points) * 0.5
+        constraints = ConstraintSet(max_area=tiny_area, max_power=1e6)
+        assert constraints.tightest_constraint(points) == "max_area"
+
+    def test_infeasible_space_detected(self, points):
+        impossible = ConstraintSet(max_latency=1e-15)
+        assert impossible.filter(points) == []
+        assert impossible.tightest_constraint(points) == "max_latency"

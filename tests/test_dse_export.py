@@ -1,0 +1,75 @@
+"""DSE result serialisation."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.explorer import explore, optimal
+from repro.dse.export import from_json, points_to_rows, to_csv, to_json
+from repro.dse.space import DesignSpace
+from repro.errors import ExplorationError
+from repro.nn.networks import mlp
+
+
+@pytest.fixture(scope="module")
+def points():
+    base = SimConfig(cmos_tech=45, weight_bits=4)
+    space = DesignSpace(
+        crossbar_sizes=(64, 128),
+        parallelism_degrees=(1, 64),
+        interconnect_nodes=(45,),
+    )
+    return explore(base, mlp([256, 128]), space)
+
+
+class TestRows:
+    def test_row_per_point_with_all_fields(self, points):
+        rows = points_to_rows(points)
+        assert len(rows) == len(points)
+        assert {"crossbar_size", "area", "worst_error_rate"} <= set(rows[0])
+
+
+class TestCsv:
+    def test_csv_round_trips_via_text(self, points, tmp_path):
+        path = to_csv(points, tmp_path / "dse.csv")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(points) + 1  # header
+        assert "crossbar_size" in lines[0]
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ExplorationError):
+            to_csv([], tmp_path / "empty.csv")
+
+
+class TestJson:
+    def test_json_round_trip_preserves_everything(self, points, tmp_path):
+        path = to_json(points, tmp_path / "dse.json")
+        reloaded = from_json(path)
+        assert len(reloaded) == len(points)
+        for original, copy in zip(points, reloaded):
+            assert copy.crossbar_size == original.crossbar_size
+            assert copy.summary.area == pytest.approx(original.summary.area)
+            assert copy.summary.worst_error_rate == pytest.approx(
+                original.summary.worst_error_rate
+            )
+
+    def test_reloaded_points_rank_identically(self, points, tmp_path):
+        path = to_json(points, tmp_path / "dse.json")
+        reloaded = from_json(path)
+        for metric in ("area", "energy", "latency", "accuracy"):
+            assert optimal(reloaded, metric).crossbar_size == (
+                optimal(points, metric).crossbar_size
+            )
+
+    def test_malformed_records_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"crossbar_size": 64}]))
+        with pytest.raises(ExplorationError, match="malformed"):
+            from_json(path)
+
+    def test_non_list_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ExplorationError):
+            from_json(path)

@@ -1,0 +1,111 @@
+"""Heterogeneous per-bank design-space exploration."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.heterogeneous import (
+    HeterogeneousDesign,
+    optimise_heterogeneous,
+    uniform_best,
+)
+from repro.errors import ExplorationError
+from repro.nn.networks import mlp
+
+BASE = SimConfig(cmos_tech=45, interconnect_tech=45, weight_bits=4,
+                 signal_bits=8)
+# A deliberately lopsided network: a huge layer next to a tiny one.
+NETWORK = mlp([2048, 1024, 32], name="lopsided")
+SIZES = (32, 64, 128, 256, 512)
+DEGREES = (1, 16, 256)
+
+
+@pytest.fixture(scope="module")
+def hetero_area():
+    return optimise_heterogeneous(
+        BASE, NETWORK, metric="area",
+        crossbar_sizes=SIZES, parallelism_degrees=DEGREES,
+    )
+
+
+@pytest.fixture(scope="module")
+def uniform_area():
+    return uniform_best(
+        BASE, NETWORK, metric="area",
+        crossbar_sizes=SIZES, parallelism_degrees=DEGREES,
+    )
+
+
+class TestDecomposition:
+    def test_one_choice_per_bank(self, hetero_area):
+        assert len(hetero_area.choices) == NETWORK.depth
+        assert [c.layer_index for c in hetero_area.choices] == [0, 1]
+
+    def test_totals_are_sums_and_maxima(self, hetero_area):
+        assert hetero_area.area == pytest.approx(
+            sum(c.area for c in hetero_area.choices)
+        )
+        assert hetero_area.pipeline_cycle == pytest.approx(
+            max(c.pass_latency for c in hetero_area.choices)
+        )
+
+
+class TestDominance:
+    def test_heterogeneous_never_worse_than_uniform(
+        self, hetero_area, uniform_area
+    ):
+        """Per-bank optimisation of a decomposable metric dominates any
+        uniform assignment by construction."""
+        assert hetero_area.area <= uniform_area.area + 1e-18
+
+    def test_lopsided_network_benefits(self, hetero_area):
+        """The big layer and the small layer pick different crossbars."""
+        sizes = {c.crossbar_size for c in hetero_area.choices}
+        assert len(sizes) > 1
+
+    def test_energy_metric_also_dominates(self):
+        hetero = optimise_heterogeneous(
+            BASE, NETWORK, metric="energy",
+            crossbar_sizes=SIZES, parallelism_degrees=DEGREES,
+        )
+        uniform = uniform_best(
+            BASE, NETWORK, metric="energy",
+            crossbar_sizes=SIZES, parallelism_degrees=DEGREES,
+        )
+        assert hetero.energy <= uniform.energy + 1e-18
+
+
+class TestErrorBudget:
+    def test_constrained_design_meets_the_bound(self):
+        design = optimise_heterogeneous(
+            BASE, NETWORK, metric="area",
+            crossbar_sizes=SIZES, parallelism_degrees=DEGREES,
+            max_error_rate=0.10,
+        )
+        assert design.worst_error_rate <= 0.10 + 1e-12
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ExplorationError, match="error budget"):
+            optimise_heterogeneous(
+                BASE, NETWORK, metric="area",
+                crossbar_sizes=(1024,), parallelism_degrees=(1,),
+                max_error_rate=1e-9,
+            )
+
+
+class TestValidation:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ExplorationError):
+            optimise_heterogeneous(BASE, NETWORK, metric="speedup")
+        with pytest.raises(ExplorationError):
+            uniform_best(BASE, NETWORK, metric="speedup")
+
+    def test_bad_error_rate_rejected(self):
+        with pytest.raises(ExplorationError):
+            optimise_heterogeneous(BASE, NETWORK, max_error_rate=0.0)
+
+    def test_uniform_infeasible_constraints_raise(self):
+        with pytest.raises(ExplorationError):
+            uniform_best(
+                BASE, NETWORK, crossbar_sizes=(1024,),
+                parallelism_degrees=(1,), max_error_rate=1e-9,
+            )

@@ -1,0 +1,60 @@
+"""Secondary optimization targets in the explorer (Sec. VII.C.1)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dse.explorer import (
+    explore,
+    optimal,
+    optimal_with_secondary,
+)
+from repro.dse.space import DesignSpace
+from repro.errors import ExplorationError
+from repro.nn.networks import large_bank_layer
+
+
+@pytest.fixture(scope="module")
+def points():
+    base = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+    space = DesignSpace(
+        crossbar_sizes=(64, 128, 256),
+        parallelism_degrees=(1, 16, 256),
+        interconnect_nodes=(28, 45),
+    )
+    return explore(base, large_bank_layer(), space)
+
+
+def test_secondary_never_worsens_primary(points):
+    plain = optimal(points, "accuracy")
+    refined = optimal_with_secondary(points, "accuracy", "energy")
+    assert refined.error_rate <= plain.error_rate + 1e-12
+
+
+def test_secondary_improves_among_ties(points):
+    """Among designs tied on accuracy (digital modules do not change
+    crossbar accuracy), the secondary target picks the cheapest."""
+    refined = optimal_with_secondary(
+        points, "accuracy", "energy", tolerance=0.0
+    )
+    best_error = optimal(points, "accuracy").error_rate
+    tied = [p for p in points if p.error_rate <= best_error + 1e-12]
+    assert refined.energy == min(p.energy for p in tied)
+    assert len(tied) > 1  # parallelism degree varies at fixed accuracy
+
+
+def test_tolerance_widens_the_band(points):
+    tight = optimal_with_secondary(points, "area", "latency", tolerance=0.0)
+    loose = optimal_with_secondary(points, "area", "latency", tolerance=0.5)
+    assert loose.latency <= tight.latency
+    best_area = optimal(points, "area").area
+    assert loose.area <= best_area * 1.5 + 1e-12
+
+
+def test_negative_tolerance_rejected(points):
+    with pytest.raises(ExplorationError):
+        optimal_with_secondary(points, "area", "energy", tolerance=-0.1)
+
+
+def test_empty_points_rejected():
+    with pytest.raises(ExplorationError):
+        optimal_with_secondary([], "area", "energy")

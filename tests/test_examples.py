@@ -1,0 +1,48 @@
+"""Smoke-run the example scripts (the fast ones) as subprocesses.
+
+Examples are documentation that executes; these tests keep them green.
+The slow, solver-heavy examples (spice_vs_mnsim, functional_simulation)
+are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_module.py",
+    "prime_isaac.py",
+    "large_layer_dse.py",
+    "explore_and_export.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_has_a_docstring_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""')), (
+            f"{path.name} needs a shebang + docstring header"
+        )
+        assert 'if __name__ == "__main__":' in text, (
+            f"{path.name} needs a main guard"
+        )
+        assert "Run:" in text, f"{path.name} docstring should say how to run"

@@ -1,0 +1,229 @@
+"""Functional simulation: mapping algebra and analog fidelity modes."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError, MappingError
+from repro.functional import (
+    AnalogMode,
+    FunctionalAccelerator,
+    FunctionalBank,
+    FunctionalCrossbar,
+    FunctionalUnit,
+)
+from repro.nn.networks import caffenet, jpeg_autoencoder, mlp
+from repro.nn.workloads import random_weights
+from repro.tech import get_memristor_model
+
+
+@pytest.fixture
+def device():
+    return get_memristor_model("RRAM")
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        crossbar_size=32, cmos_tech=90, interconnect_tech=45,
+        weight_bits=8, signal_bits=8,
+    )
+
+
+@pytest.fixture
+def autoencoder(config, rng):
+    network = jpeg_autoencoder()
+    weights = random_weights(network, rng)
+    return FunctionalAccelerator(config, network, weights)
+
+
+class TestFunctionalCrossbar:
+    def test_ideal_mvm_is_integer_product(self, device, rng):
+        levels = rng.integers(0, device.levels, size=(8, 4))
+        xbar = FunctionalCrossbar(levels, device)
+        inputs = rng.integers(-128, 128, size=8)
+        assert np.array_equal(xbar.ideal_mvm(inputs), inputs @ levels)
+
+    def test_levels_validated(self, device):
+        with pytest.raises(MappingError):
+            FunctionalCrossbar(np.array([[device.levels]]), device)
+        with pytest.raises(MappingError):
+            FunctionalCrossbar(np.array([[-1]]), device)
+        with pytest.raises(MappingError):
+            FunctionalCrossbar(np.zeros(4), device)
+
+    def test_resistances_within_window(self, device, rng):
+        levels = rng.integers(0, device.levels, size=(4, 4))
+        resist = FunctionalCrossbar(levels, device).resistances()
+        assert np.all(resist >= device.r_min - 1e-9)
+        assert np.all(resist <= device.r_max + 1e-9)
+
+    def test_solver_errors_zero_for_zero_input(self, device):
+        xbar = FunctionalCrossbar(np.full((4, 4), 10), device)
+        errors = xbar.solver_relative_errors(
+            np.zeros(4), 127, 0.25, 1000.0
+        )
+        assert np.array_equal(errors, np.zeros(4))
+
+    def test_input_length_checked(self, device):
+        xbar = FunctionalCrossbar(np.full((4, 4), 10), device)
+        with pytest.raises(MappingError):
+            xbar.ideal_mvm(np.zeros(5))
+
+
+class TestFunctionalUnit:
+    def test_signed_unit_subtracts_planes(self, device, rng):
+        pos = rng.integers(0, 64, size=(6, 3))
+        neg = rng.integers(0, 64, size=(6, 3))
+        unit = FunctionalUnit(pos, neg, device)
+        inputs = rng.integers(0, 100, size=6)
+        expected = inputs @ pos - inputs @ neg
+        assert np.array_equal(unit.partial_product(inputs), expected)
+
+    def test_unsigned_unit_single_plane(self, device, rng):
+        pos = rng.integers(0, 64, size=(6, 3))
+        unit = FunctionalUnit(pos, None, device)
+        inputs = rng.integers(0, 100, size=6)
+        assert np.array_equal(unit.partial_product(inputs), inputs @ pos)
+
+    def test_plane_shape_mismatch_rejected(self, device):
+        with pytest.raises(MappingError):
+            FunctionalUnit(np.zeros((4, 4)), np.zeros((4, 3)), device)
+
+    def test_model_mode_requires_rng(self, device):
+        unit = FunctionalUnit(np.full((4, 4), 10), None, device)
+        with pytest.raises(ConfigError):
+            unit.partial_product(
+                np.ones(4), mode=AnalogMode.MODEL, epsilon=0.1
+            )
+
+    def test_model_mode_stays_in_band(self, device, rng):
+        unit = FunctionalUnit(np.full((4, 4), 50), None, device)
+        inputs = np.full(4, 10)
+        exact = unit.partial_product(inputs)
+        eps = 0.1
+        for _ in range(20):
+            noisy = unit.partial_product(
+                inputs, mode=AnalogMode.MODEL, epsilon=eps, rng=rng
+            )
+            assert np.all(np.abs(noisy - exact) <= np.abs(exact) * eps + 1e-9)
+
+
+class TestFunctionalBank:
+    def test_unit_count_matches_performance_mapping(self, config, rng):
+        from repro.arch.mapping import LayerMapping
+        from repro.nn.layers import FullyConnectedLayer
+
+        weights = rng.uniform(-0.2, 0.2, size=(40, 70))
+        bank = FunctionalBank(weights, config)
+        mapping = LayerMapping.for_layer(
+            FullyConnectedLayer(70, 40), config
+        )
+        assert bank.num_units == mapping.units
+
+    def test_effective_weights_close_to_originals(self, config, rng):
+        weights = rng.uniform(-0.4, 0.4, size=(16, 16))
+        bank = FunctionalBank(weights, config)
+        step = 1.0 / 2 ** (config.weight_bits - 1)
+        assert np.max(np.abs(bank.effective_weights() - weights)) <= (
+            step / 2 + 1e-12
+        )
+
+    def test_unknown_activation_rejected(self, config, rng):
+        with pytest.raises(ConfigError):
+            FunctionalBank(rng.uniform(size=(4, 4)), config,
+                           activation="tanh")
+
+    def test_input_shape_checked(self, config, rng):
+        bank = FunctionalBank(rng.uniform(size=(4, 8)), config)
+        with pytest.raises(MappingError):
+            bank.forward_levels(np.zeros(5))
+
+    def test_unsigned_mapping_supported(self, rng):
+        config = SimConfig(
+            crossbar_size=32, weight_polarity=1, weight_bits=7,
+        )
+        weights = rng.uniform(0, 0.5, size=(8, 8))
+        bank = FunctionalBank(weights, config, activation="none")
+        out = bank.forward(rng.uniform(0, 1, size=8))
+        assert out.shape == (8,)
+
+
+class TestEndToEnd:
+    def test_ideal_mode_matches_reference_exactly(self, autoencoder, rng):
+        """The central algebra check: tiling + polarity + bit slicing +
+        shift-add must be *exactly* the fixed-point matrix product."""
+        inputs = rng.uniform(-1, 1, size=64)
+        functional = autoencoder.forward(inputs)
+        reference = autoencoder.reference_forward(inputs)
+        for got, expected in zip(functional, reference):
+            assert np.array_equal(got, expected)
+
+    def test_ideal_exactness_across_tilings(self, rng):
+        """Exactness must hold when the layer spans multiple tiles and
+        multiple bit slices."""
+        network = mlp([50, 30], name="odd-shapes")
+        weights = random_weights(network, rng)
+        config = SimConfig(
+            crossbar_size=16, memristor_model="RRAM-4BIT", weight_bits=8,
+        )
+        functional = FunctionalAccelerator(config, network, weights)
+        inputs = rng.uniform(-1, 1, size=50)
+        assert np.array_equal(
+            functional.forward(inputs)[-1],
+            functional.reference_forward(inputs)[-1],
+        )
+
+    def test_model_mode_error_within_propagated_band(self, autoencoder, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        observed = autoencoder.relative_output_error(
+            inputs, mode=AnalogMode.MODEL, rng=rng
+        )
+        # The per-tile band is +-epsilon per layer; after two layers the
+        # output deviation cannot exceed the compounded band.
+        eps = autoencoder.banks[0].epsilon
+        bound = (1 + eps) ** len(autoencoder.banks) - 1
+        assert 0 <= observed <= bound + 0.05
+
+    def test_solver_mode_error_within_model_band(self, autoencoder, rng):
+        """The physically-measured error must sit inside the worst-case
+        band the behavior-level model predicts."""
+        inputs = rng.uniform(-1, 1, size=64)
+        observed = autoencoder.relative_output_error(
+            inputs, mode=AnalogMode.SOLVER
+        )
+        eps = max(bank.epsilon for bank in autoencoder.banks)
+        bound = (1 + eps) ** len(autoencoder.banks) - 1
+        assert observed <= bound + 0.05
+
+    def test_conv_networks_rejected(self, config, rng):
+        network = caffenet()
+        with pytest.raises(ConfigError):
+            FunctionalAccelerator(
+                config, network,
+                [np.zeros(l.weight_shape) for l in network.layers],
+            )
+
+    def test_weight_count_checked(self, config):
+        with pytest.raises(ConfigError):
+            FunctionalAccelerator(config, jpeg_autoencoder(), [])
+
+
+class TestBatchedForward:
+    def test_batch_matches_per_sample(self, autoencoder, rng):
+        batch = rng.uniform(-1, 1, size=(6, 64))
+        batched = autoencoder.banks[0].forward(batch)
+        single = np.stack(
+            [autoencoder.banks[0].forward(row) for row in batch]
+        )
+        assert np.array_equal(batched, single)
+
+    def test_batch_accelerator_forward(self, autoencoder, rng):
+        batch = rng.uniform(-1, 1, size=(4, 64))
+        outputs = autoencoder.forward(batch)
+        assert outputs[-1].shape == (4, 64)
+
+    def test_solver_mode_rejects_batches(self, autoencoder, rng):
+        batch = rng.uniform(-1, 1, size=(2, 64))
+        with pytest.raises(MappingError):
+            autoencoder.banks[0].forward(batch, mode=AnalogMode.SOLVER)

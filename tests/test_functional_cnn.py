@@ -1,0 +1,85 @@
+"""Chained functional CNN (conv stages + dense head)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.functional import AnalogMode, FunctionalCnn
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+from repro.nn.networks import Network
+
+
+@pytest.fixture
+def tiny_cnn():
+    return Network(
+        "tiny-cnn",
+        (
+            ConvLayer(1, 4, kernel=3, input_size=8, padding=1, pooling=2),
+            ConvLayer(4, 8, kernel=3, input_size=4, padding=1, pooling=2),
+            FullyConnectedLayer(8 * 2 * 2, 5, activation="none"),
+        ),
+        network_type="CNN",
+    )
+
+
+@pytest.fixture
+def weights(tiny_cnn, rng):
+    return [
+        rng.uniform(-0.3, 0.3, size=(4, 1, 3, 3)),
+        rng.uniform(-0.3, 0.3, size=(8, 4, 3, 3)),
+        rng.uniform(-0.3, 0.3, size=(5, 32)),
+    ]
+
+
+@pytest.fixture
+def cnn(tiny_cnn, weights):
+    return FunctionalCnn(SimConfig(crossbar_size=32), tiny_cnn, weights)
+
+
+class TestConstruction:
+    def test_stage_kinds(self, cnn):
+        from repro.functional.bank import FunctionalBank
+        from repro.functional.conv import FunctionalConvBank
+
+        assert isinstance(cnn.stages[0], FunctionalConvBank)
+        assert isinstance(cnn.stages[1], FunctionalConvBank)
+        assert isinstance(cnn.stages[2], FunctionalBank)
+
+    def test_weight_count_checked(self, tiny_cnn):
+        with pytest.raises(ConfigError):
+            FunctionalCnn(SimConfig(), tiny_cnn, [])
+
+    def test_conv_after_dense_rejected_at_network_level(self):
+        """The Network container already forbids the backwards shape,
+        so FunctionalCnn never sees it."""
+        with pytest.raises(ConfigError, match="conv after non-conv"):
+            Network(
+                "backwards",
+                (
+                    ConvLayer(1, 2, kernel=3, input_size=6, padding=1),
+                    FullyConnectedLayer(2 * 6 * 6, 27, activation="none"),
+                    ConvLayer(3, 2, kernel=3, input_size=3, padding=1),
+                ),
+                network_type="CNN",
+            )
+
+
+class TestEndToEnd:
+    def test_ideal_mode_bit_exact(self, cnn, rng):
+        feature_map = rng.uniform(-1, 1, size=(1, 8, 8))
+        assert np.array_equal(
+            cnn.forward(feature_map),
+            cnn.reference_forward(feature_map),
+        )
+
+    def test_output_shape(self, cnn, rng):
+        out = cnn.forward(rng.uniform(-1, 1, size=(1, 8, 8)))
+        assert out.shape == (5,)
+
+    def test_model_mode_stays_bounded(self, cnn, rng):
+        feature_map = rng.uniform(-1, 1, size=(1, 8, 8))
+        ideal = cnn.forward(feature_map)
+        noisy = cnn.forward(feature_map, mode=AnalogMode.MODEL, rng=rng)
+        scale = np.max(np.abs(ideal)) or 1.0
+        assert np.max(np.abs(ideal - noisy)) / scale < 0.3

@@ -1,0 +1,91 @@
+"""Functional convolution bank."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import MappingError
+from repro.functional import AnalogMode, FunctionalConvBank
+from repro.nn.layers import ConvLayer
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        crossbar_size=32, cmos_tech=90, interconnect_tech=45,
+        weight_bits=8, signal_bits=8,
+    )
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer(3, 8, kernel=3, input_size=8, padding=1, pooling=2)
+
+
+@pytest.fixture
+def bank(layer, config, rng):
+    kernels = rng.uniform(-0.3, 0.3, size=(8, 3, 3, 3))
+    return FunctionalConvBank(layer, kernels, config)
+
+
+class TestShapes:
+    def test_output_geometry(self, bank, layer, rng):
+        feature_map = rng.uniform(-1, 1, size=(3, 8, 8))
+        out = bank.forward(feature_map)
+        assert out.shape == (8, layer.output_size, layer.output_size)
+
+    def test_kernel_shape_checked(self, layer, config, rng):
+        with pytest.raises(MappingError):
+            FunctionalConvBank(
+                layer, rng.uniform(size=(8, 3, 5, 5)), config
+            )
+
+    def test_feature_map_shape_checked(self, bank, rng):
+        with pytest.raises(MappingError):
+            bank.forward(rng.uniform(size=(3, 9, 9)))
+
+
+class TestExactness:
+    def test_ideal_matches_reference(self, bank, rng):
+        """The crossbar conv must equal the fixed-point reference conv
+        with the mapped kernels, bit for bit."""
+        feature_map = rng.uniform(-1, 1, size=(3, 8, 8))
+        assert np.array_equal(
+            bank.forward(feature_map),
+            bank.reference_forward(feature_map),
+        )
+
+    def test_strided_no_padding_variant(self, config, rng):
+        layer = ConvLayer(2, 4, kernel=3, input_size=9, stride=2)
+        kernels = rng.uniform(-0.3, 0.3, size=(4, 2, 3, 3))
+        bank = FunctionalConvBank(layer, kernels, config)
+        feature_map = rng.uniform(-1, 1, size=(2, 9, 9))
+        assert np.array_equal(
+            bank.forward(feature_map),
+            bank.reference_forward(feature_map),
+        )
+
+    def test_pooling_takes_window_maximum(self, config, rng):
+        layer = ConvLayer(1, 1, kernel=1, input_size=4, pooling=2,
+                          activation="none")
+        kernels = np.ones((1, 1, 1, 1)) * 0.5
+        bank = FunctionalConvBank(layer, kernels, config)
+        feature_map = np.arange(16, dtype=float).reshape(1, 4, 4) / 16
+        out = bank.forward(feature_map)
+        reference = bank.reference_forward(feature_map)
+        assert np.array_equal(out, reference)
+        # Max pooling: each output is the max of its 2x2 region.
+        assert out[0, 0, 0] == reference[0, 0, 0]
+        assert out[0, 1, 1] >= out[0, 0, 0]
+
+
+class TestAnalogModes:
+    def test_model_mode_perturbs_but_stays_close(self, bank, rng):
+        feature_map = rng.uniform(-1, 1, size=(3, 8, 8))
+        ideal = bank.forward(feature_map)
+        noisy = bank.forward(
+            feature_map, mode=AnalogMode.MODEL, rng=rng
+        )
+        assert not np.array_equal(ideal, noisy)
+        scale = np.max(np.abs(ideal)) or 1.0
+        assert np.max(np.abs(ideal - noisy)) / scale < 0.2

@@ -1,0 +1,132 @@
+"""Stuck-at fault injection in the functional simulation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.functional import FunctionalAccelerator
+from repro.functional.faults import (
+    FaultPoint,
+    fault_study,
+    inject_stuck_faults,
+)
+from repro.nn.networks import mlp
+from repro.nn.trainer import (
+    MlpTrainer,
+    classification_accuracy,
+    make_cluster_dataset,
+)
+
+
+@pytest.fixture
+def config():
+    return SimConfig(crossbar_size=32, weight_bits=8, signal_bits=8)
+
+
+@pytest.fixture
+def functional(config, rng):
+    network = mlp([16, 24, 4], name="faulty")
+    from repro.nn.workloads import random_weights
+
+    return FunctionalAccelerator(
+        config, network, random_weights(network, rng)
+    )
+
+
+class TestInjection:
+    def test_zero_rate_flips_nothing(self, functional, rng):
+        before = [
+            plane.levels.copy()
+            for bank in functional.banks
+            for grid in bank.units
+            for row in grid
+            for unit in row
+            for plane in (unit.positive, unit.negative)
+            if plane is not None
+        ]
+        assert inject_stuck_faults(functional, 0.0, rng) == 0
+        after = [
+            plane.levels
+            for bank in functional.banks
+            for grid in bank.units
+            for row in grid
+            for unit in row
+            for plane in (unit.positive, unit.negative)
+            if plane is not None
+        ]
+        assert all(np.array_equal(a, b) for a, b in zip(before, after))
+
+    def test_full_rate_flips_everything(self, functional, rng):
+        total_cells = sum(
+            plane.levels.size
+            for bank in functional.banks
+            for grid in bank.units
+            for row in grid
+            for unit in row
+            for plane in (unit.positive, unit.negative)
+            if plane is not None
+        )
+        flipped = inject_stuck_faults(functional, 1.0, rng,
+                                      mode="stuck_on")
+        assert flipped == total_cells
+
+    def test_stuck_on_pins_to_top_level(self, functional, rng):
+        inject_stuck_faults(functional, 1.0, rng, mode="stuck_on")
+        device = functional.banks[0].device
+        plane = functional.banks[0].units[0][0][0].positive
+        assert np.all(plane.levels == device.levels - 1)
+
+    def test_stuck_off_pins_to_zero(self, functional, rng):
+        inject_stuck_faults(functional, 1.0, rng, mode="stuck_off")
+        plane = functional.banks[0].units[0][0][0].positive
+        assert np.all(plane.levels == 0)
+
+    def test_faults_change_outputs(self, functional, rng):
+        inputs = rng.uniform(-1, 1, size=16)
+        clean = functional.forward(inputs)[-1]
+        inject_stuck_faults(functional, 0.3, rng)
+        faulty = functional.forward(inputs)[-1]
+        assert not np.array_equal(clean, faulty)
+
+    def test_invalid_args(self, functional, rng):
+        with pytest.raises(ConfigError):
+            inject_stuck_faults(functional, -0.1, rng)
+        with pytest.raises(ConfigError):
+            inject_stuck_faults(functional, 0.1, rng, mode="stuck_weird")
+        with pytest.raises(ConfigError):
+            inject_stuck_faults("not-a-target", 0.1, rng)
+
+
+class TestFaultStudy:
+    def test_accuracy_degrades_with_fault_rate(self, config, rng):
+        x, y = make_cluster_dataset(
+            rng, features=16, classes=4, samples_per_class=40
+        )
+        network = mlp([16, 24, 4], name="clf")
+        trainer = MlpTrainer(network, rng)
+        result = trainer.train(x[:120], y[:120], epochs=25)
+        x_test, y_test = x[120:], y[120:]
+
+        def build():
+            return FunctionalAccelerator(config, network, result.weights)
+
+        def score(accelerator):
+            return classification_accuracy(
+                lambda v: accelerator.forward(v)[-1], x_test, y_test
+            )
+
+        points = fault_study(
+            build, score, fault_rates=(0.0, 0.02, 0.5), rng=rng
+        )
+        assert [p.fault_rate for p in points] == [0.0, 0.02, 0.5]
+        assert points[0].cells_flipped == 0
+        # Clean accuracy is high; massive fault rates destroy it.
+        assert points[0].accuracy > 0.8
+        assert points[-1].accuracy < points[0].accuracy
+        # A 2% defect rate is survivable on this margin.
+        assert points[1].accuracy > 0.5
+
+    def test_empty_rates_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            fault_study(lambda: None, lambda a: 0.0, (), rng)

@@ -1,0 +1,104 @@
+"""Golden regression pins: exact values of key model outputs.
+
+These tests freeze the numeric behaviour of the shipped models so
+accidental drift (a changed constant, a refactor that alters an
+energy term) is caught immediately.  The values were recorded from the
+calibrated release build; a *deliberate* model change must update them
+and note why.
+"""
+
+import pytest
+
+from repro.accuracy.interconnect import analog_error_rate
+from repro.accuracy.quantization import max_digital_deviation
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.nn.networks import large_bank_layer, validation_mlp
+from repro.tech import get_cmos_node, get_interconnect_node, get_memristor_model
+from repro.tech.memristor import CellType
+
+
+class TestTechnologyGolden:
+    def test_rram_window(self):
+        device = get_memristor_model("RRAM")
+        assert device.r_min == 100e3
+        assert device.r_max == 10e6
+        assert device.harmonic_mean_resistance == pytest.approx(
+            198019.80198, rel=1e-9
+        )
+
+    def test_cell_geometry(self):
+        device = get_memristor_model("RRAM")
+        assert device.cell_area(CellType.ONE_T_ONE_R) == pytest.approx(
+            2.25e-14
+        )
+        assert device.cell_pitch(CellType.ONE_T_ONE_R) == pytest.approx(
+            1.5e-7
+        )
+
+    def test_45nm_segment_resistance(self):
+        wire = get_interconnect_node(45)
+        device = get_memristor_model("RRAM")
+        r = wire.segment_resistance(
+            device.cell_pitch(CellType.ONE_T_ONE_R)
+        )
+        assert r == pytest.approx(0.25021, rel=1e-3)
+
+    def test_90nm_gate_constants(self):
+        cmos = get_cmos_node(90)
+        assert cmos.vdd == 1.20
+        assert cmos.fo4_delay == pytest.approx(35e-12)
+        assert cmos.gate_area(1) == pytest.approx(400 * (90e-9) ** 2)
+
+
+class TestAccuracyGolden:
+    def test_calibrated_error_curve_at_45nm(self):
+        """The Table V reproduction values (worst case)."""
+        device = get_memristor_model("RRAM")
+        r = 0.2497
+        expected = {
+            8: -0.0332, 16: -0.0263, 32: -0.0163,
+            64: -0.0038, 128: 0.0123, 256: 0.0382,
+        }
+        for size, value in expected.items():
+            assert analog_error_rate(size, size, r, device) == (
+                pytest.approx(value, abs=2e-4)
+            )
+
+    def test_paper_worked_quantization_example(self):
+        assert max_digital_deviation(64, 0.10) == 6
+
+
+class TestAcceleratorGolden:
+    def test_validation_mlp_summary(self):
+        """The Table II design point at the shipped constants."""
+        config = SimConfig(
+            crossbar_size=128, cmos_tech=90, interconnect_tech=28,
+            weight_bits=8, signal_bits=8,
+        )
+        summary = Accelerator(config, validation_mlp()).summary()
+        assert summary.area == pytest.approx(2.50e-6, rel=0.1)
+        assert summary.energy_per_sample == pytest.approx(
+            1.77e-8, rel=0.15
+        )
+        assert summary.compute_latency == pytest.approx(92.7e-9, rel=0.1)
+        assert summary.relative_accuracy == pytest.approx(0.9768,
+                                                          abs=0.005)
+
+    def test_large_bank_energy_optimum_region(self):
+        """The Table IV energy-optimal point's headline values."""
+        config = SimConfig(
+            crossbar_size=256, cmos_tech=45, interconnect_tech=45,
+            weight_bits=4, signal_bits=8, parallelism_degree=256,
+        )
+        summary = Accelerator(config, large_bank_layer()).summary()
+        assert summary.energy_per_sample == pytest.approx(4.25e-7,
+                                                          rel=0.1)
+        assert summary.worst_error_rate == pytest.approx(0.0392,
+                                                         abs=0.003)
+
+    def test_structure_counts_are_stable(self):
+        config = SimConfig(crossbar_size=128, weight_bits=8)
+        accelerator = Accelerator(config, validation_mlp())
+        assert accelerator.total_units == 2
+        assert accelerator.total_crossbars == 4

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the validation flows of Sec. VII.A.
+
+These mirror the paper's own validation methodology: the behavior-level
+models are checked against the circuit-level solver (Table II) and
+against error-injected reference inference (the JPEG-autoencoder
+accuracy check).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
+from repro.accuracy.model import AccuracyModel
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.nn.inference import MlpInference
+from repro.nn.networks import jpeg_autoencoder, validation_mlp
+from repro.nn.quantize import weight_to_cell_levels
+from repro.spice.solver import CrossbarNetwork, ideal_output_voltages
+from repro.tech.memristor import CellType
+
+
+@pytest.fixture(scope="module")
+def validation_config():
+    """Table II setup: 90 nm CMOS, 128 crossbars."""
+    return SimConfig(
+        crossbar_size=128, cmos_tech=90, interconnect_tech=28,
+        weight_bits=8, signal_bits=8,
+    )
+
+
+class TestModelVsSolverPower:
+    """Table II: MNSIM's average-case power within ~10 % of circuit."""
+
+    def test_crossbar_compute_power_matches_solver(self, validation_config):
+        config = validation_config
+        device = config.device
+        size = config.crossbar_size
+        rng = np.random.default_rng(42)
+
+        # Random programmed cells over the full conductance range,
+        # random inputs -- the paper's 20x100 random-sample protocol,
+        # reduced to keep the test quick.
+        segment = config.wire.segment_resistance(
+            device.cell_pitch(config.cell_type)
+        )
+        powers = []
+        for _trial in range(3):
+            levels = rng.integers(0, device.levels, size=(size, size))
+            resistances = np.vectorize(device.resistance_of_level)(levels)
+            inputs = rng.uniform(0, device.read_voltage, size=size)
+            network = CrossbarNetwork(
+                resistances, segment, DEFAULT_SENSE_RESISTANCE, device=device
+            )
+            powers.append(network.solve(inputs).total_power)
+        solver_power = float(np.mean(powers))
+
+        from repro.circuits.crossbar import CrossbarModule
+
+        model_power = CrossbarModule(
+            device, config.cell_type, size, size, config.wire
+        ).compute_power
+        # The average-case substitution (harmonic-mean R, half-scale
+        # inputs) should land within a small factor of the sampled
+        # circuit-level power.
+        assert model_power == pytest.approx(solver_power, rel=0.35)
+
+
+class TestModelVsInference:
+    """The JPEG-autoencoder accuracy validation (Sec. VII.A)."""
+
+    def test_predicted_error_bounds_observed_error(self, rng):
+        config = SimConfig(
+            crossbar_size=64, cmos_tech=90, interconnect_tech=28,
+            weight_bits=8, signal_bits=8,
+        )
+        network = jpeg_autoencoder()
+        model = AccuracyModel(config)
+        accelerator = Accelerator(config, network)
+        layer_sizes = [b.mapping.typical_active_rows for b in accelerator.banks]
+        eps_worst = [
+            model.crossbar_epsilon(rows=s, cols=s, case="worst")
+            for s in layer_sizes
+        ]
+
+        engine = MlpInference.with_random_weights(network, rng)
+        inputs = rng.uniform(-1, 1, size=(50, 64))
+        observed = engine.relative_output_error(inputs, eps_worst, rng=rng)
+        predicted_worst = accelerator.accuracy().worst_error_rate
+
+        # The worst-case model must not underestimate random-injection
+        # behaviour by more than the quantization floor, and should stay
+        # within the same order of magnitude (paper: model error < 1%).
+        assert observed <= predicted_worst + 0.02
+        assert abs(observed - predicted_worst) < 0.1
+
+
+class TestMappedCrossbarComputesMvm:
+    """End-to-end: mapped conductances on the solver actually perform
+    the matrix-vector multiplication of Eq. 1/2."""
+
+    def test_differential_mapping_recovers_signed_product(self, rng):
+        config = SimConfig(crossbar_size=16, weight_bits=8)
+        device = config.device
+        weights = rng.uniform(-0.9, 0.9, size=(16, 16))
+        inputs = rng.uniform(0, 1.0, size=16)
+
+        slices = weight_to_cell_levels(weights, 8, device)
+        assert len(slices) == 1
+        pos, neg = slices[0]
+
+        def column_outputs(levels):
+            resist = np.vectorize(device.resistance_of_level)(levels)
+            # Cells map (out, in); crossbar rows are inputs.
+            return ideal_output_voltages(
+                resist.T, inputs, DEFAULT_SENSE_RESISTANCE
+            )
+
+        differential = column_outputs(pos) - column_outputs(neg)
+        expected = weights @ inputs
+        # The crossbar computes the product up to the (shared) divider
+        # gain; correlate instead of matching absolute scale.
+        corr = np.corrcoef(differential, expected)[0, 1]
+        assert corr > 0.99
+
+
+class TestFullStack:
+    def test_validation_workload_summary_is_sane(self, validation_config):
+        accelerator = Accelerator(validation_config, validation_mlp())
+        summary = accelerator.summary()
+        # Magnitude window for a two-layer 128x128 design at 90 nm:
+        # single-digit mm^2, sub-uJ..uJ energy, sub-10 us latency,
+        # mW..W power, >90 % relative accuracy.
+        assert 0.1e-6 < summary.area < 20e-6
+        assert 1e-9 < summary.energy_per_sample < 10e-6
+        assert 10e-9 < summary.sample_latency < 10e-6
+        assert 1e-3 < summary.power < 10
+        assert summary.relative_accuracy > 0.9
+
+    def test_report_totals_match_summary(self, validation_config):
+        accelerator = Accelerator(validation_config, validation_mlp())
+        report = accelerator.report()
+        summary = accelerator.summary()
+        assert report.performance.area == pytest.approx(summary.area)
+        child_area = sum(c.performance.area for c in report.children)
+        assert child_area == pytest.approx(summary.area, rel=1e-9)

@@ -1,0 +1,97 @@
+"""Reference inference with error injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.inference import MlpInference
+from repro.nn.networks import jpeg_autoencoder, mlp
+
+
+@pytest.fixture
+def engine(rng):
+    return MlpInference.with_random_weights(jpeg_autoencoder(), rng)
+
+
+class TestConstruction:
+    def test_weight_count_checked(self, rng):
+        net = mlp([4, 3])
+        with pytest.raises(ConfigError):
+            MlpInference(net, [])
+
+    def test_weight_shapes_checked(self):
+        net = mlp([4, 3])
+        with pytest.raises(ConfigError):
+            MlpInference(net, [np.zeros((4, 3))])  # transposed
+
+    def test_conv_layers_rejected(self, rng):
+        from repro.nn.networks import caffenet
+
+        with pytest.raises(ConfigError):
+            MlpInference.with_random_weights(caffenet(), rng)
+
+
+class TestForward:
+    def test_output_shapes(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        outputs = engine.forward(inputs)
+        assert len(outputs) == 2
+        assert outputs[0].shape == (16,)
+        assert outputs[1].shape == (64,)
+
+    def test_deterministic_without_noise(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        a = engine.forward(inputs)[-1]
+        b = engine.forward(inputs)[-1]
+        assert np.array_equal(a, b)
+
+    def test_batched_inputs(self, engine, rng):
+        batch = rng.uniform(-1, 1, size=(5, 64))
+        outputs = engine.forward(batch)
+        assert outputs[-1].shape == (5, 64)
+
+    def test_zero_error_injection_is_identity(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        clean = engine.forward(inputs)[-1]
+        noisy = engine.forward(inputs, [0.0, 0.0], rng=rng)[-1]
+        assert np.array_equal(clean, noisy)
+
+    def test_error_injection_perturbs_output(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        clean = engine.forward(inputs)[-1]
+        noisy = engine.forward(inputs, [0.2, 0.2], rng=rng)[-1]
+        assert not np.array_equal(clean, noisy)
+
+    def test_worst_case_needs_no_rng(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        out = engine.forward(inputs, [0.1, 0.1], worst_case=True)[-1]
+        assert out.shape == (64,)
+
+    def test_random_injection_requires_rng(self, engine):
+        with pytest.raises(ConfigError):
+            engine.forward(np.zeros(64), [0.1, 0.1])
+
+    def test_error_rate_count_checked(self, engine, rng):
+        with pytest.raises(ConfigError):
+            engine.forward(np.zeros(64), [0.1], rng=rng)
+
+
+class TestRelativeError:
+    def test_error_grows_with_epsilon(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=(20, 64))
+        small = engine.relative_output_error(inputs, [0.01, 0.01], rng=rng)
+        large = engine.relative_output_error(inputs, [0.3, 0.3], rng=rng)
+        assert small < large
+
+    def test_zero_epsilon_zero_error(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        assert engine.relative_output_error(
+            inputs, [0.0, 0.0], worst_case=True
+        ) == 0.0
+
+    def test_worst_case_exceeds_random(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=(20, 64))
+        eps = [0.15, 0.15]
+        random = engine.relative_output_error(inputs, eps, rng=rng)
+        worst = engine.relative_output_error(inputs, eps, worst_case=True)
+        assert worst >= random * 0.5  # worst-case band dominates on average

@@ -1,0 +1,66 @@
+"""Layer specs: shapes, passes, geometry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+
+
+class TestFullyConnected:
+    def test_weight_shape_out_by_in(self):
+        layer = FullyConnectedLayer(2048, 1024)
+        assert layer.weight_shape == (1024, 2048)
+        assert layer.weight_count == 2048 * 1024
+
+    def test_one_pass_per_sample(self):
+        assert FullyConnectedLayer(16, 8).compute_passes == 1
+
+    def test_io_values(self):
+        layer = FullyConnectedLayer(64, 16)
+        assert layer.input_values == 64
+        assert layer.output_values == 16
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            FullyConnectedLayer(0, 8)
+
+
+class TestConv:
+    def test_weight_shape_flattens_kernels(self):
+        layer = ConvLayer(64, 128, kernel=3, input_size=56, padding=1)
+        assert layer.weight_shape == (128, 64 * 9)
+
+    def test_conv_output_geometry(self):
+        layer = ConvLayer(3, 64, kernel=3, input_size=224, padding=1)
+        assert layer.conv_output_size == 224
+        strided = ConvLayer(3, 96, kernel=11, input_size=227, stride=4)
+        assert strided.conv_output_size == 55
+
+    def test_pooling_shrinks_output(self):
+        layer = ConvLayer(3, 64, kernel=3, input_size=224, padding=1,
+                          pooling=2)
+        assert layer.output_size == 112
+        assert layer.output_values == 64 * 112 * 112
+
+    def test_non_dividing_pooling_floors(self):
+        layer = ConvLayer(3, 96, kernel=11, input_size=227, stride=4,
+                          pooling=2)
+        assert layer.output_size == 27  # 55 // 2
+
+    def test_one_pass_per_output_position(self):
+        layer = ConvLayer(3, 64, kernel=3, input_size=224, padding=1)
+        assert layer.compute_passes == 224 * 224
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ConfigError):
+            ConvLayer(3, 8, kernel=9, input_size=5)
+
+    def test_pooling_too_large_raises(self):
+        with pytest.raises(ConfigError):
+            ConvLayer(3, 8, kernel=3, input_size=5, pooling=8)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            ConvLayer(3, 8, kernel=3, input_size=8, stride=0)
+        with pytest.raises(ConfigError):
+            ConvLayer(3, 8, kernel=3, input_size=8, padding=-1)

@@ -1,0 +1,104 @@
+"""Network save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+from repro.nn.networks import Network, mlp
+from repro.nn.persistence import load_network, save_network
+from repro.nn.workloads import random_weights
+
+
+@pytest.fixture
+def fc_bundle(rng):
+    network = mlp([32, 16, 4], name="saved-mlp")
+    return network, random_weights(network, rng)
+
+
+class TestRoundTrip:
+    def test_fc_network_round_trips(self, fc_bundle, tmp_path, rng):
+        network, weights = fc_bundle
+        path = save_network(
+            tmp_path / "model.npz", network, weights,
+            signal_bits=8, weight_bits=8,
+        )
+        loaded_net, loaded_weights, meta = load_network(path)
+        assert loaded_net.name == "saved-mlp"
+        assert loaded_net.depth == network.depth
+        assert meta == {"signal_bits": 8, "weight_bits": 8}
+        for original, copy in zip(weights, loaded_weights):
+            assert np.array_equal(original, copy)
+
+    def test_loaded_network_is_functionally_identical(
+        self, fc_bundle, tmp_path, rng
+    ):
+        from repro.config import SimConfig
+        from repro.functional import FunctionalAccelerator
+
+        network, weights = fc_bundle
+        path = save_network(tmp_path / "model", network, weights)
+        loaded_net, loaded_weights, _meta = load_network(path)
+
+        config = SimConfig(crossbar_size=32)
+        inputs = rng.uniform(-1, 1, size=32)
+        original = FunctionalAccelerator(config, network, weights)
+        restored = FunctionalAccelerator(
+            config, loaded_net, loaded_weights
+        )
+        assert np.array_equal(
+            original.forward(inputs)[-1], restored.forward(inputs)[-1]
+        )
+
+    def test_conv_network_round_trips(self, tmp_path, rng):
+        network = Network(
+            "saved-cnn",
+            (
+                ConvLayer(1, 4, kernel=3, input_size=8, padding=1,
+                          pooling=2),
+                FullyConnectedLayer(4 * 4 * 4, 3, activation="none"),
+            ),
+            network_type="CNN",
+        )
+        weights = [
+            rng.uniform(size=(4, 1, 3, 3)),
+            rng.uniform(size=(3, 64)),
+        ]
+        path = save_network(tmp_path / "cnn.npz", network, weights)
+        loaded_net, loaded_weights, _meta = load_network(path)
+        conv = loaded_net.layers[0]
+        assert isinstance(conv, ConvLayer)
+        assert conv.pooling == 2
+        assert loaded_weights[0].shape == (4, 1, 3, 3)
+
+    def test_suffix_added_when_missing(self, fc_bundle, tmp_path):
+        network, weights = fc_bundle
+        path = save_network(tmp_path / "bare", network, weights)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestValidation:
+    def test_weight_count_checked_on_save(self, fc_bundle, tmp_path):
+        network, _weights = fc_bundle
+        with pytest.raises(ConfigError):
+            save_network(tmp_path / "bad.npz", network, [])
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(ConfigError, match="not a saved network"):
+            load_network(path)
+
+    def test_shape_mismatch_rejected(self, fc_bundle, tmp_path):
+        import json
+
+        network, weights = fc_bundle
+        path = save_network(tmp_path / "model.npz", network, weights)
+        # Corrupt one weight array.
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive.files}
+        data["weight_0"] = np.zeros((2, 2))
+        np.savez(path, **data)
+        with pytest.raises(ConfigError, match="shape"):
+            load_network(path)

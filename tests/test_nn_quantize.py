@@ -1,0 +1,112 @@
+"""Fixed-point quantization and the weight-to-cell mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.quantize import (
+    bit_slice,
+    dequantize,
+    quantize,
+    split_polarity,
+    weight_to_cell_levels,
+)
+from repro.tech import get_memristor_model
+
+
+class TestQuantize:
+    def test_signed_range(self):
+        levels = quantize(np.array([-1.0, 0.0, 0.999]), bits=8)
+        assert levels[0] == -128
+        assert levels[1] == 0
+        assert levels[2] == 127
+
+    def test_saturation(self):
+        levels = quantize(np.array([-5.0, 5.0]), bits=8)
+        assert levels.tolist() == [-128, 127]
+
+    def test_unsigned_range(self):
+        levels = quantize(np.array([0.0, 1.0]), bits=4, signed=False)
+        assert levels.tolist() == [0, 15]
+
+    def test_round_trip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-0.99, 0.99, size=1000)
+        rebuilt = dequantize(quantize(values, 8), 8)
+        step = 1.0 / 128
+        assert np.max(np.abs(values - rebuilt)) <= step / 2 + 1e-12
+
+    def test_full_scale_scaling(self):
+        levels = quantize(np.array([2.0]), bits=8, full_scale=4.0)
+        assert levels[0] == 64
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            quantize(np.ones(3), bits=0)
+        with pytest.raises(ConfigError):
+            quantize(np.ones(3), bits=8, full_scale=0)
+
+
+class TestPolaritySplit:
+    def test_split_covers_value(self):
+        values = np.array([-3, 0, 5])
+        pos, neg = split_polarity(values)
+        assert (pos - neg).tolist() == values.tolist()
+        assert np.all(pos >= 0) and np.all(neg >= 0)
+
+
+class TestBitSlice:
+    def test_slices_reassemble(self):
+        values = np.array([0, 1, 77, 127])
+        slices = bit_slice(values, slice_bits=4, slices=2)
+        rebuilt = slices[0] + (slices[1] << 4)
+        assert rebuilt.tolist() == values.tolist()
+
+    def test_slice_range(self):
+        slices = bit_slice(np.array([255]), slice_bits=4, slices=2)
+        assert all(np.all(s <= 15) for s in slices)
+
+    def test_overflow_detected(self):
+        with pytest.raises(ConfigError, match="more than"):
+            bit_slice(np.array([256]), slice_bits=4, slices=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            bit_slice(np.array([-1]), slice_bits=4, slices=2)
+
+
+class TestWeightToCellLevels:
+    def test_reference_rram_single_slice(self):
+        device = get_memristor_model("RRAM")  # 7-bit cells
+        weights = np.array([[0.5, -0.5], [0.0, 0.99]])
+        mapped = weight_to_cell_levels(weights, weight_bits=8, device=device)
+        assert len(mapped) == 1  # 7 magnitude bits fit one 7-bit cell
+        pos, neg = mapped[0]
+        assert pos[0, 0] == 64 and neg[0, 0] == 0
+        assert pos[0, 1] == 0 and neg[0, 1] == 64
+        assert np.all(pos < device.levels)
+
+    def test_prime_style_two_slices(self):
+        device = get_memristor_model("RRAM-4BIT")
+        weights = np.array([[0.99]])
+        mapped = weight_to_cell_levels(weights, weight_bits=8, device=device)
+        assert len(mapped) == 2  # 7 magnitude bits over 4-bit cells
+        pos_lo, _ = mapped[0]
+        pos_hi, _ = mapped[1]
+        assert pos_lo[0, 0] + (pos_hi[0, 0] << 4) == 127
+
+    def test_most_negative_value_clamped(self):
+        device = get_memristor_model("RRAM")
+        mapped = weight_to_cell_levels(
+            np.array([[-1.0]]), weight_bits=8, device=device
+        )
+        _, neg = mapped[0]
+        assert neg[0, 0] == 127  # |-128| clamps into 7 magnitude bits
+
+    def test_unsigned_mapping_has_empty_negative_plane(self):
+        device = get_memristor_model("RRAM")
+        mapped = weight_to_cell_levels(
+            np.array([[0.5]]), weight_bits=7, device=device, signed=False
+        )
+        _, neg = mapped[0]
+        assert np.all(neg == 0)

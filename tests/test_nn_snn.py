@@ -1,0 +1,80 @@
+"""SNN rate-coding timing/energy model."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.nn.networks import mlp
+from repro.nn.snn import SnnTimingModel
+
+
+@pytest.fixture
+def snn_accelerator():
+    config = SimConfig(crossbar_size=128, cmos_tech=45, interconnect_tech=45)
+    network = mlp([256, 128, 10], name="snn-demo", activation="if",
+                  network_type="SNN")
+    return Accelerator(config, network)
+
+
+@pytest.fixture
+def model(snn_accelerator):
+    return SnnTimingModel(snn_accelerator)
+
+
+class TestConstruction:
+    def test_requires_snn_network(self):
+        config = SimConfig()
+        dnn = Accelerator(config, mlp([64, 32]))
+        with pytest.raises(ConfigError, match="SNN"):
+            SnnTimingModel(dnn)
+
+    def test_snn_uses_integrate_fire_neuron(self, snn_accelerator):
+        from repro.circuits.neuron import IntegrateFireNeuronModule
+
+        bank = snn_accelerator.banks[0]
+        assert isinstance(bank.neuron, IntegrateFireNeuronModule)
+
+
+class TestTiming:
+    def test_sample_cost_linear_in_window(self, model):
+        one = model.sample_performance(1)
+        many = model.sample_performance(64)
+        assert many.dynamic_energy == pytest.approx(64 * one.dynamic_energy)
+        assert many.latency == pytest.approx(64 * one.latency)
+        assert many.area == one.area  # same hardware
+
+    def test_invalid_window(self, model):
+        with pytest.raises(ConfigError):
+            model.sample_performance(0)
+
+
+class TestRateCoding:
+    def test_error_falls_as_window_grows(self, model):
+        points = model.sweep(windows=(8, 32, 128))
+        errors = [p.rate_coding_error for p in points]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.5 / 128)
+
+    def test_effective_bits(self, model):
+        point = model.operating_point(256)
+        assert point.effective_bits == pytest.approx(8.0)
+
+    def test_window_for_error(self, model):
+        assert model.window_for_error(0.5 / 64) == 64
+        assert model.window_for_error(0.49) == 2
+        with pytest.raises(ConfigError):
+            model.window_for_error(0.0)
+        with pytest.raises(ConfigError):
+            model.window_for_error(1.5)
+
+    def test_energy_precision_tradeoff(self, model):
+        """The SNN trade-off: halving the coding error doubles energy."""
+        coarse = model.operating_point(32)
+        fine = model.operating_point(64)
+        assert fine.rate_coding_error == pytest.approx(
+            coarse.rate_coding_error / 2
+        )
+        assert fine.energy_per_sample == pytest.approx(
+            2 * coarse.energy_per_sample
+        )

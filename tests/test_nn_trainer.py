@@ -1,0 +1,124 @@
+"""Numpy training substrate and application-level accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.functional import AnalogMode, FunctionalAccelerator
+from repro.nn.networks import caffenet, mlp
+from repro.nn.trainer import (
+    MlpTrainer,
+    classification_accuracy,
+    make_cluster_dataset,
+)
+
+
+@pytest.fixture
+def dataset(rng):
+    return make_cluster_dataset(
+        rng, features=16, classes=4, samples_per_class=60
+    )
+
+
+@pytest.fixture
+def trained(rng, dataset):
+    x, y = dataset
+    network = mlp([16, 24, 4], name="clf")
+    trainer = MlpTrainer(network, rng)
+    result = trainer.train(x[:180], y[:180], epochs=30)
+    return network, trainer, result, (x[180:], y[180:])
+
+
+class TestDataset:
+    def test_shapes_and_ranges(self, dataset):
+        x, y = dataset
+        assert x.shape == (240, 16)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+        assert np.all(np.abs(x) < 1)
+
+    def test_seeded_reproducibility(self):
+        a = make_cluster_dataset(np.random.default_rng(3))
+        b = make_cluster_dataset(np.random.default_rng(3))
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigError):
+            make_cluster_dataset(rng, classes=1)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _net, _trainer, result, _test = trained
+        assert result.losses[-1] < result.losses[0] / 2
+
+    def test_learns_the_task(self, trained):
+        _net, trainer, _result, (x_test, y_test) = trained
+        accuracy = classification_accuracy(trainer.forward, x_test, y_test)
+        assert accuracy > 0.8
+
+    def test_forward_returns_probabilities(self, trained, rng):
+        _net, trainer, _result, _test = trained
+        probs = trainer.forward(rng.uniform(-1, 1, size=16))
+        assert probs.shape == (4,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    def test_relu_hidden_layers_supported(self, rng, dataset):
+        x, y = dataset
+        trainer = MlpTrainer(mlp([16, 24, 4], activation="relu"), rng)
+        result = trainer.train(x[:180], y[:180], epochs=30,
+                               learning_rate=0.2)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_conv_networks_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            MlpTrainer(caffenet(), rng)
+
+    def test_bad_hyperparameters(self, trained, dataset):
+        _net, trainer, _result, _test = trained
+        x, y = dataset
+        with pytest.raises(ConfigError):
+            trainer.train(x, y, epochs=0)
+        with pytest.raises(ConfigError):
+            trainer.train(x, y, learning_rate=0)
+
+
+class TestCrossbarDeployment:
+    def test_trained_network_survives_the_mapping(self, trained):
+        """Deploying the trained float network onto the crossbar
+        substrate (IDEAL mode) must preserve classification accuracy —
+        the fixed-point/mapping loss is below the task's margin."""
+        network, trainer, result, (x_test, y_test) = trained
+        config = SimConfig(
+            crossbar_size=32, weight_bits=8, signal_bits=8,
+            interconnect_tech=45,
+        )
+        functional = FunctionalAccelerator(config, network, result.weights)
+        float_acc = classification_accuracy(
+            trainer.forward, x_test, y_test
+        )
+        mapped_acc = classification_accuracy(
+            lambda v: functional.forward(v)[-1], x_test, y_test
+        )
+        assert mapped_acc >= float_acc - 0.1
+
+    def test_analog_error_costs_bounded_accuracy(self, trained, rng):
+        """MODEL-mode analog error may cost accuracy, but within a
+        bounded margin for this well-separated task."""
+        network, _trainer, result, (x_test, y_test) = trained
+        config = SimConfig(
+            crossbar_size=32, weight_bits=8, signal_bits=8,
+            interconnect_tech=18,  # most resistive wires
+        )
+        functional = FunctionalAccelerator(config, network, result.weights)
+        ideal_acc = classification_accuracy(
+            lambda v: functional.forward(v)[-1], x_test, y_test
+        )
+        noisy_acc = classification_accuracy(
+            lambda v: functional.forward(
+                v, mode=AnalogMode.MODEL, rng=rng
+            )[-1],
+            x_test, y_test,
+        )
+        assert noisy_acc >= ideal_acc - 0.25

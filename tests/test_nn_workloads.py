@@ -1,0 +1,109 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.networks import validation_mlp
+from repro.nn.workloads import (
+    crossbar_workload,
+    image_blocks,
+    random_inputs,
+    random_weights,
+)
+from repro.tech import get_memristor_model
+
+
+class TestRandomWeights:
+    def test_shapes_match_layers(self, rng):
+        network = validation_mlp()
+        weights = random_weights(network, rng)
+        for layer, matrix in zip(network.layers, weights):
+            assert matrix.shape == layer.weight_shape
+
+    def test_fan_in_scaling(self, rng):
+        network = validation_mlp()
+        weights = random_weights(network, rng)
+        scale = 1.0 / np.sqrt(128)
+        assert np.max(np.abs(weights[0])) <= scale
+
+    def test_normal_distribution_supported(self, rng):
+        weights = random_weights(validation_mlp(), rng,
+                                 distribution="normal")
+        assert len(weights) == 2
+
+    def test_unknown_distribution_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            random_weights(validation_mlp(), rng, distribution="cauchy")
+
+    def test_seeded_reproducibility(self):
+        a = random_weights(validation_mlp(), np.random.default_rng(5))
+        b = random_weights(validation_mlp(), np.random.default_rng(5))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestRandomInputs:
+    def test_shape_and_range(self, rng):
+        network = validation_mlp()
+        batch = random_inputs(network, rng, batch=7)
+        assert batch.shape == (7, 128)
+        assert np.all(batch > -1) and np.all(batch < 1)
+
+    def test_unsigned_range(self, rng):
+        batch = random_inputs(validation_mlp(), rng, signed=False)
+        assert np.all(batch >= 0)
+
+    def test_invalid_batch(self, rng):
+        with pytest.raises(ConfigError):
+            random_inputs(validation_mlp(), rng, batch=0)
+
+
+class TestImageBlocks:
+    def test_shape_and_bounds(self, rng):
+        blocks = image_blocks(rng, count=5, size=8)
+        assert blocks.shape == (5, 64)
+        assert np.max(np.abs(blocks)) <= 1.0 + 1e-12
+
+    def test_blocks_are_smooth(self, rng):
+        """Neighbouring pixels correlate strongly — the low-frequency
+        statistic the JPEG autoencoder expects."""
+        blocks = image_blocks(rng, count=20, size=8)
+        images = blocks.reshape(20, 8, 8)
+        horizontal_diff = np.abs(np.diff(images, axis=2)).mean()
+        random_pixels = np.abs(
+            images - rng.permuted(images.reshape(20, -1), axis=1).reshape(
+                images.shape
+            )
+        ).mean()
+        assert horizontal_diff < random_pixels
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigError):
+            image_blocks(rng, count=0)
+        with pytest.raises(ConfigError):
+            image_blocks(rng, size=1)
+
+
+class TestCrossbarWorkload:
+    def test_shapes_and_resistance_window(self, rng):
+        device = get_memristor_model("RRAM")
+        weights, resistances, inputs = crossbar_workload(
+            device, rows=32, cols=16, rng=rng
+        )
+        assert weights.shape == (16, 32)
+        assert resistances.shape == (32, 16)
+        assert inputs.shape == (32,)
+        assert np.all(resistances >= device.r_min * (1 - 1e-9))
+        assert np.all(resistances <= device.r_max * (1 + 1e-9))
+
+    def test_solver_accepts_the_workload(self, rng):
+        from repro.spice.solver import CrossbarNetwork
+
+        device = get_memristor_model("RRAM")
+        _w, resistances, inputs = crossbar_workload(device, 8, 8, rng)
+        solution = CrossbarNetwork(resistances, 0.25, 1e3).solve(inputs)
+        assert solution.output_voltages.shape == (8,)
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ConfigError):
+            crossbar_workload(get_memristor_model("RRAM"), 0, 8, rng)

@@ -1,0 +1,88 @@
+"""PRIME and ISAAC case studies (Table VII)."""
+
+import pytest
+
+from repro.related.isaac import (
+    ISAAC_CYCLE_TIME,
+    ISAAC_PIPELINE_STAGES,
+    build_isaac_tile,
+    simulate_isaac,
+)
+from repro.related.prime import (
+    build_prime_ffsubarray,
+    prime_config,
+    simulate_prime,
+)
+from repro.units import MM2, US
+
+
+class TestPrime:
+    def test_config_matches_paper(self):
+        config = prime_config()
+        assert config.crossbar_size == 256
+        assert config.cmos_tech == 65
+        assert config.signal_bits == 6
+        assert config.weight_bits == 8
+        assert config.device.precision_bits == 4
+
+    def test_ffsubarray_has_four_crossbars(self):
+        """Sec. VII.E.1: four 4-bit cells store one 8-bit signed weight,
+        so the 256x256 task needs exactly four crossbars."""
+        accelerator = build_prime_ffsubarray()
+        assert accelerator.total_crossbars == 4
+        assert accelerator.total_units == 2
+
+    def test_result_magnitudes(self):
+        result = simulate_prime()
+        # Table VII scale: sub-mm^2 to few-mm^2 area, sub-uJ task energy,
+        # sub-us to few-us latency, high relative accuracy.
+        assert 0.01 < result.area / MM2 < 10
+        assert 0 < result.energy_per_task < 5e-6
+        assert 0 < result.latency < 5e-6
+        assert 0.85 < result.relative_accuracy <= 1.0
+
+
+class TestIsaac:
+    def test_tile_has_96_crossbars(self):
+        accelerator = build_isaac_tile()
+        assert accelerator.total_crossbars == 96
+
+    def test_imported_adc_is_published_design(self):
+        accelerator = build_isaac_tile()
+        unit, _count = accelerator.banks[0]._shaped_units[0]
+        assert unit.read_circuit.frequency == pytest.approx(1.2e9)
+
+    def test_latency_is_22_pipeline_cycles(self):
+        """Sec. VII.E.2: the customised latency rule."""
+        result = simulate_isaac()
+        assert result.latency == pytest.approx(
+            ISAAC_PIPELINE_STAGES * ISAAC_CYCLE_TIME
+        )
+        assert result.latency / US == pytest.approx(2.2)
+
+    def test_result_magnitudes(self):
+        result = simulate_isaac()
+        assert 0.05 < result.area / MM2 < 20
+        assert 0 < result.energy_per_task < 1e-5
+        assert 0.85 < result.relative_accuracy <= 1.0
+
+
+class TestComparison:
+    def test_isaac_larger_than_prime(self):
+        """The ISAAC tile (96 crossbars) dwarfs a PRIME FF-subarray
+        (4 crossbars) in area and task energy, as in Table VII."""
+        prime, isaac = simulate_prime(), simulate_isaac()
+        assert isaac.area > prime.area
+        assert isaac.energy_per_task > prime.energy_per_task
+        assert isaac.latency > prime.latency
+
+
+class TestIsaacPipeline:
+    def test_pipeline_object_matches_published_latency(self):
+        from repro.related.isaac import isaac_inner_pipeline
+
+        pipeline = isaac_inner_pipeline()
+        assert pipeline.depth == 22
+        assert pipeline.run_latency(1) == pytest.approx(2.2e-6)
+        # Steady state: one result per 100 ns.
+        assert pipeline.throughput() == pytest.approx(1e7)

@@ -1,0 +1,60 @@
+"""SPICE netlist export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.spice.netlist import generate_netlist
+
+
+@pytest.fixture
+def small_netlist():
+    resistances = np.array([[1e5, 2e5], [3e5, 4e5]])
+    inputs = np.array([0.5, 1.0])
+    return generate_netlist(resistances, inputs, 0.25, 1e3, title="test")
+
+
+def test_header_and_trailer(small_netlist):
+    lines = small_netlist.splitlines()
+    assert lines[0] == "* test"
+    assert ".end" in small_netlist
+    assert ".op" in small_netlist
+
+
+def test_one_element_per_component(small_netlist):
+    # 2 sources, 2 source wires, 4 cells, 2 wordline + 2 bitline
+    # segments, 2 sense resistors.
+    assert small_netlist.count("Vin") == 2
+    assert small_netlist.count("Rcell") == 4
+    assert small_netlist.count("Rwl") == 2
+    assert small_netlist.count("Rbl") == 2
+    assert small_netlist.count("\nRs") == 2
+
+
+def test_values_embedded(small_netlist):
+    assert "100000" in small_netlist  # 1e5 cell
+    assert "DC 0.5" in small_netlist
+    assert "1000" in small_netlist  # sense resistor
+
+
+def test_print_statement_lists_outputs(small_netlist):
+    assert "v(bl_1_0)" in small_netlist
+    assert "v(bl_1_1)" in small_netlist
+
+
+def test_component_count_scales():
+    resistances = np.full((8, 8), 1e5)
+    netlist = generate_netlist(resistances, np.ones(8), 0.25, 1e3)
+    assert netlist.count("Rcell") == 64
+    # 2MN wire segments minus the last row/column, plus source wires.
+    assert netlist.count("Rwl") == 8 * 7
+    assert netlist.count("Rbl") == 7 * 8
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(SolverError):
+        generate_netlist(np.ones(3), np.ones(3), 1.0, 1e3)
+    with pytest.raises(SolverError):
+        generate_netlist(np.ones((2, 2)), np.ones(3), 1.0, 1e3)
+    with pytest.raises(SolverError):
+        generate_netlist(np.ones((2, 2)), np.ones(2), 0.0, 1e3)

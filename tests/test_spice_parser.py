@@ -1,0 +1,106 @@
+"""Netlist parser: round-trip with the generator and the solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.spice.netlist import generate_netlist
+from repro.spice.parser import parse_netlist
+from repro.spice.solver import CrossbarNetwork
+from repro.tech import get_memristor_model
+
+
+@pytest.fixture
+def problem(rng):
+    device = get_memristor_model("RRAM")
+    levels = rng.integers(0, device.levels, size=(6, 5))
+    resistances = np.vectorize(device.resistance_of_level)(levels)
+    inputs = rng.uniform(0.1, 1.0, size=6)
+    return resistances, inputs
+
+
+class TestRoundTrip:
+    def test_values_survive(self, problem):
+        resistances, inputs = problem
+        text = generate_netlist(resistances, inputs, 0.25, 1e3,
+                                title="round trip")
+        parsed = parse_netlist(text)
+        assert parsed.title == "round trip"
+        assert parsed.resistances.shape == resistances.shape
+        assert parsed.resistances == pytest.approx(resistances, rel=1e-5)
+        assert parsed.inputs == pytest.approx(inputs, rel=1e-5)
+        assert parsed.wire_resistance == pytest.approx(0.25, rel=1e-6)
+        assert parsed.sense_resistance == pytest.approx(1e3, rel=1e-6)
+
+    def test_parsed_network_solves_identically(self, problem):
+        """Exporting and re-importing must not change the physics."""
+        resistances, inputs = problem
+        direct = CrossbarNetwork(resistances, 0.25, 1e3).solve(inputs)
+        parsed = parse_netlist(
+            generate_netlist(resistances, inputs, 0.25, 1e3)
+        )
+        reloaded = parsed.build_network().solve(parsed.inputs)
+        assert reloaded.output_voltages == pytest.approx(
+            direct.output_voltages, rel=1e-4
+        )
+
+    def test_nonlinear_device_can_be_reattached(self, problem):
+        device = get_memristor_model("RRAM")
+        resistances, inputs = problem
+        parsed = parse_netlist(
+            generate_netlist(resistances, inputs, 0.25, 1e3)
+        )
+        solution = parsed.build_network(device=device).solve(parsed.inputs)
+        assert solution.iterations > 1
+
+
+class TestRobustness:
+    def test_comments_and_case_tolerated(self):
+        text = "\n".join([
+            "* title line",
+            "VIN0 in_0 0 DC 0.5",
+            "RWIN0 in_0 wl_0_0 1.0",
+            "RCELL0_0 wl_0_0 bl_0_0 100000",
+            "RS0 bl_0_0 0 1000",
+            ".op",
+            ".end",
+        ])
+        parsed = parse_netlist(text)
+        assert parsed.resistances.shape == (1, 1)
+
+    def test_unknown_card_raises(self):
+        with pytest.raises(SolverError, match="unrecognised card"):
+            parse_netlist("Cload a b 1p")
+
+    def test_missing_cells_raise(self):
+        with pytest.raises(SolverError, match="no cell resistors"):
+            parse_netlist("Vin0 in_0 0 DC 1\nRs0 b 0 1000")
+
+    def test_incomplete_grid_raises(self):
+        text = "\n".join([
+            "Vin0 in_0 0 DC 1",
+            "Vin1 in_1 0 DC 1",
+            "Rcell0_0 a b 1e5",
+            "Rcell1_1 c d 1e5",  # (0,1) and (1,0) missing
+            "Rs0 e 0 1000",
+            "Rs1 f 0 1000",
+        ])
+        with pytest.raises(SolverError, match="incomplete cell grid"):
+            parse_netlist(text)
+
+    def test_inconsistent_wires_raise(self):
+        text = "\n".join([
+            "Vin0 in_0 0 DC 1",
+            "Rwin0 in_0 wl_0_0 1.0",
+            "Rwl0_0 wl_0_0 wl_0_1 2.0",
+            "Rcell0_0 wl_0_0 bl_0_0 1e5",
+            "Rcell0_1 wl_0_1 bl_0_1 1e5",
+            "Rs0 bl_0_0 0 1000",
+            "Rs1 bl_0_1 0 1000",
+        ])
+        with pytest.raises(SolverError, match="inconsistent wire"):
+            parse_netlist(text)
+
+    def test_bad_value_raises(self):
+        with pytest.raises(SolverError, match="cannot parse"):
+            parse_netlist("Rcell0_0 a b not-a-number\nVin0 c 0 DC 1\nRs0 d 0 1k")

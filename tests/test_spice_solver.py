@@ -1,0 +1,147 @@
+"""Circuit-level crossbar solver: correctness against closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.spice.solver import (
+    CrossbarNetwork,
+    ideal_output_voltages,
+)
+from repro.tech import get_memristor_model
+
+
+@pytest.fixture
+def device():
+    return get_memristor_model("RRAM")
+
+
+class TestIdealOutputs:
+    def test_single_cell_divider(self):
+        """One cell + sense resistor is a plain voltage divider."""
+        r_cell, r_sense, v = 1e5, 1e3, 1.0
+        out = ideal_output_voltages(
+            np.array([[r_cell]]), np.array([v]), r_sense
+        )
+        expected = v * r_sense / (r_cell + r_sense)
+        assert out[0] == pytest.approx(expected)
+
+    def test_matches_eq2_weights(self):
+        """Outputs follow Eq. 1/2: c_kj = g_kj / (g_s + sum_l g_kl)."""
+        rng = np.random.default_rng(7)
+        resistances = rng.uniform(1e5, 1e6, size=(4, 3))
+        inputs = rng.uniform(0, 1, size=4)
+        r_sense = 2e3
+        conductances = 1 / resistances
+        g_s = 1 / r_sense
+        expected = (conductances.T @ inputs) / (
+            g_s + conductances.sum(axis=0)
+        )
+        out = ideal_output_voltages(resistances, inputs, r_sense)
+        assert out == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SolverError):
+            ideal_output_voltages(np.ones((3, 3)), np.ones(2), 1e3)
+
+
+class TestLinearSolve:
+    def test_converges_to_ideal_as_wires_vanish(self, device):
+        rng = np.random.default_rng(11)
+        resistances = rng.uniform(1e5, 1e6, size=(8, 8))
+        inputs = rng.uniform(0.2, 1.0, size=8)
+        network = CrossbarNetwork(resistances, 1e-6, 1e3, device=None)
+        solution = network.solve(inputs)
+        ideal = ideal_output_voltages(resistances, inputs, 1e3)
+        assert solution.output_voltages == pytest.approx(ideal, rel=1e-6)
+        assert solution.iterations == 1
+        assert solution.converged
+
+    def test_wire_resistance_lowers_far_column_output(self, device):
+        resistances = np.full((32, 32), device.r_min)
+        inputs = np.full(32, 1.0)
+        lossless = CrossbarNetwork(resistances, 1e-6, 1e3).solve(inputs)
+        lossy = CrossbarNetwork(resistances, 2.0, 1e3).solve(inputs)
+        # The farthest column suffers the largest IR drop.
+        assert lossy.output_voltages[-1] < lossless.output_voltages[-1]
+        drop = lossless.output_voltages - lossy.output_voltages
+        assert drop[-1] == pytest.approx(drop.max())
+
+    def test_energy_conservation(self):
+        """Power delivered by sources equals power dissipated: the
+        column currents must flow through the sense resistors."""
+        rng = np.random.default_rng(3)
+        resistances = rng.uniform(1e5, 5e5, size=(6, 6))
+        inputs = rng.uniform(0.1, 1.0, size=6)
+        r_sense = 1.5e3
+        network = CrossbarNetwork(resistances, 0.5, r_sense)
+        solution = network.solve(inputs)
+        sense_current = solution.output_voltages / r_sense
+        # KCL: total input current = total current into ground.
+        assert solution.input_currents.sum() == pytest.approx(
+            sense_current.sum(), rel=1e-9
+        )
+        assert solution.total_power > 0
+
+    def test_superposition_in_linear_mode(self):
+        """With ohmic cells the network is linear: doubling inputs
+        doubles every output."""
+        rng = np.random.default_rng(5)
+        resistances = rng.uniform(1e5, 1e6, size=(5, 4))
+        inputs = rng.uniform(0.1, 0.5, size=5)
+        network = CrossbarNetwork(resistances, 1.0, 1e3)
+        once = network.solve(inputs).output_voltages
+        twice = network.solve(2 * inputs).output_voltages
+        assert twice == pytest.approx(2 * once, rel=1e-9)
+
+    def test_rectangular_arrays(self):
+        resistances = np.full((4, 9), 2e5)
+        network = CrossbarNetwork(resistances, 1.0, 1e3)
+        solution = network.solve(np.full(4, 1.0))
+        assert solution.output_voltages.shape == (9,)
+        assert solution.cell_voltages.shape == (4, 9)
+
+
+class TestNonlinearSolve:
+    def test_nonlinearity_increases_output(self, device):
+        """The sinh characteristic makes cells conduct harder than
+        ohmic, raising the column output above the ideal value for a
+        small array (the paper's negative error branch)."""
+        resistances = np.full((8, 8), device.r_min)
+        inputs = np.full(8, device.read_voltage)
+        linear = CrossbarNetwork(resistances, 0.25, 1e3).solve(inputs)
+        nonlinear = CrossbarNetwork(
+            resistances, 0.25, 1e3, device=device
+        ).solve(inputs)
+        assert nonlinear.iterations > 1
+        assert nonlinear.converged
+        assert nonlinear.output_voltages[-1] > linear.output_voltages[-1]
+
+    def test_ideal_device_short_circuits_iteration(self):
+        ideal = get_memristor_model("IDEAL")
+        resistances = np.full((4, 4), 2e5)
+        network = CrossbarNetwork(resistances, 0.25, 1e3, device=ideal)
+        solution = network.solve(np.full(4, 1.0))
+        assert solution.iterations == 1
+
+    def test_num_nodes_matches_paper_count(self):
+        """Sec. VI: a circuit-level solve has 2MN voltage unknowns."""
+        network = CrossbarNetwork(np.full((16, 12), 1e5), 1.0, 1e3)
+        assert network.num_nodes == 2 * 16 * 12
+
+
+class TestValidation:
+    def test_bad_inputs_raise(self):
+        with pytest.raises(SolverError):
+            CrossbarNetwork(np.ones(4), 1.0, 1e3)  # 1-D
+        with pytest.raises(SolverError):
+            CrossbarNetwork(np.zeros((2, 2)), 1.0, 1e3)  # zero resistance
+        with pytest.raises(SolverError):
+            CrossbarNetwork(np.ones((2, 2)), 1.0, 0.0)  # bad sense
+        with pytest.raises(SolverError):
+            CrossbarNetwork(np.ones((2, 2)), -1.0, 1e3)  # negative wire
+
+    def test_input_shape_checked(self):
+        network = CrossbarNetwork(np.full((3, 3), 1e5), 1.0, 1e3)
+        with pytest.raises(SolverError):
+            network.solve(np.ones(4))

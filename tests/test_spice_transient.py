@@ -1,0 +1,81 @@
+"""RC settle-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SolverError
+from repro.spice.solver import CrossbarNetwork
+from repro.spice.transient import (
+    SettleEstimate,
+    estimate_settle,
+    settle_time_for_config,
+)
+from repro.tech.cmos import CROSSBAR_SETTLE_TIME
+
+SEG_CAP = 3e-17  # ~0.03 fF per 150 nm segment
+
+
+def make_network(size, r_min=1e5, wire=0.25):
+    return CrossbarNetwork(np.full((size, size), r_min), wire, 1000.0)
+
+
+class TestEstimate:
+    def test_matches_dense_eigensolve(self):
+        """Power iteration must agree with a direct eigensolve."""
+        network = make_network(6)
+        matrix, _ = network._assemble(
+            1.0 / network.resistances, np.zeros(6)
+        )
+        dense_min = np.linalg.eigvalsh(matrix.toarray())[0]
+        expected_tau = 2 * SEG_CAP / dense_min
+        estimate = estimate_settle(network, SEG_CAP)
+        assert estimate.time_constant == pytest.approx(
+            expected_tau, rel=1e-4
+        )
+
+    def test_time_constant_grows_with_array_size(self):
+        taus = [
+            estimate_settle(make_network(size), SEG_CAP).time_constant
+            for size in (8, 16, 32)
+        ]
+        assert taus == sorted(taus)
+
+    def test_higher_resistance_cells_settle_slower(self):
+        fast = estimate_settle(make_network(8, r_min=1e5), SEG_CAP)
+        slow = estimate_settle(make_network(8, r_min=1e6), SEG_CAP)
+        assert slow.time_constant > fast.time_constant
+
+    def test_settle_time_scales_with_bits(self):
+        estimate = SettleEstimate(time_constant=1e-9,
+                                  node_capacitance=SEG_CAP)
+        assert estimate.settle_time(8) < estimate.settle_time(12)
+        # tau * ln(2^(n+1))
+        assert estimate.settle_time(8) == pytest.approx(
+            1e-9 * np.log(2.0**9)
+        )
+
+    def test_invalid_args(self):
+        network = make_network(4)
+        with pytest.raises(SolverError):
+            estimate_settle(network, 0.0)
+        estimate = estimate_settle(network, SEG_CAP)
+        with pytest.raises(SolverError):
+            estimate.settle_time(0)
+
+
+class TestDesignImplication:
+    def test_array_never_limits_the_read_window(self):
+        """The headline finding: the array's own RC settle is orders of
+        magnitude below the 20 ns reference window — reads are limited
+        by drivers and sensing, not by the crossbar."""
+        for size in (32, 64):
+            config = SimConfig(crossbar_size=size, interconnect_tech=45)
+            settle = settle_time_for_config(config)
+            assert settle < CROSSBAR_SETTLE_TIME / 100
+
+    def test_config_wrapper_uses_signal_bits(self):
+        config = SimConfig(crossbar_size=32, interconnect_tech=45)
+        t8 = settle_time_for_config(config, bits=8)
+        t12 = settle_time_for_config(config, bits=12)
+        assert t12 > t8

@@ -1,0 +1,98 @@
+"""Stress and edge-case scenarios across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.config import SimConfig
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.networks import mlp, vgg16
+
+
+class TestExtremeShapes:
+    def test_vgg16_on_tiny_crossbars(self):
+        """The full 138M-parameter network on size-32 crossbars builds
+        quickly thanks to the shape-grouped mapping (O(1) per bank)."""
+        config = SimConfig(crossbar_size=32, cmos_tech=45,
+                           interconnect_tech=45)
+        accelerator = Accelerator(config, vgg16())
+        assert accelerator.total_units > 100_000
+        summary = accelerator.summary()
+        assert summary.area > 0
+
+    def test_huge_crossbar_tiny_layer(self):
+        config = SimConfig(crossbar_size=1024)
+        accelerator = Accelerator(config, mlp([4, 4], name="tiny"))
+        summary = accelerator.summary()
+        assert accelerator.total_units == 1
+        assert summary.worst_error_rate < 0.5
+
+    def test_single_neuron_layer(self):
+        config = SimConfig(crossbar_size=128)
+        accelerator = Accelerator(config, mlp([128, 1], name="probe"))
+        assert accelerator.summary().energy_per_sample > 0
+
+    def test_very_deep_network_error_saturates(self):
+        """Eq. 15's error accumulation must never exceed 100 %."""
+        config = SimConfig(crossbar_size=512, interconnect_tech=18)
+        accelerator = Accelerator(
+            config, mlp([512] * 40, name="very-deep")
+        )
+        summary = accelerator.summary()
+        assert summary.worst_error_rate <= 1.0
+        assert summary.average_error_rate <= 1.0
+
+    def test_one_bit_signals(self):
+        """Binary-network style: 1-bit signals, unsigned 1-bit weights."""
+        config = SimConfig(
+            crossbar_size=64, signal_bits=1, weight_bits=1,
+            weight_polarity=1,
+        )
+        accelerator = Accelerator(config, mlp([64, 32], name="binary"))
+        assert accelerator.total_crossbars == 1
+        assert accelerator.summary().area > 0
+
+
+class TestNumericalRobustness:
+    def test_all_config_corners_build(self):
+        """Every (cell type, polarity, device) corner must simulate."""
+        network = mlp([100, 50], name="corner")
+        for cell_type in ("1T1R", "0T1R"):
+            for polarity in (1, 2):
+                for model in ("RRAM", "RRAM-4BIT", "PCM"):
+                    config = SimConfig(
+                        crossbar_size=64, cell_type=cell_type,
+                        weight_polarity=polarity, memristor_model=model,
+                        weight_bits=4,
+                    )
+                    summary = Accelerator(config, network).summary()
+                    assert np.isfinite(summary.area)
+                    assert np.isfinite(summary.worst_error_rate)
+
+    def test_extreme_resistance_override(self):
+        config = SimConfig(resistance_range=(1e7, 1e9))
+        accelerator = Accelerator(config, mlp([64, 64], name="hi-r"))
+        summary = accelerator.summary()
+        assert np.isfinite(summary.energy_per_sample)
+        assert summary.energy_per_sample > 0
+
+    def test_functional_with_zero_weights(self, rng):
+        from repro.functional import FunctionalAccelerator
+
+        network = mlp([8, 4], name="zeros", activation="none")
+        functional = FunctionalAccelerator(
+            SimConfig(crossbar_size=32), network, [np.zeros((4, 8))]
+        )
+        out = functional.forward(rng.uniform(-1, 1, size=8))[-1]
+        assert np.array_equal(out, np.zeros(4))
+
+    def test_layer_spec_with_maximum_fanin(self):
+        layer = FullyConnectedLayer(25088, 4096)  # VGG fc6
+        config = SimConfig(crossbar_size=128)
+        from repro.arch.mapping import LayerMapping
+
+        mapping = LayerMapping.for_layer(layer, config)
+        assert mapping.row_blocks == 196
+        assert sum(
+            s.rows * s.cols * s.count for s in mapping.block_shapes()
+        ) == 25088 * 4096

@@ -1,0 +1,51 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_length_constants_are_si():
+    assert units.NM == pytest.approx(1e-9)
+    assert units.UM == pytest.approx(1e-6)
+    assert units.MM == pytest.approx(1e-3)
+
+
+def test_area_constants_square_their_lengths():
+    assert units.UM2 == pytest.approx(units.UM**2)
+    assert units.MM2 == pytest.approx(units.MM**2)
+
+
+def test_to_unit_round_trips_with_from_unit():
+    for value in (0.0, 1.5e-6, 42.0, -3e-9):
+        for unit in (units.NS, units.UJ, units.MW, units.MM2):
+            assert units.from_unit(units.to_unit(value, unit), unit) == (
+                pytest.approx(value)
+            )
+
+
+def test_to_unit_example():
+    assert units.to_unit(2.5e-6, units.US) == pytest.approx(2.5)
+
+
+def test_fmt_si_picks_engineering_prefixes():
+    assert units.fmt_si(1.5e-6, "J") == "1.5 uJ"
+    assert units.fmt_si(2.2e-3, "W") == "2.2 mW"
+    assert units.fmt_si(3.0e9, "Hz") == "3 GHz"
+
+
+def test_fmt_si_zero_and_tiny_values():
+    assert units.fmt_si(0, "J") == "0 J"
+    text = units.fmt_si(5e-16, "J")
+    assert "fJ" in text
+
+
+def test_fmt_si_negative_values_keep_sign():
+    assert units.fmt_si(-2e-6, "s").startswith("-2")
+
+
+def test_frequency_constants():
+    assert units.GHZ / units.MHZ == pytest.approx(1000.0)
+    assert units.MHZ / units.KHZ == pytest.approx(1000.0)
