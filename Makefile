@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench bench-runtime examples results clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ test-verbose:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-runtime:
+	$(PYTHON) -m pytest benchmarks/test_runtime_scaling.py -v
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,84 @@
+"""Runtime engine scaling: serial vs ``jobs=4`` vs warm-cache explore.
+
+Times the Table IV large-bank sweep (the paper's 2048x1024 computation
+bank over the full default :class:`DesignSpace`) through the three
+execution modes of :mod:`repro.runtime` and records the numbers in
+``BENCH_runtime.json`` at the repo root.  The one hard guarantee worth
+pinning is the cache: a warm re-run must cost well under a quarter of
+the cold serial sweep.  Parallel speed-up is *recorded but not
+asserted* — on a single-core CI box process fan-out is legitimately
+slower than the serial loop, and the equivalence tests already pin
+that its results are identical.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.config import SimConfig
+from repro.dse import DesignSpace, explore
+from repro.nn.networks import large_bank_layer
+from repro.runtime.cache import ResultCache
+
+BASE = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
+SPACE = DesignSpace()
+JOBS = 4
+BEST_OF = 3
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(runs, fn):
+    """Minimum wall-clock over ``runs`` calls (noise-robust timing)."""
+    timings = []
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
+
+
+def test_runtime_scaling(tmp_path, write_result):
+    network = large_bank_layer()
+
+    serial_s, serial_points = _best_of(
+        BEST_OF, lambda: explore(BASE, network, SPACE)
+    )
+    parallel_s, parallel_points = _best_of(
+        BEST_OF, lambda: explore(BASE, network, SPACE, jobs=JOBS)
+    )
+
+    with ResultCache(tmp_path / "cache") as cache:
+        explore(BASE, network, SPACE, cache=cache)  # cold fill
+        cached_s, cached_points = _best_of(
+            BEST_OF, lambda: explore(BASE, network, SPACE, cache=cache)
+        )
+
+    assert parallel_points == serial_points
+    assert cached_points == serial_points
+    # The headline acceptance: a warm cache turns the sweep into pure
+    # lookups, far cheaper than recomputing every design point.
+    assert cached_s < 0.25 * serial_s, (
+        f"warm cache took {cached_s:.3f}s vs serial {serial_s:.3f}s "
+        f"({cached_s / serial_s:.0%}); expected < 25%"
+    )
+
+    record = {
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "cached_s": round(cached_s, 6),
+        "jobs": JOBS,
+    }
+    (REPO_ROOT / "BENCH_runtime.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    write_result(
+        "runtime_scaling",
+        f"Runtime scaling over {len(SPACE)} designs "
+        f"({len(serial_points)} feasible):\n"
+        f"  serial          {serial_s * 1e3:8.1f} ms\n"
+        f"  parallel x{JOBS}     {parallel_s * 1e3:8.1f} ms\n"
+        f"  warm cache      {cached_s * 1e3:8.1f} ms "
+        f"({cached_s / serial_s:.0%} of serial)",
+    )

@@ -7,18 +7,29 @@ collect the empirical distribution of relative output errors.  It both
 validates the closed-form bounds (the worst case must dominate the
 samples) and supports variation studies the paper defers to the
 ``Memristor_Model`` configuration.
+
+Sampling runs through :mod:`repro.runtime`: pass ``seed=`` (instead of
+a shared ``rng``) and each trial draws from its own
+``np.random.SeedSequence(seed, spawn_key=(trial,))`` stream, which
+makes the result *independent of the execution schedule* — ``jobs=N``
+parallel runs reproduce the serial samples bit-for-bit, and trials are
+individually cacheable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
 from repro.accuracy.variation import sample_resistances
 from repro.errors import ConfigError
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import JobSpec, content_key
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.pool import RunPolicy, run_jobs
 from repro.spice.solver import CrossbarNetwork, ideal_output_voltages
 from repro.tech.memristor import MemristorModel
 
@@ -44,15 +55,61 @@ class MonteCarloResult:
         return float(np.percentile(np.abs(self.samples), q))
 
 
+def _single_trial(
+    device: MemristorModel,
+    size: int,
+    segment_resistance: float,
+    sense_resistance: float,
+    sigma: float,
+    input_mode: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One sampled crossbar solve; returns the finite relative errors."""
+    levels = rng.integers(0, device.levels, size=(size, size))
+    programmed = np.vectorize(device.resistance_of_level)(levels)
+    actual = sample_resistances(programmed, sigma, rng)
+    if input_mode == "full":
+        inputs = np.full(size, device.read_voltage)
+    else:
+        inputs = rng.uniform(0, device.read_voltage, size=size)
+    network = CrossbarNetwork(
+        actual, segment_resistance, sense_resistance, device=device
+    )
+    solution = network.solve(inputs)
+    ideal = ideal_output_voltages(programmed, inputs, sense_resistance)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = (ideal - solution.output_voltages) / ideal
+    return rel[np.isfinite(rel)]
+
+
+def _run_trial(task: Tuple) -> np.ndarray:
+    """Worker: one seeded trial (runs in a pool process)."""
+    (device, size, segment_resistance, sense_resistance, sigma,
+     input_mode, seed, trial) = task
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(trial,))
+    )
+    return _single_trial(
+        device, size, segment_resistance, sense_resistance, sigma,
+        input_mode, rng,
+    )
+
+
 def run_monte_carlo(
     device: MemristorModel,
     size: int,
     segment_resistance: float,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     trials: int = 10,
     sense_resistance: float = DEFAULT_SENSE_RESISTANCE,
     sigma: Optional[float] = None,
     input_mode: str = "random",
+    *,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    metrics: Optional[RunMetrics] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> MonteCarloResult:
     """Sample crossbar solves and collect relative output errors.
 
@@ -65,7 +122,8 @@ def run_monte_carlo(
     segment_resistance:
         Wire segment resistance ``r``.
     rng:
-        Seeded generator; callers own reproducibility.
+        Seeded generator shared across trials (the legacy serial
+        protocol); mutually exclusive with ``seed``.
     trials:
         Number of sampled weight matrices.
     sigma:
@@ -73,30 +131,59 @@ def run_monte_carlo(
     input_mode:
         ``"random"`` draws uniform inputs; ``"full"`` drives every row
         at the read voltage (the worst-case protocol).
+    seed:
+        Trial-independent reproducibility: trial ``i`` draws from
+        ``SeedSequence(seed, spawn_key=(i,))``, so results are
+        identical for any ``jobs`` and individually cacheable.
+    jobs:
+        Worker processes for the trial sweep (requires ``seed``).
+    cache / metrics / policy:
+        Engine knobs, as in :func:`repro.dse.explorer.explore`.
     """
     if trials < 1:
         raise ConfigError("trials must be >= 1")
     if input_mode not in ("random", "full"):
         raise ConfigError("input_mode must be 'random' or 'full'")
+    if (rng is None) == (seed is None):
+        raise ConfigError("provide exactly one of rng= or seed=")
+    effective_jobs = policy.worker_count if policy is not None else jobs
+    if effective_jobs != 1 and seed is None:
+        raise ConfigError(
+            "parallel Monte-Carlo (jobs != 1) requires seed= for "
+            "schedule-independent reproducibility"
+        )
     sigma = device.sigma if sigma is None else sigma
 
-    errors = []
-    for _ in range(trials):
-        levels = rng.integers(0, device.levels, size=(size, size))
-        programmed = np.vectorize(device.resistance_of_level)(levels)
-        actual = sample_resistances(programmed, sigma, rng)
-        if input_mode == "full":
-            inputs = np.full(size, device.read_voltage)
-        else:
-            inputs = rng.uniform(0, device.read_voltage, size=size)
-        network = CrossbarNetwork(
-            actual, segment_resistance, sense_resistance, device=device
-        )
-        solution = network.solve(inputs)
-        ideal = ideal_output_voltages(programmed, inputs, sense_resistance)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            rel = (ideal - solution.output_voltages) / ideal
-        errors.append(rel[np.isfinite(rel)])
+    if seed is None:
+        # Legacy protocol: one shared generator, strictly sequential.
+        errors = [
+            _single_trial(device, size, segment_resistance,
+                          sense_resistance, sigma, input_mode, rng)
+            for _ in range(trials)
+        ]
+        return MonteCarloResult(samples=np.concatenate(errors))
+
+    specs = []
+    for trial in range(trials):
+        task = (device, size, segment_resistance, sense_resistance,
+                sigma, input_mode, seed, trial)
+        specs.append(JobSpec(
+            kind="montecarlo-trial",
+            payload=task,
+            key=content_key(
+                "montecarlo-trial", device, size, segment_resistance,
+                sense_resistance, sigma, input_mode, seed, trial,
+            ),
+        ))
+    errors = run_jobs(
+        _run_trial,
+        specs,
+        policy=policy if policy is not None else RunPolicy(jobs=jobs),
+        cache=cache,
+        encode=lambda arr: [float(v) for v in arr],
+        decode=lambda data: np.asarray(data, dtype=float),
+        metrics=metrics,
+    )
     return MonteCarloResult(samples=np.concatenate(errors))
 
 

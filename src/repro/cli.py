@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the software flow of the paper's Fig. 3:
+The subcommands cover the software flow of the paper's Fig. 3:
 
 * ``simulate`` — build the accelerator for a configuration (file or
   flags) and a network, print the summary and optional hierarchical
@@ -8,7 +8,13 @@ Three subcommands cover the software flow of the paper's Fig. 3:
 * ``explore`` — traversal design-space exploration with an error
   constraint, printing the per-target optima (the Tables IV/VI flow);
 * ``netlist`` — export a SPICE netlist for a random-programmed crossbar
-  of the configured size (the hand-off path to external simulators).
+  of the configured size (the hand-off path to external simulators);
+* ``runtime-stats`` — the job engine's last-run metrics and cache
+  effectiveness (see :mod:`repro.runtime`).
+
+``simulate`` and ``explore`` accept the engine knobs ``--jobs N``
+(parallel worker processes), ``--cache-dir PATH`` (persistent result
+cache; also honoured from ``$REPRO_CACHE_DIR``) and ``--no-cache``.
 
 Network specs are compact strings: ``mlp:784,256,10``, or the built-ins
 ``validation-mlp`` / ``jpeg`` / ``large-bank`` / ``caffenet`` / ``vgg16``.
@@ -17,6 +23,7 @@ Network specs are compact strings: ``mlp:784,256,10``, or the built-ins
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -25,9 +32,9 @@ import numpy as np
 from repro.arch.accelerator import Accelerator
 from repro.arch.breakdown import accelerator_breakdown
 from repro.config import SimConfig
-from repro.dse.explorer import explore, optimal_table
+from repro.dse.explorer import explore, optimal_table, simulate_point
 from repro.dse.space import DesignSpace
-from repro.errors import ConfigError, MnsimError
+from repro.errors import ConfigError, JobExecutionError, MnsimError
 from repro.nn.networks import (
     Network,
     caffenet,
@@ -37,7 +44,13 @@ from repro.nn.networks import (
     validation_mlp,
     vgg16,
 )
-from repro.report import format_table
+from repro.report import format_run_metrics, format_table
+from repro.runtime import (
+    LAST_RUN_FILENAME,
+    ResultCache,
+    RunMetrics,
+    default_cache_dir,
+)
 from repro.units import MM2, UJ, US
 
 _BUILTIN_NETWORKS = {
@@ -94,11 +107,47 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--signal-bits", dest="signal_bits", type=int)
 
 
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR if set, else caching is off)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if a directory is configured",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Resolve the opt-in cache: flag > env var > disabled."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    )
+    return ResultCache(cache_dir) if cache_dir else None
+
+
+def _finish_run(cache: Optional[ResultCache],
+                metrics: RunMetrics) -> None:
+    """Persist run metrics next to the cache for ``runtime-stats``."""
+    if cache is not None:
+        metrics.save(cache.cache_dir / LAST_RUN_FILENAME)
+        cache.close()
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _load_config(args)
     network = parse_network(args.network)
     accelerator = Accelerator(config, network)
-    summary = accelerator.summary()
+    cache = _make_cache(args)
+    metrics = RunMetrics()
+    summary = simulate_point(config, network, cache=cache, metrics=metrics)
 
     print(f"network: {network.name} ({network.depth} banks)")
     print(format_table(
@@ -123,6 +172,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.breakdown:
         print()
         print(accelerator_breakdown(accelerator).render())
+    _finish_run(cache, metrics)
     return 0
 
 
@@ -134,13 +184,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         parallelism_degrees=tuple(args.degrees),
         interconnect_nodes=tuple(args.wires),
     )
+    cache = _make_cache(args)
+    metrics = RunMetrics()
     points = explore(
-        config, network, space, max_error_rate=args.max_error
+        config, network, space, max_error_rate=args.max_error,
+        jobs=args.jobs, cache=cache, metrics=metrics,
     )
     print(
         f"{len(space)} designs explored, {len(points)} feasible"
         + (f" (error <= {args.max_error:.0%})" if args.max_error else "")
     )
+    if args.jobs != 1 or cache is not None:
+        hits = metrics.counters.get("cache_hits", 0)
+        print(
+            f"runtime: {metrics.mode} x{metrics.workers}, "
+            f"{metrics.jobs_per_second:,.0f} jobs/s, {hits} cache hits"
+        )
+    _finish_run(cache, metrics)
     if not points:
         print("no feasible design; relax --max-error", file=sys.stderr)
         return 1
@@ -222,6 +282,37 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime_stats(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    directory = (
+        ResultCache(cache_dir).cache_dir if cache_dir else default_cache_dir()
+    )
+    last_run = directory / LAST_RUN_FILENAME
+    db_path = directory / "results.sqlite"
+    print(f"cache directory: {directory}")
+    if db_path.exists():
+        with ResultCache(directory) as cache:
+            stats = cache.stats()
+        print(format_table(
+            ["cache metric", "value"],
+            [
+                ["entries (current version)", str(stats.entries)],
+                ["stale entries", str(stats.stale_entries)],
+                ["database size (bytes)", str(db_path.stat().st_size)],
+            ],
+        ))
+    else:
+        print("no result cache recorded yet")
+    print()
+    if last_run.exists():
+        print("last run:")
+        print(format_run_metrics(RunMetrics.load(last_run)))
+    else:
+        print("no runtime statistics recorded yet; run simulate/explore "
+              "with --cache-dir")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -235,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="simulate one design point"
     )
     _add_config_flags(simulate)
+    _add_runtime_flags(simulate)
     simulate.add_argument("network", help="network spec (e.g. mlp:784,256,10)")
     simulate.add_argument(
         "--report", action="store_true", help="print the hierarchical report"
@@ -252,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explore", help="design-space exploration"
     )
     _add_config_flags(explore_cmd)
+    _add_runtime_flags(explore_cmd)
     explore_cmd.add_argument("network")
     explore_cmd.add_argument(
         "--sizes", type=int, nargs="+", default=[64, 128, 256, 512],
@@ -288,15 +381,35 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("--max-error", type=float, default=None)
     suggest.set_defaults(func=_cmd_suggest)
 
+    runtime_stats = sub.add_parser(
+        "runtime-stats",
+        help="show job-engine metrics of the last run and cache stats",
+    )
+    runtime_stats.add_argument(
+        "--cache-dir",
+        help="cache directory to inspect (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
+    )
+    runtime_stats.set_defaults(func=_cmd_runtime_stats)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: ``0`` success, ``1`` empty result (e.g. no feasible
+    design), ``2`` configuration/model error, ``3`` worker failure after
+    exhausted retries (summarized — child tracebacks never reach the
+    terminal).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except JobExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except MnsimError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -214,6 +214,41 @@ class SimConfig:
         return replace(self, **kwargs)
 
     # ------------------------------------------------------------------
+    # Deterministic serialization (cache keys depend on this)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of every field, keys in sorted order.
+
+        The ordering and value spellings are *stable by contract*:
+        :mod:`repro.runtime` derives cache keys from this serialization,
+        so any change here invalidates every cached result (bump
+        :data:`repro.runtime.jobs.SCHEMA_VERSION` when that happens).
+        """
+        out = {}
+        for name in sorted(self.__dataclass_fields__):
+            value = getattr(self, name)
+            if isinstance(value, CellType):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Rebuild a configuration from a :meth:`to_dict` mapping."""
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ConfigError(
+                f"unknown configuration fields {sorted(unknown)}"
+            )
+        values = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+        return cls(**values)
+
+    # ------------------------------------------------------------------
     # File I/O
     # ------------------------------------------------------------------
     @classmethod

@@ -11,13 +11,17 @@ efficiency, reciprocal power, speed, accuracy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import Accelerator, AcceleratorSummary
 from repro.config import SimConfig
 from repro.dse.space import DesignSpace
 from repro.errors import ExplorationError
 from repro.nn.networks import Network
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import JobSpec, content_key, network_fingerprint
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.pool import RunPolicy, run_jobs
 
 #: Optimization targets, matching the columns of Tables IV / VI.
 OPTIMIZATION_METRICS = ("area", "energy", "latency", "accuracy")
@@ -68,11 +72,74 @@ class DesignPoint:
         raise ExplorationError(f"unknown optimization metric {name!r}")
 
 
+# ----------------------------------------------------------------------
+# Simulation jobs (the repro.runtime integration)
+# ----------------------------------------------------------------------
+_SUMMARY_FIELDS = (
+    "area", "energy_per_sample", "sample_latency", "compute_latency",
+    "pipeline_cycle", "power", "worst_error_rate", "average_error_rate",
+)
+
+
+def _evaluate_point(task: Tuple[SimConfig, Network]) -> AcceleratorSummary:
+    """Worker: simulate one design point (runs in a pool process)."""
+    config, network = task
+    return Accelerator(config, network).summary()
+
+
+def _encode_summary(summary: AcceleratorSummary) -> dict:
+    return {name: getattr(summary, name) for name in _SUMMARY_FIELDS}
+
+
+def _decode_summary(data: dict) -> AcceleratorSummary:
+    return AcceleratorSummary(**{name: data[name] for name in _SUMMARY_FIELDS})
+
+
+def simulation_spec(config: SimConfig, network: Network,
+                    fingerprint: Optional[str] = None) -> JobSpec:
+    """The :class:`JobSpec` for one (config, network) simulation.
+
+    The cache key folds the deterministic config serialization, the
+    network fingerprint, and the engine schema version — the contract
+    of ISSUE's "canonical serialization" requirement.
+    """
+    if fingerprint is None:
+        fingerprint = network_fingerprint(network)
+    return JobSpec(
+        kind="simulate-point",
+        payload=(config, network),
+        key=content_key("simulate-point", config.to_dict(), fingerprint),
+    )
+
+
+def simulate_point(
+    config: SimConfig,
+    network: Network,
+    *,
+    cache: Optional[ResultCache] = None,
+    metrics: Optional[RunMetrics] = None,
+) -> AcceleratorSummary:
+    """Simulate one design through the job engine (cache-aware)."""
+    return run_jobs(
+        _evaluate_point,
+        [simulation_spec(config, network)],
+        cache=cache,
+        encode=_encode_summary,
+        decode=_decode_summary,
+        metrics=metrics,
+    )[0]
+
+
 def explore(
     base_config: SimConfig,
     network: Network,
     space: Optional[DesignSpace] = None,
     max_error_rate: Optional[float] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    metrics: Optional[RunMetrics] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> List[DesignPoint]:
     """Simulate every valid design point.
 
@@ -87,11 +154,37 @@ def explore(
     max_error_rate:
         Optional constraint: points whose worst-case error rate exceeds
         this bound are dropped (the paper uses 25 % / 50 %).
+    jobs:
+        Worker processes for the sweep; ``1`` runs serially and
+        ``jobs>1`` returns the exact same points in the same order
+        (the engine guarantees result equivalence).
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; previously
+        simulated points are read back instead of recomputed.
+    metrics:
+        Optional :class:`~repro.runtime.metrics.RunMetrics` filled with
+        stage times / cache hits for this sweep.
+    policy:
+        Full :class:`~repro.runtime.pool.RunPolicy` override (timeout,
+        retries, chunking); when given, ``jobs`` is ignored.
     """
     space = space if space is not None else DesignSpace()
+    configs = list(space.configs(base_config))
+    fingerprint = network_fingerprint(network)
+    specs = [
+        simulation_spec(config, network, fingerprint) for config in configs
+    ]
+    summaries = run_jobs(
+        _evaluate_point,
+        specs,
+        policy=policy if policy is not None else RunPolicy(jobs=jobs),
+        cache=cache,
+        encode=_encode_summary,
+        decode=_decode_summary,
+        metrics=metrics,
+    )
     points: List[DesignPoint] = []
-    for config in space.configs(base_config):
-        summary = Accelerator(config, network).summary()
+    for config, summary in zip(configs, summaries):
         if max_error_rate is not None and (
             summary.worst_error_rate > max_error_rate
         ):

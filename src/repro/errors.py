@@ -9,6 +9,7 @@ simulation flow:
 * mapping a network onto crossbars -> :class:`MappingError`
 * circuit-level solving -> :class:`SolverError`
 * design-space exploration -> :class:`ExplorationError`
+* parallel job execution -> :class:`JobExecutionError`
 """
 
 from __future__ import annotations
@@ -39,3 +40,11 @@ class SolverError(MnsimError, RuntimeError):
 
 class ExplorationError(MnsimError, RuntimeError):
     """Design-space exploration found no design satisfying the constraints."""
+
+
+class JobExecutionError(MnsimError, RuntimeError):
+    """A simulation job failed (crash/timeout) after exhausting retries.
+
+    Raised by :func:`repro.runtime.pool.run_jobs` with a summarized,
+    traceback-free message so CLIs can report it cleanly.
+    """

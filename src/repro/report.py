@@ -181,6 +181,29 @@ class ReportNode:
         return "\n".join(lines)
 
 
+def format_run_metrics(metrics) -> str:
+    """Render engine run metrics (``repro.runtime``) as a table.
+
+    Accepts a :class:`~repro.runtime.metrics.RunMetrics` or its
+    :meth:`to_dict` mapping; used by ``repro runtime-stats`` and
+    available to any report that wants to surface sweep cost.
+    """
+    data = metrics.to_dict() if hasattr(metrics, "to_dict") else dict(metrics)
+    rows = [
+        ["execution mode", str(data.get("mode", "serial"))],
+        ["worker processes", str(data.get("workers", 1))],
+    ]
+    for name, value in sorted(dict(data.get("counters", {})).items()):
+        rows.append([name.replace("_", " "), str(value)])
+    for name, seconds in sorted(dict(data.get("stages", {})).items()):
+        rows.append([f"{name} time", fmt_si(float(seconds), "s")])
+    rows.append(["total time", fmt_si(float(data.get("total_seconds", 0.0)), "s")])
+    throughput = float(data.get("jobs_per_second", 0.0))
+    if throughput:
+        rows.append(["throughput", f"{throughput:,.1f} jobs/s"])
+    return format_table(["runtime metric", "value"], rows)
+
+
 def format_table(headers: List[str], rows: List[List[str]]) -> str:
     """Render a simple aligned ASCII table (used by benches and examples)."""
     widths = [len(h) for h in headers]

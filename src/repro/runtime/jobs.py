@@ -1,0 +1,119 @@
+"""Deterministic job identities for the simulation engine.
+
+A *job* is one independent unit of sweep work (one design point, one
+Monte-Carlo trial).  :class:`JobSpec` pairs the picklable payload a
+worker consumes with a deterministic content-hash **key** computed from
+a canonical serialization of the job's inputs.  Two jobs with the same
+key are guaranteed to produce the same result, which is what makes the
+on-disk cache (:mod:`repro.runtime.cache`) safe.
+
+Keys fold in :data:`SCHEMA_VERSION`; bump it whenever the meaning of a
+cached result changes (new metric, changed model equations) and every
+stale cache entry invalidates itself automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Version stamp folded into every job key and cache row.  Bump on any
+#: change to result semantics (summary fields, model equations, ...).
+SCHEMA_VERSION = "runtime-v1"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-safe form with deterministic ordering.
+
+    Handles the input vocabulary of the simulators: dataclasses (tagged
+    with their class name so distinct types never collide), enums,
+    tuples/lists, dicts (keys sorted), numbers, strings, booleans and
+    ``None``.  Non-finite floats are spelled out as strings because JSON
+    has no literal for them.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            name: canonical(getattr(value, name))
+            for name in sorted(f.name for f in dataclasses.fields(value))
+        }
+        fields["__type__"] = type(value).__name__
+        return fields
+    if isinstance(value, enum.Enum):
+        return canonical(value.value)
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (tuple, list)):
+        return [canonical(item) for item in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    # numpy scalars and other number-likes reduce via item()/float().
+    item = getattr(value, "item", None)
+    if callable(item):
+        return canonical(item())
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for a job key"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialization: compact JSON with sorted keys."""
+    return json.dumps(canonical(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 content hash of ``parts`` plus :data:`SCHEMA_VERSION`.
+
+    The parts are canonically serialized, so key stability only depends
+    on the *values* — not on dict insertion order, tuple vs. list
+    spelling, or enum identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(SCHEMA_VERSION.encode("ascii"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(canonical_json(part).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def network_fingerprint(network: Any) -> str:
+    """Short stable fingerprint of a network topology.
+
+    Folds the name, network type and every layer's shape parameters, so
+    any structural change yields a different cache key.
+    """
+    return hashlib.sha256(
+        canonical_json(network).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work for :func:`repro.runtime.pool.run_jobs`.
+
+    Attributes
+    ----------
+    kind:
+        Job family tag (e.g. ``"simulate-point"``); recorded in the
+        cache so operators can attribute entries.
+    payload:
+        The picklable value handed to the worker function.
+    key:
+        Deterministic content hash (see :func:`content_key`); ``None``
+        marks the job as uncacheable.
+    """
+
+    kind: str
+    payload: Any
+    key: Optional[str] = None

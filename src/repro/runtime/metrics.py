@@ -1,0 +1,114 @@
+"""Lightweight run instrumentation for the simulation-job engine.
+
+:class:`RunMetrics` accumulates per-stage wall time (cache lookup,
+execute, cache store), counters (jobs, cache hits/misses, worker
+failures, retries) and the execution mode actually used (``serial`` or
+``process``).  The engine fills one in during :func:`repro.runtime.
+pool.run_jobs`; CLI commands persist it next to the cache so
+``repro runtime-stats`` can show the last run, and
+:func:`repro.report.format_run_metrics` renders it as a table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+#: Where CLI runs persist their metrics, relative to the cache dir.
+LAST_RUN_FILENAME = "last_run.json"
+
+
+@dataclass
+class RunMetrics:
+    """Wall-time and counter accounting for one engine run.
+
+    Attributes
+    ----------
+    stages:
+        Stage name -> accumulated wall seconds (``cache-lookup``,
+        ``execute``, ``cache-store``).
+    counters:
+        Event counts: ``jobs_total``, ``jobs_executed``, ``cache_hits``,
+        ``cache_misses``, ``worker_failures``, ``retries``.
+    mode:
+        ``"serial"`` or ``"process"`` — how the execute stage ran.
+    workers:
+        Worker process count used for the execute stage (1 if serial).
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    mode: str = "serial"
+    workers: int = 1
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs_per_second(self) -> float:
+        """Executed-job throughput over the execute stage (0 when idle)."""
+        elapsed = self.stages.get("execute", 0.0)
+        executed = self.counters.get("jobs_executed", 0)
+        return executed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded stage wall times."""
+        return sum(self.stages.values())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (stable key order for cache-key safety)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "jobs_per_second": self.jobs_per_second,
+            "mode": self.mode,
+            "stages": dict(sorted(self.stages.items())),
+            "total_seconds": self.total_seconds,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Rebuild a snapshot produced by :meth:`to_dict`."""
+        return cls(
+            stages=dict(data.get("stages", {})),
+            counters=dict(data.get("counters", {})),
+            mode=str(data.get("mode", "serial")),
+            workers=int(data.get("workers", 1)),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the snapshot as JSON; returns the written path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunMetrics":
+        """Load a snapshot written by :meth:`save`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )

@@ -1,0 +1,400 @@
+"""Parallel job execution with retry, timeout, and serial fallback.
+
+:func:`run_jobs` is the single entry point every sweep in the repo uses.
+It takes a picklable top-level ``worker`` function and a list of
+:class:`~repro.runtime.jobs.JobSpec` and returns the worker results in
+input order.  Between the caller and the worker it layers:
+
+1. **Cache short-circuit** — specs whose key is already in the supplied
+   :class:`~repro.runtime.cache.ResultCache` are never executed.
+2. **Chunked process fan-out** — misses are grouped into chunks and
+   dispatched over a ``ProcessPoolExecutor`` with ``policy.jobs``
+   workers.  Chunking amortises pickling overhead for millisecond jobs.
+3. **Bounded retry** — a chunk that crashes (worker exception, killed
+   process) or exceeds its timeout is resubmitted up to
+   ``policy.retries`` times, then surfaces as a structured
+   :class:`~repro.errors.JobExecutionError` (summarised, no child
+   traceback) — never a hang or a silent partial result.
+4. **Serial fallback** — pool start-up failures and unpicklable
+   workers (e.g. test lambdas) automatically fall back to an
+   in-process serial loop with identical results and error semantics.
+
+Domain errors (any :class:`~repro.errors.MnsimError`) are deterministic
+properties of the job, so they are *not* retried: they propagate to the
+caller unchanged, exactly as the old serial loops behaved.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, JobExecutionError, MnsimError
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import JobSpec
+from repro.runtime.metrics import RunMetrics
+
+#: Seconds between deadline sweeps while waiting on in-flight chunks.
+_WAIT_SLICE = 0.05
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How a job list is executed.
+
+    Attributes
+    ----------
+    jobs:
+        Worker process count; ``1`` (the default) runs in-process
+        serially, ``0`` means "all available cores".
+    chunk_size:
+        Jobs per dispatch unit; ``None`` auto-sizes to roughly four
+        chunks per worker.
+    timeout:
+        Per-job wall-clock budget in seconds (a chunk's budget is
+        ``timeout * len(chunk)``); ``None`` disables timeouts.  Only
+        enforceable on the process path — a serial worker cannot be
+        preempted.
+    retries:
+        How many times a failed/timed-out chunk is re-dispatched before
+        the run aborts with :class:`~repro.errors.JobExecutionError`.
+    """
+
+    jobs: int = 1
+    chunk_size: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigError("jobs must be >= 0 (0 = all cores)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1 when given")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be positive when given")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+
+    @property
+    def worker_count(self) -> int:
+        """The resolved process count (``jobs=0`` -> CPU count)."""
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+
+def run_jobs(
+    worker: Callable[[Any], Any],
+    specs: Sequence[JobSpec],
+    *,
+    policy: Optional[RunPolicy] = None,
+    cache: Optional[ResultCache] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+    metrics: Optional[RunMetrics] = None,
+) -> List[Any]:
+    """Execute ``worker(spec.payload)`` for every spec, in input order.
+
+    Parameters
+    ----------
+    worker:
+        Top-level picklable function of one argument (the payload).
+    specs:
+        The job list; specs with a ``key`` participate in caching.
+    policy:
+        Execution policy (parallelism, chunking, timeout, retries).
+    cache:
+        Optional result cache; hits skip execution, computed results
+        are stored back.
+    encode / decode:
+        Translate worker results to/from the JSON-safe form the cache
+        stores (identity when omitted).
+    metrics:
+        Optional :class:`RunMetrics` to fill in; pass your own to
+        inspect stage times, cache effectiveness and failures.
+    """
+    policy = policy or RunPolicy()
+    metrics = metrics if metrics is not None else RunMetrics()
+    specs = list(specs)
+    metrics.workers = policy.worker_count
+    metrics.count("jobs_total", len(specs))
+
+    results: List[Any] = [None] * len(specs)
+    done = [False] * len(specs)
+
+    # Stage 1: cache short-circuit ------------------------------------
+    if cache is not None:
+        with metrics.stage("cache-lookup"):
+            keyed = [s.key for s in specs if s.key is not None]
+            found = cache.get_many(keyed) if keyed else {}
+            for i, spec in enumerate(specs):
+                if spec.key is not None and spec.key in found:
+                    value = found[spec.key]
+                    results[i] = decode(value) if decode else value
+                    done[i] = True
+        metrics.count("cache_hits", sum(done))
+        metrics.count("cache_misses", len(specs) - sum(done))
+
+    pending = [(i, spec) for i, spec in enumerate(specs) if not done[i]]
+
+    # Stage 2: execute -------------------------------------------------
+    if pending:
+        with metrics.stage("execute"):
+            # Processes are used whenever more than one worker is
+            # requested — even on a single core they buy crash/timeout
+            # isolation; genuine pool failures fall back below.  An
+            # unpicklable worker (test lambda, closure) can never cross
+            # the process boundary, so it is routed straight to the
+            # serial path without ever creating a pool.
+            use_processes = (
+                policy.worker_count > 1
+                and len(pending) > 1
+                and _picklable(worker)
+            )
+            if use_processes:
+                try:
+                    _run_parallel(worker, pending, policy, metrics, results,
+                                  done)
+                    metrics.mode = "process"
+                except _SerialFallback:
+                    pending = [
+                        (i, spec) for i, spec in pending if not done[i]
+                    ]
+                    _run_serial(worker, pending, policy, metrics, results)
+                    metrics.mode = "serial"
+            else:
+                _run_serial(worker, pending, policy, metrics, results)
+                metrics.mode = "serial"
+        metrics.count("jobs_executed", len(pending))
+
+    # Stage 3: cache store ---------------------------------------------
+    if cache is not None and pending:
+        with metrics.stage("cache-store"):
+            cache.put_many(
+                (
+                    spec.key,
+                    spec.kind,
+                    encode(results[i]) if encode else results[i],
+                )
+                for i, spec in pending
+                if spec.key is not None
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def _run_serial(
+    worker: Callable[[Any], Any],
+    pending: Sequence[Tuple[int, JobSpec]],
+    policy: RunPolicy,
+    metrics: RunMetrics,
+    results: List[Any],
+) -> None:
+    for index, spec in pending:
+        attempts = 0
+        while True:
+            try:
+                results[index] = worker(spec.payload)
+                break
+            except MnsimError:
+                # Deterministic domain error: retrying cannot help and
+                # callers expect the original exception type.
+                raise
+            except Exception as exc:
+                attempts += 1
+                metrics.count("worker_failures")
+                if attempts > policy.retries:
+                    raise _job_error(spec, attempts, exc) from None
+                metrics.count("retries")
+
+
+# ----------------------------------------------------------------------
+# Process-pool path
+# ----------------------------------------------------------------------
+class _SerialFallback(Exception):
+    """Internal signal: the pool is unusable; redo the work serially."""
+
+
+def _picklable(obj: Any) -> bool:
+    """Whether ``obj`` can cross a process boundary at all."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_chunk(worker: Callable[[Any], Any], payloads: List[Any]) -> List[Any]:
+    """Executed inside a worker process: run one chunk of payloads."""
+    return [worker(payload) for payload in payloads]
+
+
+def _run_parallel(
+    worker: Callable[[Any], Any],
+    pending: Sequence[Tuple[int, JobSpec]],
+    policy: RunPolicy,
+    metrics: RunMetrics,
+    results: List[Any],
+    done: List[bool],
+) -> None:
+    chunk_size = policy.chunk_size or max(
+        1, math.ceil(len(pending) / (policy.worker_count * 4))
+    )
+    chunks: List[List[Tuple[int, JobSpec]]] = [
+        list(pending[start:start + chunk_size])
+        for start in range(0, len(pending), chunk_size)
+    ]
+    attempts = [0] * len(chunks)
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=policy.worker_count)
+    except (OSError, NotImplementedError, ValueError):
+        raise _SerialFallback() from None
+
+    in_flight: Dict[Any, Tuple[int, Optional[float]]] = {}
+    workers_stuck = False
+
+    def submit(chunk_index: int) -> None:
+        chunk = chunks[chunk_index]
+        future = executor.submit(
+            _run_chunk, worker, [spec.payload for _, spec in chunk]
+        )
+        deadline = (
+            time.monotonic() + policy.timeout * len(chunk)
+            if policy.timeout is not None
+            else None
+        )
+        in_flight[future] = (chunk_index, deadline)
+
+    def fail(chunk_index: int, cause: BaseException) -> None:
+        attempts[chunk_index] += 1
+        metrics.count("worker_failures")
+        if attempts[chunk_index] > policy.retries:
+            first_spec = chunks[chunk_index][0][1]
+            raise _job_error(
+                first_spec, attempts[chunk_index], cause,
+                jobs_in_chunk=len(chunks[chunk_index]),
+            ) from None
+        metrics.count("retries")
+        submit(chunk_index)
+
+    try:
+        for chunk_index in range(len(chunks)):
+            submit(chunk_index)
+        while in_flight:
+            finished, _ = wait(
+                list(in_flight), timeout=_WAIT_SLICE,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            if not finished:
+                for future, (ci, deadline) in list(in_flight.items()):
+                    if deadline is not None and now > deadline:
+                        workers_stuck = True
+                        future.cancel()
+                        del in_flight[future]
+                        fail(ci, TimeoutError(
+                            f"chunk exceeded {policy.timeout:g}s/job budget"
+                        ))
+                continue
+            for future in finished:
+                if future not in in_flight:
+                    # Already handled: cancelled by a timeout sweep or
+                    # re-queued when a broken pool was replaced.
+                    continue
+                ci, _deadline = in_flight.pop(future)
+                try:
+                    chunk_results = future.result(timeout=0)
+                except MnsimError:
+                    raise
+                except pickle.PicklingError:
+                    # The worker/payload cannot cross the process
+                    # boundary at all; no retry will change that.  Let
+                    # the feeder thread finish erroring the remaining
+                    # queued items before shutdown — shutting down while
+                    # it is mid-error wedges the pool's management
+                    # thread and the interpreter then hangs at exit.
+                    wait(list(in_flight), timeout=5.0)
+                    raise _SerialFallback() from None
+                except (AttributeError, TypeError) as exc:
+                    # Local functions/lambdas surface as AttributeError
+                    # ("Can't pickle local object ..."); same remedy.
+                    if "pickle" in str(exc).lower():
+                        wait(list(in_flight), timeout=5.0)
+                        raise _SerialFallback() from None
+                    fail(ci, exc)
+                except BrokenProcessPool as exc:
+                    # A worker died (crash / kill).  Every other
+                    # in-flight future is collateral damage: resubmit
+                    # them on a fresh pool without charging an attempt,
+                    # and charge only the chunk that surfaced the break.
+                    victims = [vci for vci, _dl in in_flight.values()]
+                    in_flight.clear()
+                    _shutdown_pool(executor, kill=True)
+                    try:
+                        executor = ProcessPoolExecutor(
+                            max_workers=policy.worker_count
+                        )
+                    except (OSError, NotImplementedError, ValueError):
+                        raise _SerialFallback() from None
+                    for vci in victims:
+                        submit(vci)
+                    fail(ci, exc)
+                except Exception as exc:
+                    fail(ci, exc)
+                else:
+                    for (index, _spec), value in zip(
+                        chunks[ci], chunk_results
+                    ):
+                        results[index] = value
+                        done[index] = True
+    finally:
+        _shutdown_pool(executor, kill=workers_stuck)
+
+
+def _shutdown_pool(executor: ProcessPoolExecutor, *, kill: bool) -> None:
+    """Shut a pool down without waiting.
+
+    With ``kill=True`` the worker processes are terminated first —
+    needed when a chunk blew its timeout and a worker may be stuck in
+    user code forever.  The process list must be snapshotted *before*
+    ``shutdown()``, which drops the executor's reference to it.
+    """
+    processes = (
+        list((getattr(executor, "_processes", None) or {}).values())
+        if kill
+        else []
+    )
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best effort only
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _job_error(
+    spec: JobSpec,
+    attempts: int,
+    cause: BaseException,
+    *,
+    jobs_in_chunk: int = 1,
+) -> JobExecutionError:
+    """Build the summarized (traceback-free) terminal failure."""
+    reason = f"{type(cause).__name__}: {cause}".strip().rstrip(":")
+    scope = (
+        f"a chunk of {jobs_in_chunk} {spec.kind!r} jobs"
+        if jobs_in_chunk > 1
+        else f"{spec.kind!r} job"
+    )
+    return JobExecutionError(
+        f"{scope} failed after {attempts} attempt(s): {reason}"
+    )

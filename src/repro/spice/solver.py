@@ -13,6 +13,12 @@ damped fixed-point iteration that re-evaluates each cell's effective
 conductance at its present operating voltage — the "slow, exact" path that
 MNSIM's analytic model is validated against and benchmarked for speed-up
 (Tables II/III, Fig. 5).
+
+Pickle-safety contract: :class:`CrossbarNetwork`, :class:`CrossbarSolution`
+and every solver input (arrays, :class:`~repro.tech.memristor.
+MemristorModel`) must stay picklable — :mod:`repro.runtime` ships them to
+``ProcessPoolExecutor`` workers for parallel Monte-Carlo sampling.  Keep
+state in plain attributes; no lambdas, local classes, or open handles.
 """
 
 from __future__ import annotations

@@ -86,6 +86,34 @@ class TestBoundCheck:
         assert not bound_check(mc_result, 1e-9, slack=1.0)
 
 
+class TestSeededProtocol:
+    """Satellite: explicit seed threading for schedule-independence."""
+
+    def test_fixed_seed_gives_identical_samples(self, device):
+        a = run_monte_carlo(device, 8, SEG_45NM, seed=21, trials=4)
+        b = run_monte_carlo(device, 8, SEG_45NM, seed=21, trials=4)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self, device):
+        a = run_monte_carlo(device, 8, SEG_45NM, seed=21, trials=4)
+        b = run_monte_carlo(device, 8, SEG_45NM, seed=22, trials=4)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_parallel_matches_serial(self, device):
+        serial = run_monte_carlo(device, 8, SEG_45NM, seed=5, trials=5)
+        parallel = run_monte_carlo(device, 8, SEG_45NM, seed=5, trials=5,
+                                   jobs=2)
+        assert np.array_equal(serial.samples, parallel.samples)
+
+    def test_trial_streams_are_independent(self, device):
+        """Prefixes agree: trials 0..2 of a 3-trial run equal trials
+        0..2 of a 5-trial run (per-trial spawn keys, not one stream)."""
+        short = run_monte_carlo(device, 8, SEG_45NM, seed=9, trials=3)
+        long = run_monte_carlo(device, 8, SEG_45NM, seed=9, trials=5)
+        assert np.array_equal(short.samples,
+                              long.samples[: len(short.samples)])
+
+
 class TestValidation:
     def test_invalid_args(self, device):
         rng = np.random.default_rng(0)
@@ -93,3 +121,15 @@ class TestValidation:
             run_monte_carlo(device, 8, SEG_45NM, rng, trials=0)
         with pytest.raises(ConfigError):
             run_monte_carlo(device, 8, SEG_45NM, rng, input_mode="spiky")
+
+    def test_rng_and_seed_are_mutually_exclusive(self, device):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            run_monte_carlo(device, 8, SEG_45NM, rng, seed=1)
+        with pytest.raises(ConfigError):
+            run_monte_carlo(device, 8, SEG_45NM)  # neither
+
+    def test_parallel_requires_seed(self, device):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            run_monte_carlo(device, 8, SEG_45NM, rng, jobs=2)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main, parse_network
-from repro.errors import ConfigError
+from repro.errors import ConfigError, JobExecutionError
 
 
 class TestParseNetwork:
@@ -82,6 +82,98 @@ class TestExplore:
         ])
         assert code == 1
         assert "no feasible" in capsys.readouterr().err
+
+
+class TestRuntimeFlags:
+    def test_explore_parallel(self, capsys):
+        code = main([
+            "explore", "mlp:128,64", "--sizes", "32", "64",
+            "--degrees", "1", "--wires", "45", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "runtime:" in out
+
+    def test_explore_with_cache_warms_up(self, tmp_path, capsys):
+        argv = [
+            "explore", "mlp:128,64", "--sizes", "32", "64",
+            "--degrees", "1", "--wires", "45",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cache hits" in second
+
+    def test_no_cache_flag_disables(self, tmp_path, capsys):
+        argv = [
+            "explore", "mlp:128,64", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+            "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hits" not in out
+        assert not (tmp_path / "cache" / "results.sqlite").exists()
+
+    def test_simulate_accepts_cache(self, tmp_path, capsys):
+        argv = [
+            "simulate", "mlp:64,32",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "cache" / "results.sqlite").exists()
+        assert (tmp_path / "cache" / "last_run.json").exists()
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert main(["simulate", "mlp:64,32"]) == 0
+        assert (tmp_path / "env" / "results.sqlite").exists()
+
+
+class TestRuntimeStats:
+    def test_empty_stats_view(self, tmp_path, capsys):
+        code = main(["runtime-stats", "--cache-dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no runtime statistics recorded yet" in out
+
+    def test_stats_after_cached_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "explore", "mlp:128,64", "--sizes", "32", "64",
+            "--degrees", "1", "--wires", "45", "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["runtime-stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries (current version)" in out
+        assert "last run:" in out
+        assert "jobs total" in out
+
+
+class TestExitCodes:
+    def test_worker_failure_exits_3_with_summary(self, monkeypatch,
+                                                 capsys):
+        """Satellite: exhausted worker retries -> clean nonzero exit."""
+
+        def exploding_explore(*_args, **_kwargs):
+            raise JobExecutionError(
+                "a chunk of 4 'simulate-point' jobs failed after "
+                "2 attempt(s): TimeoutError"
+            )
+
+        monkeypatch.setattr("repro.cli.explore", exploding_explore)
+        code = main([
+            "explore", "mlp:64,32", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+        ])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
 
 
 class TestNetlist:

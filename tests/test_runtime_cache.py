@@ -1,0 +1,82 @@
+"""On-disk result cache: persistence, stats, versioned invalidation."""
+
+import pytest
+
+from repro.runtime.cache import ResultCache, default_cache_dir
+
+
+@pytest.fixture
+def cache(tmp_path):
+    with ResultCache(tmp_path / "cache") as instance:
+        yield instance
+
+
+class TestRoundTrip:
+    def test_put_get(self, cache):
+        cache.put("k1", "test", {"a": 1.5})
+        assert cache.get("k1") == {"a": 1.5}
+
+    def test_missing_key_is_none(self, cache):
+        assert cache.get("nope") is None
+
+    def test_get_many_partial(self, cache):
+        cache.put_many([("a", "t", 1), ("b", "t", 2)])
+        found = cache.get_many(["a", "b", "c"])
+        assert found == {"a": 1, "b": 2}
+
+    def test_overwrite_replaces(self, cache):
+        cache.put("k", "t", 1)
+        cache.put("k", "t", 2)
+        assert cache.get("k") == 2
+        assert cache.stats().entries == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        with ResultCache(tmp_path / "c") as first:
+            first.put("k", "t", [1, 2, 3])
+        with ResultCache(tmp_path / "c") as second:
+            assert second.get("k") == [1, 2, 3]
+
+
+class TestStats:
+    def test_hit_miss_accounting(self, cache):
+        cache.put("a", "t", 1)
+        cache.get_many(["a", "b", "c"])
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 2, 1)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_idle_hit_rate_is_zero(self, cache):
+        assert cache.stats().hit_rate == 0.0
+
+
+class TestVersioning:
+    def test_other_version_is_invisible(self, tmp_path):
+        with ResultCache(tmp_path / "c", schema_version="v1") as old:
+            old.put("k", "t", 1)
+        with ResultCache(tmp_path / "c", schema_version="v2") as new:
+            assert new.get("k") is None
+            assert new.stats().stale_entries == 1
+
+    def test_prune_stale(self, tmp_path):
+        with ResultCache(tmp_path / "c", schema_version="v1") as old:
+            old.put("k", "t", 1)
+        with ResultCache(tmp_path / "c", schema_version="v2") as new:
+            new.put("fresh", "t", 2)
+            assert new.prune_stale() == 1
+            stats = new.stats()
+            assert (stats.entries, stats.stale_entries) == (1, 0)
+
+    def test_clear_removes_everything(self, cache):
+        cache.put_many([("a", "t", 1), ("b", "t", 2)])
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+
+class TestDefaultDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro"

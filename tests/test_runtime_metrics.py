@@ -1,0 +1,82 @@
+"""Run instrumentation: stage timing, counters, persistence, rendering."""
+
+import time
+
+import pytest
+
+from repro.report import format_run_metrics
+from repro.runtime.metrics import RunMetrics
+
+
+class TestStages:
+    def test_stage_accumulates(self):
+        metrics = RunMetrics()
+        for _ in range(2):
+            with metrics.stage("execute"):
+                time.sleep(0.01)
+        assert metrics.stages["execute"] >= 0.02
+        assert metrics.total_seconds == pytest.approx(
+            sum(metrics.stages.values())
+        )
+
+    def test_stage_records_even_on_error(self):
+        metrics = RunMetrics()
+        with pytest.raises(RuntimeError):
+            with metrics.stage("execute"):
+                raise RuntimeError("boom")
+        assert "execute" in metrics.stages
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        metrics = RunMetrics()
+        metrics.count("jobs_total", 5)
+        metrics.count("jobs_total")
+        assert metrics.counters["jobs_total"] == 6
+
+    def test_throughput(self):
+        metrics = RunMetrics()
+        metrics.stages["execute"] = 2.0
+        metrics.counters["jobs_executed"] = 10
+        assert metrics.jobs_per_second == pytest.approx(5.0)
+
+    def test_idle_throughput_is_zero(self):
+        assert RunMetrics().jobs_per_second == 0.0
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        metrics = RunMetrics(
+            stages={"execute": 1.25},
+            counters={"jobs_total": 7, "cache_hits": 3},
+            mode="process",
+            workers=4,
+        )
+        assert RunMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_save_load(self, tmp_path):
+        metrics = RunMetrics(stages={"execute": 0.5},
+                             counters={"jobs_total": 2})
+        path = metrics.save(tmp_path / "deep" / "last_run.json")
+        assert RunMetrics.load(path) == metrics
+
+
+class TestRendering:
+    def test_format_run_metrics(self):
+        metrics = RunMetrics(
+            stages={"execute": 0.5, "cache-lookup": 0.01},
+            counters={"jobs_total": 10, "jobs_executed": 8,
+                      "cache_hits": 2},
+            mode="process",
+            workers=4,
+        )
+        text = format_run_metrics(metrics)
+        assert "execution mode" in text
+        assert "process" in text
+        assert "jobs total" in text
+        assert "execute time" in text
+        assert "throughput" in text
+
+    def test_accepts_plain_mapping(self):
+        text = format_run_metrics(RunMetrics().to_dict())
+        assert "serial" in text

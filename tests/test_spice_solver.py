@@ -145,3 +145,32 @@ class TestValidation:
         network = CrossbarNetwork(np.full((3, 3), 1e5), 1.0, 1e3)
         with pytest.raises(SolverError):
             network.solve(np.ones(4))
+
+
+class TestPickleSafety:
+    """repro.runtime ships solver inputs to pool workers; they must
+    survive a pickle round trip with identical behaviour."""
+
+    def test_network_round_trips(self):
+        import pickle
+
+        from repro.tech import get_memristor_model
+
+        device = get_memristor_model("RRAM")
+        resistances = np.full((4, 4), 1e5)
+        network = CrossbarNetwork(resistances, 1.0, 1e3, device=device)
+        clone = pickle.loads(pickle.dumps(network))
+        inputs = np.linspace(0.1, 0.4, 4)
+        original = network.solve(inputs)
+        copied = clone.solve(inputs)
+        assert np.array_equal(original.output_voltages,
+                              copied.output_voltages)
+
+    def test_solution_round_trips(self):
+        import pickle
+
+        network = CrossbarNetwork(np.full((3, 3), 1e5), 1.0, 1e3)
+        solution = network.solve(np.full(3, 0.2))
+        clone = pickle.loads(pickle.dumps(solution))
+        assert np.array_equal(solution.output_voltages,
+                              clone.output_voltages)
