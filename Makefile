@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-runtime examples results clean
+.PHONY: install test bench bench-runtime bench-spice examples results clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench:
 
 bench-runtime:
 	$(PYTHON) -m pytest benchmarks/test_runtime_scaling.py -v
+
+bench-spice:
+	$(PYTHON) -m pytest benchmarks/test_spice_solver_perf.py -v
 
 examples:
 	@for script in examples/*.py; do \

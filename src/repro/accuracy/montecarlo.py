@@ -63,10 +63,18 @@ def _single_trial(
     sigma: float,
     input_mode: str,
     rng: np.random.Generator,
+    inputs_per_trial: int = 1,
 ) -> np.ndarray:
-    """One sampled crossbar solve; returns the finite relative errors."""
+    """One sampled crossbar solve; returns the finite relative errors.
+
+    With ``inputs_per_trial > 1`` the sampled array is driven by a whole
+    batch of input vectors through
+    :meth:`~repro.spice.solver.CrossbarNetwork.solve_many`, which
+    factorizes the (ideal-device) system once per trial instead of once
+    per vector.
+    """
     levels = rng.integers(0, device.levels, size=(size, size))
-    programmed = np.vectorize(device.resistance_of_level)(levels)
+    programmed = device.resistance_of_level(levels)
     actual = sample_resistances(programmed, sigma, rng)
     if input_mode == "full":
         inputs = np.full(size, device.read_voltage)
@@ -75,23 +83,35 @@ def _single_trial(
     network = CrossbarNetwork(
         actual, segment_resistance, sense_resistance, device=device
     )
-    solution = network.solve(inputs)
-    ideal = ideal_output_voltages(programmed, inputs, sense_resistance)
+    if inputs_per_trial == 1:
+        solution = network.solve(inputs)
+        ideal = ideal_output_voltages(programmed, inputs, sense_resistance)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = (ideal - solution.output_voltages) / ideal
+        return rel[np.isfinite(rel)]
+    extra = rng.uniform(
+        0, device.read_voltage, size=(inputs_per_trial - 1, size)
+    )
+    batch_inputs = np.vstack((inputs[np.newaxis, :], extra))
+    batch = network.solve_many(batch_inputs)
+    ideal = ideal_output_voltages(
+        programmed, batch_inputs, sense_resistance
+    )
     with np.errstate(divide="ignore", invalid="ignore"):
-        rel = (ideal - solution.output_voltages) / ideal
+        rel = (ideal - batch.output_voltages) / ideal
     return rel[np.isfinite(rel)]
 
 
 def _run_trial(task: Tuple) -> np.ndarray:
     """Worker: one seeded trial (runs in a pool process)."""
     (device, size, segment_resistance, sense_resistance, sigma,
-     input_mode, seed, trial) = task
+     input_mode, seed, trial, inputs_per_trial) = task
     rng = np.random.default_rng(
         np.random.SeedSequence(seed, spawn_key=(trial,))
     )
     return _single_trial(
         device, size, segment_resistance, sense_resistance, sigma,
-        input_mode, rng,
+        input_mode, rng, inputs_per_trial,
     )
 
 
@@ -107,6 +127,7 @@ def run_monte_carlo(
     *,
     seed: Optional[int] = None,
     jobs: int = 1,
+    inputs_per_trial: int = 1,
     cache: Optional[ResultCache] = None,
     metrics: Optional[RunMetrics] = None,
     policy: Optional[RunPolicy] = None,
@@ -137,6 +158,12 @@ def run_monte_carlo(
         identical for any ``jobs`` and individually cacheable.
     jobs:
         Worker processes for the trial sweep (requires ``seed``).
+    inputs_per_trial:
+        Input vectors solved per sampled weight matrix (batched through
+        ``solve_many``, which factorizes the system once per trial).
+        Values above 1 require ``input_mode="random"``; the default of
+        1 reproduces the original one-vector-per-trial protocol
+        bit-for-bit.
     cache / metrics / policy:
         Engine knobs, as in :func:`repro.dse.explorer.explore`.
     """
@@ -144,6 +171,13 @@ def run_monte_carlo(
         raise ConfigError("trials must be >= 1")
     if input_mode not in ("random", "full"):
         raise ConfigError("input_mode must be 'random' or 'full'")
+    if inputs_per_trial < 1:
+        raise ConfigError("inputs_per_trial must be >= 1")
+    if inputs_per_trial > 1 and input_mode != "random":
+        raise ConfigError(
+            "inputs_per_trial > 1 requires input_mode='random' (a batch "
+            "of identical full-scale vectors would resample one point)"
+        )
     if (rng is None) == (seed is None):
         raise ConfigError("provide exactly one of rng= or seed=")
     effective_jobs = policy.worker_count if policy is not None else jobs
@@ -158,7 +192,8 @@ def run_monte_carlo(
         # Legacy protocol: one shared generator, strictly sequential.
         errors = [
             _single_trial(device, size, segment_resistance,
-                          sense_resistance, sigma, input_mode, rng)
+                          sense_resistance, sigma, input_mode, rng,
+                          inputs_per_trial)
             for _ in range(trials)
         ]
         return MonteCarloResult(samples=np.concatenate(errors))
@@ -166,14 +201,20 @@ def run_monte_carlo(
     specs = []
     for trial in range(trials):
         task = (device, size, segment_resistance, sense_resistance,
-                sigma, input_mode, seed, trial)
+                sigma, input_mode, seed, trial, inputs_per_trial)
+        # Keys for the default single-vector protocol predate the
+        # batching knob; keep them unchanged so existing cache entries
+        # stay valid.
+        key_parts = [
+            "montecarlo-trial", device, size, segment_resistance,
+            sense_resistance, sigma, input_mode, seed, trial,
+        ]
+        if inputs_per_trial != 1:
+            key_parts.append(inputs_per_trial)
         specs.append(JobSpec(
             kind="montecarlo-trial",
             payload=task,
-            key=content_key(
-                "montecarlo-trial", device, size, segment_resistance,
-                sense_resistance, sigma, input_mode, seed, trial,
-            ),
+            key=content_key(*key_parts),
         ))
     errors = run_jobs(
         _run_trial,

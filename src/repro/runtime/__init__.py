@@ -34,7 +34,12 @@ from repro.runtime.jobs import (
     network_fingerprint,
 )
 from repro.runtime.metrics import LAST_RUN_FILENAME, RunMetrics
-from repro.runtime.pool import RunPolicy, run_jobs
+from repro.runtime.pool import (
+    RunPolicy,
+    run_jobs,
+    shutdown_warm_pool,
+    warm_pool,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -50,4 +55,6 @@ __all__ = [
     "LAST_RUN_FILENAME",
     "RunPolicy",
     "run_jobs",
+    "shutdown_warm_pool",
+    "warm_pool",
 ]

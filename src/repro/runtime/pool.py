@@ -18,6 +18,12 @@ input order.  Between the caller and the worker it layers:
 4. **Serial fallback** — pool start-up failures and unpicklable
    workers (e.g. test lambdas) automatically fall back to an
    in-process serial loop with identical results and error semantics.
+5. **Warm pool reuse** — a healthy ``ProcessPoolExecutor`` is kept
+   alive between :func:`run_jobs` calls (keyed by worker count), so
+   short sweeps don't pay process start-up on every invocation.  Pools
+   that broke or may hold stuck workers are killed and never reused;
+   :func:`warm_pool` pre-starts the pool for latency-sensitive callers
+   and :func:`shutdown_warm_pool` releases it explicitly.
 
 Domain errors (any :class:`~repro.errors.MnsimError`) are deterministic
 properties of the job, so they are *not* retried: they propagate to the
@@ -26,6 +32,7 @@ caller unchanged, exactly as the old serial loops behaved.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import pickle
@@ -42,6 +49,12 @@ from repro.runtime.metrics import RunMetrics
 
 #: Seconds between deadline sweeps while waiting on in-flight chunks.
 _WAIT_SLICE = 0.05
+
+#: Below this many jobs per worker the auto-chunker switches from four
+#: chunks per worker (fine-grained load balancing for long sweeps) to
+#: two (fewer dispatch round-trips for short ones, where per-chunk IPC
+#: overhead dominates over imbalance).
+_SMALL_SWEEP_PER_WORKER = 64
 
 
 @dataclass(frozen=True)
@@ -223,6 +236,82 @@ class _SerialFallback(Exception):
     """Internal signal: the pool is unusable; redo the work serially."""
 
 
+# ----------------------------------------------------------------------
+# Warm-pool management
+# ----------------------------------------------------------------------
+_WARM_POOL: Optional[ProcessPoolExecutor] = None
+_WARM_POOL_WORKERS = 0
+
+
+def _acquire_pool(workers: int) -> ProcessPoolExecutor:
+    """A ``ProcessPoolExecutor`` with ``workers`` processes, reusing the
+    cached warm pool when its size matches.
+
+    Raises the executor constructor's errors unchanged; callers map
+    them to the serial fallback.
+    """
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None and _WARM_POOL_WORKERS == workers:
+        pool, _WARM_POOL = _WARM_POOL, None
+        return pool
+    shutdown_warm_pool()
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _release_pool(
+    executor: ProcessPoolExecutor, workers: int, *, kill: bool
+) -> None:
+    """Return a pool after a run: cache it warm, or kill it for good.
+
+    ``kill=True`` (a chunk blew its timeout, or the pool broke) means a
+    worker may be wedged in user code forever — terminate the processes
+    and never reuse them.
+    """
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if kill:
+        _shutdown_pool(executor, kill=True)
+        return
+    shutdown_warm_pool()
+    _WARM_POOL = executor
+    _WARM_POOL_WORKERS = workers
+
+
+def warm_pool(jobs: int = 0) -> int:
+    """Pre-start the shared worker pool for latency-sensitive sweeps.
+
+    Spawns the worker processes immediately (instead of lazily on the
+    first dispatch) so a subsequent :func:`run_jobs` call with the same
+    worker count pays no start-up cost.  Returns the resolved worker
+    count.  A no-op if a matching pool is already warm.
+    """
+    workers = RunPolicy(jobs=jobs).worker_count
+    try:
+        pool = _acquire_pool(workers)
+        # Touch every worker once so the processes actually exist.
+        list(pool.map(_noop, range(workers)))
+    except (OSError, NotImplementedError, ValueError):
+        return workers
+    _release_pool(pool, workers, kill=False)
+    return workers
+
+
+def shutdown_warm_pool() -> None:
+    """Dispose of the cached warm pool (if any)."""
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None:
+        _WARM_POOL.shutdown(wait=False, cancel_futures=True)
+        _WARM_POOL = None
+        _WARM_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_warm_pool)
+
+
+def _noop(_: Any) -> None:
+    """Worker warm-up probe (must be a picklable top-level function)."""
+    return None
+
+
 def _picklable(obj: Any) -> bool:
     """Whether ``obj`` can cross a process boundary at all."""
     try:
@@ -245,8 +334,10 @@ def _run_parallel(
     results: List[Any],
     done: List[bool],
 ) -> None:
+    small_sweep = len(pending) < policy.worker_count * _SMALL_SWEEP_PER_WORKER
+    chunks_per_worker = 2 if small_sweep else 4
     chunk_size = policy.chunk_size or max(
-        1, math.ceil(len(pending) / (policy.worker_count * 4))
+        1, math.ceil(len(pending) / (policy.worker_count * chunks_per_worker))
     )
     chunks: List[List[Tuple[int, JobSpec]]] = [
         list(pending[start:start + chunk_size])
@@ -255,12 +346,13 @@ def _run_parallel(
     attempts = [0] * len(chunks)
 
     try:
-        executor = ProcessPoolExecutor(max_workers=policy.worker_count)
+        executor = _acquire_pool(policy.worker_count)
     except (OSError, NotImplementedError, ValueError):
         raise _SerialFallback() from None
 
     in_flight: Dict[Any, Tuple[int, Optional[float]]] = {}
     workers_stuck = False
+    clean_exit = False
 
     def submit(chunk_index: int) -> None:
         chunk = chunks[chunk_index]
@@ -340,9 +432,7 @@ def _run_parallel(
                     in_flight.clear()
                     _shutdown_pool(executor, kill=True)
                     try:
-                        executor = ProcessPoolExecutor(
-                            max_workers=policy.worker_count
-                        )
+                        executor = _acquire_pool(policy.worker_count)
                     except (OSError, NotImplementedError, ValueError):
                         raise _SerialFallback() from None
                     for vci in victims:
@@ -356,8 +446,14 @@ def _run_parallel(
                     ):
                         results[index] = value
                         done[index] = True
+        clean_exit = True
     finally:
-        _shutdown_pool(executor, kill=workers_stuck)
+        if clean_exit and not workers_stuck:
+            # Healthy pool after a successful run: keep it warm for the
+            # next sweep (process start-up dominates short runs).
+            _release_pool(executor, policy.worker_count, kill=False)
+        else:
+            _shutdown_pool(executor, kill=workers_stuck)
 
 
 def _shutdown_pool(executor: ProcessPoolExecutor, *, kill: bool) -> None:

@@ -11,9 +11,17 @@ implements that baseline from scratch:
   equations": ``2MN`` node voltages per solve).
 * :mod:`~repro.spice.netlist` — SPICE netlist export of the same network,
   the paper's hand-off path to external circuit simulators (Sec. IV.A).
+* :mod:`~repro.spice.reference` — the original loop-based solver, kept
+  as an executable specification for equivalence tests and the
+  ``BENCH_spice.json`` speedup benchmark.
 """
 
-from repro.spice.solver import CrossbarNetwork, CrossbarSolution, ideal_output_voltages
+from repro.spice.solver import (
+    CrossbarNetwork,
+    CrossbarSolution,
+    CrossbarSolutionBatch,
+    ideal_output_voltages,
+)
 from repro.spice.netlist import generate_netlist
 from repro.spice.parser import ParsedNetlist, parse_netlist
 from repro.spice.transient import (
@@ -25,6 +33,7 @@ from repro.spice.transient import (
 __all__ = [
     "CrossbarNetwork",
     "CrossbarSolution",
+    "CrossbarSolutionBatch",
     "ideal_output_voltages",
     "generate_netlist",
     "ParsedNetlist",

@@ -7,24 +7,46 @@ segment per cell), and ``N`` sense resistors ``R_s`` to ground.  Input
 voltage sources drive the wordlines through the first wire segment.
 
 Unknowns are the ``2MN`` internal node voltages (the input/output node of
-every cell).  The conductance matrix is assembled sparse and solved with
-``scipy.sparse.linalg.spsolve``; the memristor nonlinearity is handled by a
-damped fixed-point iteration that re-evaluates each cell's effective
-conductance at its present operating voltage — the "slow, exact" path that
-MNSIM's analytic model is validated against and benchmarked for speed-up
+every cell).  The memristor nonlinearity is handled by a damped
+fixed-point iteration that re-evaluates each cell's effective conductance
+at its present operating voltage — the "slow, exact" path that MNSIM's
+analytic model is validated against and benchmarked for speed-up
 (Tables II/III, Fig. 5).
+
+Performance architecture (see DESIGN.md S3):
+
+* **One-time structural assembly.**  The sparsity pattern of the MNA
+  matrix depends only on the crossbar shape ``(M, N)``, never on the
+  resistance values.  :class:`_CrossbarStructure` precomputes the COO
+  index arrays and the COO→CSC dedup/permutation maps once per shape
+  (cached module-wide), so every subsequent assembly is a handful of
+  numpy array operations — no Python loops, no index recomputation.
+* **Vectorized nonlinear update.**  Each fixed-point iteration evaluates
+  :meth:`~repro.tech.memristor.MemristorModel.actual_resistance` on the
+  whole ``(M, N)`` cell-voltage grid at once.
+* **Factorization reuse.**  Each assembled matrix is LU-factorized once
+  (``scipy.sparse.linalg.splu``) and back-substituted for however many
+  right-hand sides need it: :meth:`CrossbarNetwork.solve_many` solves a
+  whole batch of input vectors against a single factorization in the
+  linear regime, and :meth:`CrossbarNetwork.factorized` exposes the same
+  helper to other modules (RC transient analysis reuses it).
+
+``benchmarks/test_spice_solver_perf.py`` tracks the measured speedups in
+``BENCH_spice.json`` at the repo root.
 
 Pickle-safety contract: :class:`CrossbarNetwork`, :class:`CrossbarSolution`
 and every solver input (arrays, :class:`~repro.tech.memristor.
 MemristorModel`) must stay picklable — :mod:`repro.runtime` ships them to
 ``ProcessPoolExecutor`` workers for parallel Monte-Carlo sampling.  Keep
 state in plain attributes; no lambdas, local classes, or open handles.
+(The cached structure is deliberately *not* pickled: workers rebuild it
+once per shape on first use.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -40,6 +62,130 @@ _MIN_WIRE_RESISTANCE = 1e-6
 _DEFAULT_TOLERANCE = 1e-10
 _DEFAULT_MAX_ITERATIONS = 60
 _DAMPING = 0.7
+
+# Iterative-refinement knobs for the frozen-LU nonlinear path: each
+# fixed-point iteration perturbs the matrix only slightly (damped
+# conductance updates on entries small against the wire conductances),
+# so refinement against the first iteration's LU contracts by orders of
+# magnitude per step until it hits the rounding floor of the system's
+# conditioning.  A step is accepted at the target tolerance or at
+# stagnation below the acceptance ceiling; anything worse refactorizes.
+_REFINE_TOLERANCE = 1e-12
+_REFINE_ACCEPT = 2e-12
+_MAX_REFINE_STEPS = 30
+
+
+class _CrossbarStructure:
+    """Precomputed sparsity pattern of the ``(M, N)`` MNA system.
+
+    Everything here depends only on the crossbar *shape*, so one instance
+    serves every :class:`CrossbarNetwork` of that shape — Monte-Carlo
+    trials, wire-resistance sweeps and nonlinear iterations all reuse it.
+
+    The COO entry layout is fixed: first ``4MN`` cell-stamp entries
+    (``+g, +g, -g, -g`` per cell, blocked so the per-iteration values
+    vector is one ``concatenate`` of conductance views), then the
+    constant wire/sense/input entries whose values depend only on
+    ``r`` / ``R_s``.  ``order``/``starts``/``indices``/``indptr`` map the
+    raw COO entries onto a duplicate-summed CSC matrix via
+    ``np.add.reduceat`` — the assembly hot path is pure numpy.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        m, n = rows, cols
+        num_nodes = 2 * m * n
+        wl = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        bl = wl + m * n
+
+        wf = wl.ravel()
+        bf = bl.ravel()
+        # Cell stamps: 4 blocks of MN entries (diag, diag, off, off).
+        cell_rows = np.concatenate((wf, bf, wf, bf))
+        cell_cols = np.concatenate((wf, bf, bf, wf))
+        # Wordline segments (i, j) -- (i, j+1): 4 entries each.
+        wa, wb = wl[:, :-1].ravel(), wl[:, 1:].ravel()
+        # Bitline segments (i, j) -- (i+1, j): 4 entries each.
+        ba, bb = bl[:-1, :].ravel(), bl[1:, :].ravel()
+        seg_a = np.concatenate((wa, ba))
+        seg_b = np.concatenate((wb, bb))
+        seg_rows = np.concatenate((seg_a, seg_b, seg_a, seg_b))
+        seg_cols = np.concatenate((seg_a, seg_b, seg_b, seg_a))
+        # Input-source and sense-resistor diagonal stamps.
+        input_nodes = wl[:, 0]
+        output_nodes = bl[-1, :]
+
+        rows_idx = np.concatenate(
+            (cell_rows, seg_rows, input_nodes, output_nodes)
+        )
+        cols_idx = np.concatenate(
+            (cell_cols, seg_cols, input_nodes, output_nodes)
+        )
+
+        self.rows = m
+        self.cols = n
+        self.num_nodes = num_nodes
+        self.num_cell_entries = 4 * m * n
+        self.num_segment_entries = 4 * (seg_a.size)
+        self.input_nodes = input_nodes
+        self.output_nodes = output_nodes
+        # Signs of the 4 segment blocks (+g, +g, -g, -g per segment).
+        self._segment_signs = np.repeat(
+            np.array([1.0, 1.0, -1.0, -1.0]), seg_a.size
+        )
+
+        # COO -> CSC with duplicate summation, precomputed: sort entries
+        # by (col, row), group duplicates, and remember the maps.
+        order = np.lexsort((rows_idx, cols_idx))
+        sorted_rows = rows_idx[order]
+        sorted_cols = cols_idx[order]
+        boundary = np.empty(order.size, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            sorted_rows[1:] != sorted_rows[:-1],
+            sorted_cols[1:] != sorted_cols[:-1],
+            out=boundary[1:],
+        )
+        self.order = order
+        self.starts = np.flatnonzero(boundary)
+        self.csc_indices = sorted_rows[self.starts].astype(np.int32)
+        self.csc_indptr = np.searchsorted(
+            sorted_cols[self.starts], np.arange(num_nodes + 1)
+        ).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    def constant_values(
+        self, wire_conductance: float, sense_conductance: float
+    ) -> np.ndarray:
+        """COO values of the resistance-independent tail entries."""
+        return np.concatenate((
+            self._segment_signs * wire_conductance,
+            np.full(self.rows, wire_conductance),
+            np.full(self.cols, sense_conductance),
+        ))
+
+    def matrix(
+        self, cell_conductances: np.ndarray, constant_tail: np.ndarray
+    ) -> sp.csc_matrix:
+        """Assemble the fixed-sparsity CSC conductance matrix."""
+        g = cell_conductances.ravel()
+        values = np.concatenate((g, g, -g, -g, constant_tail))
+        data = np.add.reduceat(values[self.order], self.starts)
+        return sp.csc_matrix(
+            (data, self.csc_indices, self.csc_indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+
+_STRUCTURE_CACHE: Dict[Tuple[int, int], _CrossbarStructure] = {}
+
+
+def _structure_for(rows: int, cols: int) -> _CrossbarStructure:
+    """The shared, lazily-built structure for an ``(M, N)`` crossbar."""
+    key = (rows, cols)
+    structure = _STRUCTURE_CACHE.get(key)
+    if structure is None:
+        structure = _STRUCTURE_CACHE[key] = _CrossbarStructure(rows, cols)
+    return structure
 
 
 @dataclass
@@ -71,6 +217,38 @@ class CrossbarSolution:
     total_power: float
     iterations: int
     converged: bool
+
+
+@dataclass
+class CrossbarSolutionBatch:
+    """Results of a batched solve: one leading ``K`` axis per field.
+
+    Produced by :meth:`CrossbarNetwork.solve_many`.  Indexing with
+    ``batch[k]`` recovers the ``k``-th :class:`CrossbarSolution`; the
+    stacked arrays support vectorized post-processing of whole sweeps.
+    """
+
+    output_voltages: np.ndarray  # (K, N)
+    cell_voltages: np.ndarray  # (K, M, N)
+    cell_currents: np.ndarray  # (K, M, N)
+    input_currents: np.ndarray  # (K, M)
+    total_power: np.ndarray  # (K,)
+    iterations: np.ndarray  # (K,) int
+    converged: np.ndarray  # (K,) bool
+
+    def __len__(self) -> int:
+        return self.output_voltages.shape[0]
+
+    def __getitem__(self, k: int) -> CrossbarSolution:
+        return CrossbarSolution(
+            output_voltages=self.output_voltages[k],
+            cell_voltages=self.cell_voltages[k],
+            cell_currents=self.cell_currents[k],
+            input_currents=self.input_currents[k],
+            total_power=float(self.total_power[k]),
+            iterations=int(self.iterations[k]),
+            converged=bool(self.converged[k]),
+        )
 
 
 class CrossbarNetwork:
@@ -110,6 +288,14 @@ class CrossbarNetwork:
         self.wire_resistance = max(wire_resistance, _MIN_WIRE_RESISTANCE)
         self.sense_resistance = sense_resistance
         self.device = device
+        self._constant_tail: Optional[np.ndarray] = None
+
+    # The per-shape structure and the constant COO tail are derived
+    # state; keep them out of pickles (workers rebuild on first use).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_constant_tail"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Node numbering: wordline node of cell (i, j) -> i*N + j
@@ -126,58 +312,82 @@ class CrossbarNetwork:
         """Internal unknown node count (2MN, per Sec. VI)."""
         return 2 * self.rows * self.cols
 
+    @property
+    def structure(self) -> _CrossbarStructure:
+        """The (shared, cached) sparsity structure for this shape."""
+        return _structure_for(self.rows, self.cols)
+
     # ------------------------------------------------------------------
+    def _matrix(self, cell_conductances: np.ndarray) -> sp.csc_matrix:
+        """The CSC conductance matrix at the given cell conductances."""
+        structure = self.structure
+        if self._constant_tail is None:
+            self._constant_tail = structure.constant_values(
+                1.0 / self.wire_resistance, 1.0 / self.sense_resistance
+            )
+        return structure.matrix(cell_conductances, self._constant_tail)
+
     def _assemble(
         self, cell_conductances: np.ndarray, inputs: np.ndarray
     ):
         """Assemble the sparse conductance matrix and RHS vector."""
-        m, n = self.rows, self.cols
+        return self._matrix(cell_conductances), self._rhs(inputs)
+
+    def _rhs(self, inputs: np.ndarray) -> np.ndarray:
+        """RHS vector(s): source currents into the first WL segments.
+
+        ``inputs`` of shape ``(M,)`` gives a ``(2MN,)`` vector; a batch
+        of shape ``(K, M)`` gives a ``(2MN, K)`` column-per-vector RHS.
+        """
         g_wire = 1.0 / self.wire_resistance
-        g_sense = 1.0 / self.sense_resistance
+        nodes = self.structure.input_nodes
+        if inputs.ndim == 1:
+            rhs = np.zeros(self.num_nodes)
+            rhs[nodes] = g_wire * inputs
+        else:
+            rhs = np.zeros((self.num_nodes, inputs.shape[0]))
+            rhs[nodes, :] = g_wire * inputs.T
+        return rhs
 
-        row_idx = []
-        col_idx = []
-        values = []
-        rhs = np.zeros(self.num_nodes)
+    def _factorize(self, matrix: sp.csc_matrix) -> spla.SuperLU:
+        """LU-factorize the MNA matrix, surfacing singularity clearly.
 
-        def stamp(a: int, b: int, g: float) -> None:
-            """Stamp conductance g between nodes a and b (-1 = ground/source
-            handled by the caller via the diagonal + rhs)."""
-            row_idx.extend((a, b, a, b))
-            col_idx.extend((a, b, b, a))
-            values.extend((g, g, -g, -g))
+        The MNA system is a symmetric M-matrix, so SuperLU's symmetric
+        mode with an AT+A ordering beats the default COLAMD here.
+        """
+        try:
+            return spla.splu(
+                matrix,
+                permc_spec="MMD_AT_PLUS_A",
+                options={"SymmetricMode": True},
+            )
+        except RuntimeError as exc:
+            raise SolverError(
+                f"singular MNA system ({self.rows}x{self.cols} crossbar, "
+                f"wire_resistance={self.wire_resistance:g} ohm, "
+                f"sense_resistance={self.sense_resistance:g} ohm): {exc}"
+            ) from exc
 
-        def stamp_to_ref(a: int, g: float, v_ref: float = 0.0) -> None:
-            """Stamp conductance g between node a and a fixed voltage."""
-            row_idx.append(a)
-            col_idx.append(a)
-            values.append(g)
-            if v_ref:
-                rhs[a] += g * v_ref
+    def factorized(
+        self, cell_conductances: Optional[np.ndarray] = None
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """One-time LU factorization; returns a ``solve(rhs)`` callable.
 
-        for i in range(m):
-            # Input source through the first wordline segment.
-            stamp_to_ref(self._wl(i, 0), g_wire, inputs[i])
-            for j in range(n):
-                # Cell between its wordline and bitline nodes.
-                stamp(self._wl(i, j), self._bl(i, j), cell_conductances[i, j])
-                # Wordline segment to the next cell.
-                if j + 1 < n:
-                    stamp(self._wl(i, j), self._wl(i, j + 1), g_wire)
-                # Bitline segment to the next row.
-                if i + 1 < m:
-                    stamp(self._bl(i, j), self._bl(i + 1, j), g_wire)
-        for j in range(n):
-            # Sense resistor from the bitline bottom to ground.
-            stamp_to_ref(self._bl(m - 1, j), g_sense)
-
-        matrix = sp.csr_matrix(
-            (values, (row_idx, col_idx)),
-            shape=(self.num_nodes, self.num_nodes),
-        )
-        return matrix, rhs
+        Factorizes the linearised MNA matrix at ``cell_conductances``
+        (the programmed ``1/R`` grid when omitted) once, so callers can
+        back-substitute any number of right-hand sides — batched input
+        vectors here, ``C v`` products in the RC transient module.
+        """
+        if cell_conductances is None:
+            cell_conductances = 1.0 / self.resistances
+        return self._factorize(self._matrix(cell_conductances)).solve
 
     # ------------------------------------------------------------------
+    def _is_nonlinear(self) -> bool:
+        return self.device is not None and not np.isinf(
+            getattr(self.device, "nonlinearity_v0", np.inf)
+        )
+
     def solve(
         self,
         inputs: np.ndarray,
@@ -187,9 +397,10 @@ class CrossbarNetwork:
         """Solve the network for the given input voltage vector.
 
         Runs the linear MNA solve, then (for nonlinear devices) iterates:
-        evaluate each cell's voltage, update its effective conductance
-        ``I(V)/V`` from the sinh characteristic, and re-solve, with
-        damping, until node voltages stop moving.
+        evaluate the cell-voltage grid, update every cell's effective
+        conductance ``I(V)/V`` from the sinh characteristic in one array
+        operation, and re-solve, with damping, until node voltages stop
+        moving.
 
         Raises
         ------
@@ -202,22 +413,48 @@ class CrossbarNetwork:
                 f"inputs must have shape ({self.rows},), got {inputs.shape}"
             )
 
+        voltages, conductances, iterations, converged = self._solve_nodes(
+            inputs, tolerance, max_iterations
+        )
+        return self._package(voltages, conductances, inputs, iterations,
+                             converged)
+
+    def _solve_nodes(
+        self,
+        inputs: np.ndarray,
+        tolerance: float,
+        max_iterations: int,
+    ) -> Tuple[np.ndarray, np.ndarray, int, bool]:
+        """Fixed-point node solve; returns (V, G, iterations, converged).
+
+        The RHS depends only on ``inputs``, so it is built once.  The
+        system is LU-factorized on the first iteration only; later
+        iterations perturb the matrix slightly (damped conductance
+        updates), so their solves run as iterative refinement against
+        the frozen factorization — a couple of matvec/back-substitution
+        steps instead of a fresh ``splu``.  If refinement ever stalls,
+        the solver transparently refactorizes at the current matrix.
+        """
         conductances = 1.0 / self.resistances
+        rhs = self._rhs(inputs)
         voltages = None
         converged = True
         iterations = 0
-        nonlinear = self.device is not None and not np.isinf(
-            getattr(self.device, "nonlinearity_v0", np.inf)
-        )
+        nonlinear = self._is_nonlinear()
 
         max_rounds = max_iterations if nonlinear else 1
         previous = None
+        lu = None
         for iterations in range(1, max_rounds + 1):
-            matrix, rhs = self._assemble(conductances, inputs)
-            try:
-                voltages = spla.spsolve(matrix, rhs)
-            except RuntimeError as exc:  # pragma: no cover - singular system
-                raise SolverError(f"sparse solve failed: {exc}") from exc
+            matrix = self._matrix(conductances)
+            if lu is None:
+                lu = self._factorize(matrix)
+                voltages = lu.solve(rhs)
+            else:
+                voltages = _refined_solve(lu, matrix, rhs, voltages)
+                if voltages is None:
+                    lu = self._factorize(matrix)
+                    voltages = lu.solve(rhs)
             if np.any(~np.isfinite(voltages)):
                 raise SolverError("solver produced non-finite node voltages")
 
@@ -225,13 +462,9 @@ class CrossbarNetwork:
                 break
 
             v_cell = self._cell_voltages(voltages)
-            new_cond = np.empty_like(conductances)
-            for i in range(self.rows):
-                for j in range(self.cols):
-                    r_act = self.device.actual_resistance(
-                        self.resistances[i, j], v_cell[i, j]
-                    )
-                    new_cond[i, j] = 1.0 / r_act
+            new_cond = 1.0 / self.device.actual_resistance(
+                self.resistances, v_cell
+            )
             conductances = (
                 _DAMPING * new_cond + (1.0 - _DAMPING) * conductances
             )
@@ -244,8 +477,71 @@ class CrossbarNetwork:
         else:  # pragma: no cover - pathological devices only
             converged = False
 
-        return self._package(voltages, conductances, inputs, iterations,
-                             converged)
+        return voltages, conductances, iterations, converged
+
+    def solve_many(
+        self,
+        inputs: np.ndarray,
+        tolerance: float = _DEFAULT_TOLERANCE,
+        max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    ) -> CrossbarSolutionBatch:
+        """Solve a batch of ``K`` input vectors, shape ``(K, M)``.
+
+        In the linear regime (no device, or an ideal ohmic one) the
+        conductance matrix is independent of the inputs, so the system
+        is assembled and LU-factorized **once** and all ``K`` right-hand
+        sides are back-substituted against the same factorization —
+        the dominant cost of a solve is paid once per batch instead of
+        once per vector.
+
+        Nonlinear devices shift every cell's operating point with the
+        inputs, so each vector keeps its own (exact) fixed-point
+        iteration; the batch still shares the precomputed structure and
+        each per-vector result is identical to :meth:`solve`.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.rows:
+            raise SolverError(
+                f"batched inputs must have shape (K, {self.rows}), "
+                f"got {inputs.shape}"
+            )
+        k = inputs.shape[0]
+        if k == 0:
+            raise SolverError("batched solve needs at least one vector")
+
+        if not self._is_nonlinear():
+            conductances = 1.0 / self.resistances
+            matrix = self._matrix(conductances)
+            rhs = self._rhs(inputs)
+            voltages = self._factorize(matrix).solve(rhs)
+            if np.any(~np.isfinite(voltages)):
+                raise SolverError("solver produced non-finite node voltages")
+            return self._package_batch(
+                voltages, conductances, inputs,
+                np.ones(k, dtype=np.int64), np.ones(k, dtype=bool),
+            )
+
+        solutions = [
+            self.solve(inputs[i], tolerance, max_iterations)
+            for i in range(k)
+        ]
+        return CrossbarSolutionBatch(
+            output_voltages=np.stack(
+                [s.output_voltages for s in solutions]
+            ),
+            cell_voltages=np.stack([s.cell_voltages for s in solutions]),
+            cell_currents=np.stack([s.cell_currents for s in solutions]),
+            input_currents=np.stack(
+                [s.input_currents for s in solutions]
+            ),
+            total_power=np.array([s.total_power for s in solutions]),
+            iterations=np.array(
+                [s.iterations for s in solutions], dtype=np.int64
+            ),
+            converged=np.array(
+                [s.converged for s in solutions], dtype=bool
+            ),
+        )
 
     # ------------------------------------------------------------------
     def _cell_voltages(self, voltages: np.ndarray) -> np.ndarray:
@@ -262,12 +558,12 @@ class CrossbarNetwork:
         iterations: int,
         converged: bool,
     ) -> CrossbarSolution:
-        m, n = self.rows, self.cols
+        structure = self.structure
         v_cell = self._cell_voltages(voltages)
         i_cell = v_cell * conductances
-        v_out = voltages[[self._bl(m - 1, j) for j in range(n)]]
+        v_out = voltages[structure.output_nodes]
         g_wire = 1.0 / self.wire_resistance
-        i_in = (inputs - voltages[[self._wl(i, 0) for i in range(m)]]) * g_wire
+        i_in = (inputs - voltages[structure.input_nodes]) * g_wire
         total_power = float(np.dot(inputs, i_in))
         return CrossbarSolution(
             output_voltages=np.asarray(v_out, dtype=float),
@@ -279,6 +575,69 @@ class CrossbarNetwork:
             converged=converged,
         )
 
+    def _package_batch(
+        self,
+        voltages: np.ndarray,  # (2MN, K)
+        conductances: np.ndarray,  # (M, N), shared across the batch
+        inputs: np.ndarray,  # (K, M)
+        iterations: np.ndarray,
+        converged: np.ndarray,
+    ) -> CrossbarSolutionBatch:
+        m, n = self.rows, self.cols
+        k = inputs.shape[0]
+        structure = self.structure
+        wl = voltages[: m * n, :].T.reshape(k, m, n)
+        bl = voltages[m * n:, :].T.reshape(k, m, n)
+        v_cell = wl - bl
+        i_cell = v_cell * conductances
+        v_out = voltages[structure.output_nodes, :].T
+        g_wire = 1.0 / self.wire_resistance
+        i_in = (inputs - voltages[structure.input_nodes, :].T) * g_wire
+        total_power = np.einsum("km,km->k", inputs, i_in)
+        return CrossbarSolutionBatch(
+            output_voltages=v_out,
+            cell_voltages=v_cell,
+            cell_currents=i_cell,
+            input_currents=i_in,
+            total_power=total_power,
+            iterations=iterations,
+            converged=converged,
+        )
+
+
+def _refined_solve(
+    lu: spla.SuperLU,
+    matrix: sp.csc_matrix,
+    rhs: np.ndarray,
+    guess: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Solve ``matrix @ x = rhs`` by iterative refinement against ``lu``.
+
+    ``lu`` is the factorization of a nearby matrix (the previous
+    nonlinear iterate) and ``guess`` the previous solution; each step
+    applies the correction ``lu.solve(rhs - matrix @ x)``.  Accepts at
+    :data:`_REFINE_TOLERANCE` (relative), or — since rounding noise
+    floors the correction near ``eps * cond`` — at stagnation if the
+    correction is already below :data:`_REFINE_ACCEPT`.  Returns
+    ``None`` when neither holds within :data:`_MAX_REFINE_STEPS`; the
+    caller then refactorizes.
+    """
+    x = guess
+    previous_norm = np.inf
+    for _ in range(_MAX_REFINE_STEPS):
+        correction = lu.solve(rhs - matrix @ x)
+        if not np.all(np.isfinite(correction)):
+            return None
+        x = x + correction
+        norm = float(np.max(np.abs(correction)))
+        scale = float(np.max(np.abs(x))) or 1.0
+        if norm <= _REFINE_TOLERANCE * scale:
+            return x
+        if norm >= 0.5 * previous_norm:  # hit the rounding floor
+            return x if norm <= _REFINE_ACCEPT * scale else None
+        previous_norm = norm
+    return None
+
 
 def ideal_output_voltages(
     resistances: np.ndarray,
@@ -289,13 +648,15 @@ def ideal_output_voltages(
 
     For column ``k``: ``v_out = sum_j g_jk v_j / (g_s + sum_j g_jk)``,
     the exact solution of each column divider with zero wire resistance.
+    ``inputs`` may be one vector ``(M,)`` or a batch ``(K, M)`` (the
+    result then has a matching leading axis).
     """
     resistances = np.asarray(resistances, dtype=float)
     inputs = np.asarray(inputs, dtype=float)
-    if resistances.ndim != 2 or inputs.shape != (resistances.shape[0],):
+    if resistances.ndim != 2 or inputs.shape[-1] != resistances.shape[0]:
         raise SolverError("shape mismatch between resistances and inputs")
     conductances = 1.0 / resistances
     g_sense = 1.0 / sense_resistance
-    numerator = conductances.T @ inputs
+    numerator = inputs @ conductances
     denominator = g_sense + conductances.sum(axis=0)
     return numerator / denominator

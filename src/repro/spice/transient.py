@@ -21,8 +21,6 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
 from repro.spice.solver import CrossbarNetwork
@@ -63,17 +61,13 @@ def estimate_settle(
     if segment_capacitance <= 0:
         raise SolverError("segment_capacitance must be positive")
 
-    conductances = 1.0 / network.resistances
-    matrix, _rhs = network._assemble(
-        conductances, np.zeros(network.rows)
-    )
     # Node capacitance: two adjacent wire segments per node.
     c_node = 2.0 * segment_capacitance
 
     # Power iteration on A = G^{-1} C  (C = c_node * I): the dominant
     # eigenvalue of A is the slowest time constant.  Each step solves
-    # G x = C v.
-    solve = spla.factorized(sp.csc_matrix(matrix))
+    # G x = C v against the network's shared one-time factorization.
+    solve = network.factorized()
     vector = np.ones(network.num_nodes)
     vector /= np.linalg.norm(vector)
     eigenvalue = 0.0

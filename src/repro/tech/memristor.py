@@ -28,6 +28,8 @@ import enum
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import TechnologyError
 from repro.units import NM, NS
 
@@ -135,20 +137,25 @@ class MemristorModel:
         """Highest programmable conductance (siemens)."""
         return 1.0 / self.r_min
 
-    def conductance_of_level(self, level: int) -> float:
+    def conductance_of_level(self, level):
         """Conductance of discrete ``level`` (0 .. levels-1), linear in G.
 
         Level 0 maps to ``g_min`` (weight 0) and the top level to ``g_max``,
         the standard linear weight-to-conductance mapping for crossbar
-        matrix-vector multiplication.
+        matrix-vector multiplication.  Accepts a scalar (returns ``float``)
+        or an integer array of any shape (returns an array elementwise) —
+        the whole-crossbar form the vectorized solver and samplers use.
         """
-        if not 0 <= level < self.levels:
+        values = np.asarray(level)
+        if np.any(values < 0) or np.any(values >= self.levels):
             raise ValueError(f"level {level} out of range 0..{self.levels - 1}")
         span = self.g_max - self.g_min
-        return self.g_min + span * (level / (self.levels - 1))
+        out = self.g_min + span * (values / (self.levels - 1))
+        return out if values.ndim else float(out)
 
-    def resistance_of_level(self, level: int) -> float:
-        """Resistance of discrete ``level`` (0 .. levels-1)."""
+    def resistance_of_level(self, level):
+        """Resistance of discrete ``level`` (0 .. levels-1); array-capable
+        like :meth:`conductance_of_level`."""
         return 1.0 / self.conductance_of_level(level)
 
     @property
@@ -163,31 +170,49 @@ class MemristorModel:
     # ------------------------------------------------------------------
     # Nonlinear V-I characteristic
     # ------------------------------------------------------------------
-    def current(self, r_state: float, v_cell: float) -> float:
+    def current(self, r_state, v_cell):
         """Cell current (A) at programmed resistance ``r_state`` and
-        voltage ``v_cell`` following the sinh V-I curve."""
-        if math.isinf(self.nonlinearity_v0):
-            return v_cell / r_state
-        v0 = self.nonlinearity_v0
-        return (v0 / r_state) * math.sinh(v_cell / v0)
+        voltage ``v_cell`` following the sinh V-I curve.
 
-    def actual_resistance(self, r_state: float, v_cell: float) -> float:
+        Scalar in, ``float`` out; arrays broadcast elementwise.
+        """
+        if math.isinf(self.nonlinearity_v0):
+            out = np.asarray(v_cell, dtype=float) / r_state
+            return out if out.ndim else float(out)
+        v0 = self.nonlinearity_v0
+        out = (v0 / np.asarray(r_state, dtype=float)) * np.sinh(
+            np.asarray(v_cell, dtype=float) / v0
+        )
+        return out if out.ndim else float(out)
+
+    def _sinh_shrink(self, v_cell) -> np.ndarray:
+        """``x / sinh(x)`` at ``x = |v| / V0``, with the ``x -> 0`` limit
+        of 1 handled exactly (the factor multiplying ``R_idl``)."""
+        x = np.abs(np.asarray(v_cell, dtype=float)) / self.nonlinearity_v0
+        sinh = np.sinh(x)
+        return np.divide(x, sinh, out=np.ones_like(x), where=sinh != 0.0)
+
+    def actual_resistance(self, r_state, v_cell):
         """``R_act``: effective resistance at operating voltage ``v_cell``.
 
         Returns ``r_state`` itself at zero bias or for an ideal device.
+        Accepts scalars (returns ``float``) or broadcastable arrays —
+        the solver evaluates the whole ``(M, N)`` cell-voltage grid in
+        one call per nonlinear iteration.
         """
-        if v_cell == 0.0 or math.isinf(self.nonlinearity_v0):
+        if math.isinf(self.nonlinearity_v0):
             return r_state
-        x = abs(v_cell) / self.nonlinearity_v0
-        return r_state * x / math.sinh(x)
+        out = np.asarray(r_state, dtype=float) * self._sinh_shrink(v_cell)
+        return out if out.ndim else float(out)
 
-    def nonlinearity_factor(self, v_cell: float) -> float:
+    def nonlinearity_factor(self, v_cell):
         """Fractional resistance drop ``(R_idl - R_act) / R_idl`` at
-        ``v_cell``; 0 for an ideal device."""
-        if math.isinf(self.nonlinearity_v0) or v_cell == 0.0:
-            return 0.0
-        x = abs(v_cell) / self.nonlinearity_v0
-        return 1.0 - x / math.sinh(x)
+        ``v_cell``; 0 for an ideal device.  Array-capable."""
+        if math.isinf(self.nonlinearity_v0):
+            out = np.zeros_like(np.asarray(v_cell, dtype=float))
+            return out if out.ndim else 0.0
+        out = 1.0 - self._sinh_shrink(v_cell)
+        return out if out.ndim else float(out)
 
     # ------------------------------------------------------------------
     # Write cost
