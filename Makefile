@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-runtime bench-spice examples results clean
+.PHONY: install test bench bench-runtime bench-spice examples results \
+	trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,6 +33,18 @@ results: test bench
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+# A small traced run (explore for the worker lanes, montecarlo for the
+# solver internals), rendered with the obs-report terminal view.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro --trace demo.trace.json \
+		explore mlp:128,64 --sizes 32 64 --degrees 1 --wires 45 --jobs 2
+	PYTHONPATH=src $(PYTHON) -m repro obs-report demo.trace.json
+	PYTHONPATH=src $(PYTHON) -m repro --trace demo-mc.trace.json \
+		montecarlo --size 16 --trials 4 --jobs 2
+	PYTHONPATH=src $(PYTHON) -m repro obs-report demo-mc.trace.json
+
+# Local artifacts only — never touches the user-global ~/.cache/repro.
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results
+	rm -rf .pytest_cache .hypothesis benchmarks/results .repro-cache
+	rm -f last_run.json *.trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -26,6 +26,7 @@ import numpy as np
 from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
 from repro.accuracy.variation import sample_resistances
 from repro.errors import ConfigError
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import JobSpec, content_key
 from repro.runtime.metrics import RunMetrics
@@ -109,10 +110,11 @@ def _run_trial(task: Tuple) -> np.ndarray:
     rng = np.random.default_rng(
         np.random.SeedSequence(seed, spawn_key=(trial,))
     )
-    return _single_trial(
-        device, size, segment_resistance, sense_resistance, sigma,
-        input_mode, rng, inputs_per_trial,
-    )
+    with obs_trace.span("mc.trial", trial=trial, size=size):
+        return _single_trial(
+            device, size, segment_resistance, sense_resistance, sigma,
+            input_mode, rng, inputs_per_trial,
+        )
 
 
 def run_monte_carlo(
@@ -190,12 +192,13 @@ def run_monte_carlo(
 
     if seed is None:
         # Legacy protocol: one shared generator, strictly sequential.
-        errors = [
-            _single_trial(device, size, segment_resistance,
-                          sense_resistance, sigma, input_mode, rng,
-                          inputs_per_trial)
-            for _ in range(trials)
-        ]
+        with obs_trace.span("mc.run", trials=trials, size=size):
+            errors = [
+                _single_trial(device, size, segment_resistance,
+                              sense_resistance, sigma, input_mode, rng,
+                              inputs_per_trial)
+                for _ in range(trials)
+            ]
         return MonteCarloResult(samples=np.concatenate(errors))
 
     specs = []
@@ -216,15 +219,16 @@ def run_monte_carlo(
             payload=task,
             key=content_key(*key_parts),
         ))
-    errors = run_jobs(
-        _run_trial,
-        specs,
-        policy=policy if policy is not None else RunPolicy(jobs=jobs),
-        cache=cache,
-        encode=lambda arr: [float(v) for v in arr],
-        decode=lambda data: np.asarray(data, dtype=float),
-        metrics=metrics,
-    )
+    with obs_trace.span("mc.run", trials=trials, size=size):
+        errors = run_jobs(
+            _run_trial,
+            specs,
+            policy=policy if policy is not None else RunPolicy(jobs=jobs),
+            cache=cache,
+            encode=lambda arr: [float(v) for v in arr],
+            decode=lambda data: np.asarray(data, dtype=float),
+            metrics=metrics,
+        )
     return MonteCarloResult(samples=np.concatenate(errors))
 
 

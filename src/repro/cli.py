@@ -7,14 +7,26 @@ The subcommands cover the software flow of the paper's Fig. 3:
   report / breakdown;
 * ``explore`` — traversal design-space exploration with an error
   constraint, printing the per-target optima (the Tables IV/VI flow);
+* ``montecarlo`` — circuit-level Monte-Carlo accuracy sampling (drives
+  the SPICE solver, so its traces show the solver's internals);
 * ``netlist`` — export a SPICE netlist for a random-programmed crossbar
   of the configured size (the hand-off path to external simulators);
 * ``runtime-stats`` — the job engine's last-run metrics and cache
-  effectiveness (see :mod:`repro.runtime`).
+  effectiveness (see :mod:`repro.runtime`);
+* ``obs-report`` — render a saved trace as a wall-time tree + top-k
+  table (see :mod:`repro.obs`).
 
-``simulate`` and ``explore`` accept the engine knobs ``--jobs N``
-(parallel worker processes), ``--cache-dir PATH`` (persistent result
-cache; also honoured from ``$REPRO_CACHE_DIR``) and ``--no-cache``.
+``simulate``, ``explore`` and ``montecarlo`` accept the engine knobs
+``--jobs N`` (parallel worker processes), ``--cache-dir PATH``
+(persistent result cache; also honoured from ``$REPRO_CACHE_DIR``) and
+``--no-cache``.
+
+Global flags (before the subcommand): ``--trace FILE`` writes a Chrome
+trace-event JSON of the run (``$REPRO_TRACE`` does the same), and
+``--metrics FILE`` dumps the metrics registry (JSON for ``*.json``,
+Prometheus text exposition otherwise).  ``-v`` / ``-q`` adjust stderr
+diagnostics: result tables go to stdout, progress and diagnostic lines
+go to stderr through :mod:`logging`, so piping stdout stays clean.
 
 Network specs are compact strings: ``mlp:784,256,10``, or the built-ins
 ``validation-mlp`` / ``jpeg`` / ``large-bank`` / ``caffenet`` / ``vgg16``.
@@ -23,12 +35,14 @@ Network specs are compact strings: ``mlp:784,256,10``, or the built-ins
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from typing import List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.arch.accelerator import Accelerator
 from repro.arch.breakdown import accelerator_breakdown
 from repro.config import SimConfig
@@ -52,6 +66,38 @@ from repro.runtime import (
     default_cache_dir,
 )
 from repro.units import MM2, UJ, US
+
+_log = logging.getLogger("repro.cli")
+
+
+def _setup_logging(verbosity: int) -> None:
+    """Route ``repro`` diagnostics to the *current* stderr.
+
+    Handlers are rebuilt on every :func:`main` call because test
+    harnesses (pytest's capsys) swap ``sys.stderr`` per invocation; a
+    cached handler would keep writing to a closed stream.
+    Verbosity: ``-1`` (--quiet) warnings only, ``0`` progress lines,
+    ``>=1`` (-v) debug detail with logger names.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    if verbosity >= 1:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    if verbosity < 0:
+        logger.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+
 
 _BUILTIN_NETWORKS = {
     "validation-mlp": validation_mlp,
@@ -149,7 +195,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     metrics = RunMetrics()
     summary = simulate_point(config, network, cache=cache, metrics=metrics)
 
-    print(f"network: {network.name} ({network.depth} banks)")
+    _log.info("network: %s (%d banks)", network.name, network.depth)
     print(format_table(
         ["metric", "value"],
         [
@@ -190,19 +236,21 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         config, network, space, max_error_rate=args.max_error,
         jobs=args.jobs, cache=cache, metrics=metrics,
     )
-    print(
-        f"{len(space)} designs explored, {len(points)} feasible"
-        + (f" (error <= {args.max_error:.0%})" if args.max_error else "")
+    _log.info(
+        "%d designs explored, %d feasible%s",
+        len(space), len(points),
+        f" (error <= {args.max_error:.0%})" if args.max_error else "",
     )
     if args.jobs != 1 or cache is not None:
         hits = metrics.counters.get("cache_hits", 0)
-        print(
-            f"runtime: {metrics.mode} x{metrics.workers}, "
-            f"{metrics.jobs_per_second:,.0f} jobs/s, {hits} cache hits"
+        _log.info(
+            "runtime: %s x%d, %s jobs/s, %d cache hits",
+            metrics.mode, metrics.workers,
+            f"{metrics.jobs_per_second:,.0f}", hits,
         )
     _finish_run(cache, metrics)
     if not points:
-        print("no feasible design; relax --max-error", file=sys.stderr)
+        _log.error("no feasible design; relax --max-error")
         return 1
     rows = []
     for metric, point in optimal_table(points).items():
@@ -246,9 +294,64 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(netlist)
-        print(f"wrote {args.output} ({len(netlist.splitlines())} lines)")
+        _log.info(
+            "wrote %s (%d lines)", args.output, len(netlist.splitlines())
+        )
     else:
         print(netlist)
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.accuracy.montecarlo import run_monte_carlo
+
+    config = _load_config(args)
+    device = config.device
+    size = args.size or config.crossbar_size
+    segment = config.wire.segment_resistance(
+        device.cell_pitch(config.cell_type)
+    )
+    cache = _make_cache(args)
+    metrics = RunMetrics()
+    _log.info(
+        "monte-carlo: %dx%d crossbar, %d trials, seed %d",
+        size, size, args.trials, args.seed,
+    )
+    result = run_monte_carlo(
+        device, size, segment,
+        trials=args.trials,
+        sigma=args.sigma,
+        input_mode=args.input_mode,
+        seed=args.seed,
+        jobs=args.jobs,
+        inputs_per_trial=args.inputs_per_trial,
+        cache=cache,
+        metrics=metrics,
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["samples", str(result.samples.size)],
+            ["mean |error|", f"{result.mean_abs_error:.4%}"],
+            ["p50 |error|", f"{result.percentile(50):.4%}"],
+            ["p95 |error|", f"{result.percentile(95):.4%}"],
+            ["p99 |error|", f"{result.percentile(99):.4%}"],
+            ["max |error|", f"{result.max_abs_error:.4%}"],
+        ],
+    ))
+    _finish_run(cache, metrics)
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        print(render_report(
+            args.trace_file, k=args.top, max_depth=args.depth,
+        ))
+    except (OSError, ValueError) as exc:
+        raise MnsimError(f"cannot read trace {args.trace_file!r}: {exc}")
     return 0
 
 
@@ -320,6 +423,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="MNSIM reproduction: behavior-level simulation of "
         "memristor-based neuromorphic accelerators",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event JSON of this run "
+        "(also enabled by $REPRO_TRACE; view with 'repro obs-report' "
+        "or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="dump the metrics registry on exit (JSON for *.json, "
+        "Prometheus text exposition otherwise)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more stderr diagnostics (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress lines on stderr (warnings still shown)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
@@ -358,6 +480,33 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--max-error", type=float, default=None)
     explore_cmd.set_defaults(func=_cmd_explore)
 
+    montecarlo = sub.add_parser(
+        "montecarlo",
+        help="circuit-level Monte-Carlo accuracy sampling",
+    )
+    _add_config_flags(montecarlo)
+    _add_runtime_flags(montecarlo)
+    montecarlo.add_argument(
+        "--trials", type=int, default=8, help="sampled weight matrices"
+    )
+    montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument(
+        "--size", type=int, default=None,
+        help="crossbar size (default: the configured crossbar_size)",
+    )
+    montecarlo.add_argument(
+        "--sigma", type=float, default=None,
+        help="device-variation magnitude (default: the device's sigma)",
+    )
+    montecarlo.add_argument(
+        "--input-mode", choices=("random", "full"), default="random",
+    )
+    montecarlo.add_argument(
+        "--inputs-per-trial", type=int, default=1,
+        help="input vectors per sampled matrix (batched solve)",
+    )
+    montecarlo.set_defaults(func=_cmd_montecarlo)
+
     netlist = sub.add_parser(
         "netlist", help="export a SPICE netlist of one crossbar"
     )
@@ -392,7 +541,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runtime_stats.set_defaults(func=_cmd_runtime_stats)
 
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="render a saved --trace file as a wall-time tree",
+    )
+    obs_report.add_argument("trace_file", help="Chrome trace-event JSON")
+    obs_report.add_argument(
+        "--top", type=int, default=10, help="rows in the by-name table"
+    )
+    obs_report.add_argument(
+        "--depth", type=int, default=None, help="max tree depth"
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
+
     return parser
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the registry: JSON for ``*.json``, Prometheus text else."""
+    if path.endswith(".json"):
+        payload = obs.REGISTRY.to_json()
+    else:
+        payload = obs.REGISTRY.to_prometheus()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        if not payload.endswith("\n"):
+            handle.write("\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -405,6 +579,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    _setup_logging((args.verbose or 0) - (1 if args.quiet else 0))
+    trace_path = args.trace or obs.trace_path_from_env()
+    metrics_path = args.metrics
+    observing = bool(trace_path or metrics_path)
+    if observing:
+        obs.trace.clear()
+        obs.REGISTRY.reset()
+        obs.enable(debug=obs.debug_from_env())
     try:
         return args.func(args)
     except JobExecutionError as exc:
@@ -413,6 +595,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except MnsimError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if observing:
+            obs.disable()
+            if trace_path:
+                obs.trace.export_chrome(trace_path)
+                _log.info("trace written to %s", trace_path)
+            if metrics_path:
+                _write_metrics(metrics_path)
+                _log.info("metrics written to %s", metrics_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

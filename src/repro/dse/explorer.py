@@ -18,6 +18,7 @@ from repro.config import SimConfig
 from repro.dse.space import DesignSpace
 from repro.errors import ExplorationError
 from repro.nn.networks import Network
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import JobSpec, content_key, network_fingerprint
 from repro.runtime.metrics import RunMetrics
@@ -84,7 +85,13 @@ _SUMMARY_FIELDS = (
 def _evaluate_point(task: Tuple[SimConfig, Network]) -> AcceleratorSummary:
     """Worker: simulate one design point (runs in a pool process)."""
     config, network = task
-    return Accelerator(config, network).summary()
+    with obs_trace.span(
+        "dse.point",
+        xbar=config.crossbar_size,
+        p=config.parallelism_degree,
+        wire=config.interconnect_tech,
+    ):
+        return Accelerator(config, network).summary()
 
 
 def _encode_summary(summary: AcceleratorSummary) -> dict:
@@ -174,15 +181,18 @@ def explore(
     specs = [
         simulation_spec(config, network, fingerprint) for config in configs
     ]
-    summaries = run_jobs(
-        _evaluate_point,
-        specs,
-        policy=policy if policy is not None else RunPolicy(jobs=jobs),
-        cache=cache,
-        encode=_encode_summary,
-        decode=_decode_summary,
-        metrics=metrics,
-    )
+    with obs_trace.span(
+        "dse.explore", points=len(configs), network=network.name,
+    ):
+        summaries = run_jobs(
+            _evaluate_point,
+            specs,
+            policy=policy if policy is not None else RunPolicy(jobs=jobs),
+            cache=cache,
+            encode=_encode_summary,
+            decode=_decode_summary,
+            metrics=metrics,
+        )
     points: List[DesignPoint] = []
     for config, summary in zip(configs, summaries):
         if max_error_rate is not None and (

@@ -1,0 +1,442 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+The vocabulary is deliberately the Prometheus one — a *counter* only
+goes up, a *gauge* is set to the latest value, a *histogram* buckets
+observations and keeps a running sum/count — and the text exposition
+(:meth:`MetricsRegistry.to_prometheus`) follows the Prometheus format
+so the output can be scraped, diffed, or round-tripped through
+:func:`parse_prometheus` in tests.  :meth:`MetricsRegistry.to_dict`
+gives the same data as JSON-safe nested dicts.
+
+Every metric supports optional labels, passed as keyword arguments to
+the recording calls::
+
+    from repro.obs import metrics
+    metrics.counter("repro_solver_factorizations_total").inc()
+    metrics.counter("repro_runtime_events_total").inc(3, event="cache_hits")
+    metrics.histogram("repro_cache_lookup_seconds").observe(0.0021)
+
+The module-level helpers operate on the shared :data:`REGISTRY`;
+instantiate :class:`MetricsRegistry` directly for isolated registries
+(tests do).  All operations are thread-safe and cheap (one lock, two
+dict lookups), but hot-path callers still gate on
+:func:`repro.obs.trace.enabled` so a disabled run pays nothing.
+
+:class:`repro.runtime.metrics.RunMetrics` is a thin per-run facade over
+this registry: it keeps its historical per-run dict snapshot (the
+``runtime-stats`` contract) and mirrors every stage/counter into the
+global registry whenever observability is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "parse_prometheus",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, exponential).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _labelset(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labelset: LabelSet) -> str:
+    if not labelset:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (k, v.replace("\\", r"\\").replace('"', r"\""))
+        for k, v in labelset
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Common base: a named family of labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    # Subclasses provide: samples() -> iterable of exposition lines,
+    # and to_dict() -> JSON-safe payload.
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: Union[int, float] = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        key = _labelset(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_labelset(labels), 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": {
+                _format_labels(k) or "": v for k, v in self._values.items()
+            },
+        }
+
+    def exposition(self) -> List[str]:
+        return [
+            f"{self.name}{_format_labels(k)} {_format_value(v)}"
+            for k, v in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """Last-written value, optionally per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: Union[int, float], **labels: Any) -> None:
+        with self._lock:
+            self._values[_labelset(labels)] = float(value)
+
+    def add(self, amount: Union[int, float], **labels: Any) -> None:
+        key = _labelset(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_labelset(labels), 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": {
+                _format_labels(k) or "": v for k, v in self._values.items()
+            },
+        }
+
+    def exposition(self) -> List[str]:
+        return [
+            f"{self.name}{_format_labels(k)} {_format_value(v)}"
+            for k, v in sorted(self._values.items())
+        ]
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets  # cumulative at export
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Bucketed observations with running sum and count.
+
+    Buckets are upper bounds (``le``); the implicit ``+Inf`` bucket is
+    always present.  Bucket counts are stored per-bucket and summed
+    cumulatively at export, per the Prometheus convention.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.bounds = bounds
+        self._states: Dict[LabelSet, _HistogramState] = {}
+
+    def observe(self, value: Union[int, float], **labels: Any) -> None:
+        value = float(value)
+        key = _labelset(labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(
+                    len(self.bounds) + 1
+                )
+            index = len(self.bounds)  # +Inf by default
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            state.bucket_counts[index] += 1
+            state.total += value
+            state.count += 1
+
+    def snapshot(self, **labels: Any) -> Dict[str, Any]:
+        """``{"count", "sum", "mean"}`` for one label set (zeros if unseen)."""
+        state = self._states.get(_labelset(labels))
+        if state is None:
+            return {"count": 0, "sum": 0.0, "mean": 0.0}
+        mean = state.total / state.count if state.count else 0.0
+        return {"count": state.count, "sum": state.total, "mean": mean}
+
+    def to_dict(self) -> Dict[str, Any]:
+        values = {}
+        for key, state in self._states.items():
+            cumulative = []
+            running = 0
+            for count in state.bucket_counts:
+                running += count
+                cumulative.append(running)
+            values[_format_labels(key) or ""] = {
+                "buckets": dict(
+                    zip([str(b) for b in self.bounds] + ["+Inf"], cumulative)
+                ),
+                "sum": state.total,
+                "count": state.count,
+            }
+        return {"type": self.kind, "help": self.help, "values": values}
+
+    def exposition(self) -> List[str]:
+        lines: List[str] = []
+        for key, state in sorted(self._states.items()):
+            running = 0
+            for bound, count in zip(
+                list(self.bounds) + [math.inf], state.bucket_counts
+            ):
+                running += count
+                le = _labelset({"le": _format_value(bound)})
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(key + le)} {running}"
+                )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{_format_value(state.total)}"
+            )
+            lines.append(
+                f"{self.name}_count{_format_labels(key)} {state.count}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON / Prometheus export.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the metric, later calls return the same object (a
+    conflicting re-registration with a different type raises).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       **kwargs: Any) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if help_text and not existing.help:
+                    existing.help = help_text
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, buckets=buckets
+        )
+
+    # -- introspection -------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every metric, name-sorted."""
+        return {
+            name: self._metrics[name].to_dict()
+            for name in sorted(self._metrics)
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.exposition())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-global registry every instrumented module records into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help_text: str = "") -> Counter:
+    """Get-or-create a counter on the global :data:`REGISTRY`."""
+    return REGISTRY.counter(name, help_text)
+
+
+def gauge(name: str, help_text: str = "") -> Gauge:
+    """Get-or-create a gauge on the global :data:`REGISTRY`."""
+    return REGISTRY.gauge(name, help_text)
+
+
+def histogram(
+    name: str, help_text: str = "",
+    buckets: Iterable[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram on the global :data:`REGISTRY`."""
+    return REGISTRY.histogram(name, help_text, buckets=buckets)
+
+
+# ----------------------------------------------------------------------
+# Exposition parsing (round-trip support for tests / tooling)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse a text exposition back into ``{family: {...}}`` dicts.
+
+    Families map to ``{"type", "help", "samples"}`` where ``samples``
+    maps ``(metric_name, labelset)`` tuples to float values.  Histogram
+    ``_bucket``/``_sum``/``_count`` samples are grouped under their base
+    family name, mirroring how :meth:`MetricsRegistry.to_prometheus`
+    writes them — so ``parse_prometheus(reg.to_prometheus())`` is a
+    faithful round trip.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    current: Optional[str] = None
+
+    def family(name: str) -> Dict[str, Any]:
+        return families.setdefault(
+            name, {"type": "untyped", "help": "", "samples": {}}
+        )
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family(name)["type"] = kind.strip()
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        sample_name = match.group("name")
+        base = current
+        if base is None or not sample_name.startswith(base):
+            base = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    base = sample_name[: -len(suffix)]
+                    break
+        labels = _labelset({
+            m.group("key"): m.group("val")
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        })
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        family(base)["samples"][(sample_name, labels)] = value
+    return families

@@ -1,0 +1,245 @@
+"""Render saved traces as terminal wall-time trees and top-k tables.
+
+The Chrome trace files written by :func:`repro.obs.trace.export_chrome`
+embed each span's ``span_id``/``parent_id`` in the event ``args``, so
+this module can rebuild the span tree from the file alone — no live
+process state needed.  ``repro obs-report trace.json`` is the CLI
+wrapper around :func:`render_report`.
+
+The tree view groups worker spans under the chunk span that dispatched
+them and prefixes spans from other processes with their pid, so a
+parallel sweep reads as::
+
+    dse.explore                                        812.4 ms
+      runtime.cache-lookup                               1.2 ms
+      runtime.execute                                  790.1 ms
+        runtime.chunk                                  401.3 ms
+          [pid 4242] runtime.job                        98.0 ms
+            [pid 4242] dse.point                        97.6 ms
+
+The top-k table aggregates by span name (count, total, mean, max) and
+sorts by total wall time — the "where does the sweep spend its time"
+question in one look.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "load_trace",
+    "build_tree",
+    "render_tree",
+    "top_spans",
+    "render_top_spans",
+    "render_report",
+]
+
+#: args keys that carry tree structure, not user attributes.
+_STRUCTURAL_ARGS = ("span_id", "parent_id")
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Span dicts from a saved Chrome trace (or a raw span-dict list).
+
+    Accepts both the ``{"traceEvents": [...]}`` object form and a bare
+    JSON list of events; metadata events and events without a
+    ``span_id`` are skipped.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    events = payload.get("traceEvents", payload) if isinstance(
+        payload, dict
+    ) else payload
+    spans: List[Dict[str, Any]] = []
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        span_id = args.get("span_id")
+        if span_id is None:
+            continue
+        attrs = {
+            k: v for k, v in args.items() if k not in _STRUCTURAL_ARGS
+        }
+        spans.append({
+            "name": event.get("name", "?"),
+            "span_id": span_id,
+            "parent_id": args.get("parent_id"),
+            "pid": event.get("pid", 0),
+            "start": float(event.get("ts", 0.0)) / 1e6,
+            "duration": float(event.get("dur", 0.0)) / 1e6,
+            "attrs": attrs,
+        })
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Tree building / rendering
+# ----------------------------------------------------------------------
+def build_tree(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Root span nodes, each with a ``children`` list, start-ordered.
+
+    Spans whose parent is unknown (dispatcher had tracing off, or the
+    parent was pruned) become roots themselves, so partial traces still
+    render.
+    """
+    nodes = {
+        record["span_id"]: dict(record, children=[]) for record in spans
+    }
+    roots: List[Dict[str, Any]] = []
+    for record in spans:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start"])
+    roots.sort(key=lambda node: node["start"])
+    return roots
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_attrs(attrs: Dict[str, Any], limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    shown = list(attrs.items())[:limit]
+    body = ", ".join(f"{k}={v}" for k, v in shown)
+    if len(attrs) > limit:
+        body += ", ..."
+    return f"  [{body}]"
+
+
+def render_tree(
+    spans: Sequence[Dict[str, Any]],
+    *,
+    max_depth: Optional[int] = None,
+    width: int = 60,
+) -> str:
+    """The wall-time tree as indented text, one line per span."""
+    roots = build_tree(spans)
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+
+    def emit(node: Dict[str, Any], depth: int, parent_pid: Optional[int]):
+        pid_tag = (
+            f"[pid {node['pid']}] " if node["pid"] != parent_pid else ""
+        )
+        label = "  " * depth + pid_tag + node["name"]
+        label += _format_attrs(node.get("attrs") or {})
+        pad = max(1, width - len(label))
+        lines.append(
+            label + " " * pad + _format_duration(node["duration"])
+        )
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        for child in node["children"]:
+            emit(child, depth + 1, node["pid"])
+
+    root_pid = roots[0]["pid"]
+    for root in roots:
+        emit(root, 0, root_pid if root["pid"] == root_pid else None)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Top-k aggregation
+# ----------------------------------------------------------------------
+def top_spans(
+    spans: Sequence[Dict[str, Any]], k: int = 10
+) -> List[Dict[str, Any]]:
+    """Per-name aggregates sorted by total wall time, largest first."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        group = groups.setdefault(
+            record["name"],
+            {"name": record["name"], "count": 0, "total": 0.0, "max": 0.0,
+             "pids": set()},
+        )
+        group["count"] += 1
+        group["total"] += record["duration"]
+        group["max"] = max(group["max"], record["duration"])
+        group["pids"].add(record["pid"])
+    ranked = sorted(
+        groups.values(), key=lambda g: g["total"], reverse=True
+    )[:k]
+    return [
+        {
+            "name": g["name"],
+            "count": g["count"],
+            "total": g["total"],
+            "mean": g["total"] / g["count"],
+            "max": g["max"],
+            "pids": len(g["pids"]),
+        }
+        for g in ranked
+    ]
+
+
+def render_top_spans(
+    spans: Sequence[Dict[str, Any]], k: int = 10
+) -> str:
+    """The top-k table as aligned text."""
+    rows = top_spans(spans, k)
+    if not rows:
+        return "(no spans recorded)"
+    headers = ["span", "count", "total", "mean", "max", "pids"]
+    table = [
+        [
+            row["name"],
+            str(row["count"]),
+            _format_duration(row["total"]),
+            _format_duration(row["mean"]),
+            _format_duration(row["max"]),
+            str(row["pids"]),
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in table)
+    return "\n".join(lines)
+
+
+def render_report(
+    source: Any,
+    *,
+    k: int = 10,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Full obs-report text: span tree plus the top-k table.
+
+    ``source`` is a trace-file path or an iterable of span dicts.
+    """
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        spans = load_trace(str(source))
+    else:
+        spans = list(source)
+    worker_pids = sorted({s["pid"] for s in spans})
+    header = (
+        f"{len(spans)} spans across {len(worker_pids)} process(es): "
+        + ", ".join(str(pid) for pid in worker_pids)
+    )
+    return "\n".join([
+        header,
+        "",
+        render_tree(spans, max_depth=max_depth),
+        "",
+        f"top {k} span families by total wall time:",
+        render_top_spans(spans, k),
+    ])

@@ -1,0 +1,370 @@
+"""Contextvar-based span tracing with cross-process propagation.
+
+A *span* is one timed region of work (a solver factorization, a job
+chunk, a whole DSE sweep).  Spans nest through a :mod:`contextvars`
+variable, so the tree mirrors the dynamic call structure — including
+across ``await``-free thread switches — and every finished span lands in
+a process-local buffer.
+
+Design constraints (see DESIGN.md S18):
+
+* **Disabled by default, near-zero overhead.**  :func:`span` returns a
+  cached no-op singleton when tracing is off; the only cost is one
+  global load and a function call.  Hot paths (the crossbar solver, the
+  job engine's chunk loop) call it unconditionally.
+* **Cross-process propagation.**  The job engine ships
+  :func:`current_context` inside each chunk payload; the worker process
+  calls :func:`activate` (adopting the parent span id and flags), runs
+  the chunk, and returns :func:`collect`'s span dicts alongside the
+  results.  The dispatcher then :func:`absorb`'s them, so one buffer
+  holds the whole run with worker spans parented under the dispatching
+  chunk span.
+* **Two exporters.**  :func:`export_chrome` writes Chrome trace-event
+  JSON (loadable in Perfetto / ``chrome://tracing``; one lane per
+  process pid, span/parent ids preserved in ``args``) and
+  :mod:`repro.obs.report` renders the same data as a terminal wall-time
+  tree.
+
+Span ids embed the pid, so ids minted in different processes never
+collide.  Timestamps are wall-clock (``time.time``) so lanes from
+different processes align; durations are measured with
+``time.perf_counter`` for resolution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Union
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "span",
+    "begin",
+    "enable",
+    "disable",
+    "enabled",
+    "debug_enabled",
+    "clear",
+    "spans",
+    "collect",
+    "absorb",
+    "current_context",
+    "activate",
+    "export_chrome",
+]
+
+_enabled = False
+_debug = False
+
+#: Finished spans of this process (dicts, oldest first).
+_buffer: List[Dict[str, Any]] = []
+_buffer_lock = threading.Lock()
+
+#: The innermost live span of the current context (None at top level).
+_current: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Parent span id adopted from another process via :func:`activate`.
+_remote_parent: Optional[str] = None
+
+_ids = itertools.count(1)
+
+
+def _next_id() -> str:
+    """A span id unique across processes (pid-prefixed counter)."""
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+# ----------------------------------------------------------------------
+# On/off switch
+# ----------------------------------------------------------------------
+def enable(*, debug: bool = False) -> None:
+    """Turn span collection on (``debug=True`` also records residuals
+    and other high-volume diagnostics the instrumented modules gate)."""
+    global _enabled, _debug
+    _enabled = True
+    _debug = debug
+
+
+def disable() -> None:
+    """Turn span collection off; the buffer is kept until :func:`clear`."""
+    global _enabled, _debug
+    _enabled = False
+    _debug = False
+
+
+def enabled() -> bool:
+    """Whether spans are being collected in this process."""
+    return _enabled
+
+
+def debug_enabled() -> bool:
+    """Whether high-volume debug diagnostics should be recorded."""
+    return _enabled and _debug
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class Span:
+    """One timed region; use as a context manager or via :func:`begin`.
+
+    Attributes mirror the exported dict: ``name``, ``span_id``,
+    ``parent_id``, ``pid``, ``start`` (epoch seconds), ``duration``
+    (seconds) and free-form ``attrs``.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "pid", "start", "duration",
+        "attrs", "_t0", "_token",
+    )
+
+    def __init__(
+        self, name: str, attrs: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.span_id = _next_id()
+        if parent_id is None:
+            parent = _current.get()
+            parent_id = parent.span_id if parent is not None else _remote_parent
+        self.parent_id = parent_id
+        self.pid = os.getpid()
+        self.start = time.time()
+        self.duration = 0.0
+        self._t0 = time.perf_counter()
+        self._token = None
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.finish()
+        return False
+
+    # -- manual protocol (async work: chunk dispatch) ------------------
+    def finish(self) -> "Span":
+        """Stop the clock and commit the span to the buffer."""
+        self.duration = time.perf_counter() - self._t0
+        with _buffer_lock:
+            _buffer.append(self.to_dict())
+        return self
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to a live span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration * 1e3:.3f}ms)"
+        )
+
+
+class _NoopSpan:
+    """Cached do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def finish(self) -> "_NoopSpan":
+        return self
+
+    def set(self, **_attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
+    """A context-managed span, or the no-op singleton when disabled."""
+    if not _enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def begin(name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
+    """Start a *manual* span (caller must ``finish()`` it).
+
+    Unlike the context-manager form this does **not** make the span the
+    current parent — it is meant for asynchronous work (e.g. a chunk
+    in flight on a process pool) whose lifetime outlives the frame that
+    started it.  The parent is whatever span is current right now.
+    """
+    if not _enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+# ----------------------------------------------------------------------
+# Buffer access
+# ----------------------------------------------------------------------
+def clear() -> None:
+    """Drop every buffered span."""
+    with _buffer_lock:
+        _buffer.clear()
+
+
+def spans() -> List[Dict[str, Any]]:
+    """A snapshot copy of the buffered span dicts (oldest first)."""
+    with _buffer_lock:
+        return list(_buffer)
+
+
+def collect() -> List[Dict[str, Any]]:
+    """Drain the buffer: return the spans and clear it.
+
+    Workers call this after a chunk so each result ships exactly the
+    spans that chunk produced (warm pools reuse processes across
+    chunks).
+    """
+    with _buffer_lock:
+        out = list(_buffer)
+        _buffer.clear()
+    return out
+
+
+def absorb(span_dicts: Iterable[Dict[str, Any]]) -> None:
+    """Append spans shipped back from another process to the buffer."""
+    with _buffer_lock:
+        _buffer.extend(span_dicts)
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation
+# ----------------------------------------------------------------------
+def current_context() -> Optional[Dict[str, Any]]:
+    """The propagation payload for a child process, or None when off.
+
+    A small picklable dict: the enabled/debug flags plus the would-be
+    parent span id of work started "here" (the innermost live span).
+    """
+    if not _enabled:
+        return None
+    parent = _current.get()
+    return {
+        "enabled": True,
+        "debug": _debug,
+        "parent": parent.span_id if parent is not None else _remote_parent,
+    }
+
+
+def activate(context: Optional[Dict[str, Any]]) -> None:
+    """Adopt a :func:`current_context` payload in a worker process.
+
+    Enables collection and parents this process's top-level spans under
+    the shipped span id.  ``None`` deactivates (spans stop being
+    recorded), matching a dispatcher that has tracing off.
+
+    On fork-start platforms a worker inherits the dispatcher's live
+    contextvar (whatever span was open at fork time) and a copy of its
+    buffer; both would corrupt the merged trace — stale parents and
+    duplicated spans — so activation always resets them.
+    """
+    global _remote_parent, _enabled, _debug
+    _current.set(None)
+    with _buffer_lock:
+        _buffer.clear()
+    if not context:
+        _enabled = False
+        _debug = False
+        _remote_parent = None
+        return
+    _enabled = True
+    _debug = bool(context.get("debug", False))
+    _remote_parent = context.get("parent")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def to_chrome_events(
+    span_dicts: Optional[Iterable[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Chrome trace-event list for the given (default: buffered) spans.
+
+    Each span becomes one complete ("ph": "X") event with microsecond
+    ``ts``/``dur``; the span and parent ids ride along in ``args`` so
+    :mod:`repro.obs.report` can rebuild the tree from the saved file.
+    One lane per process: ``pid`` is the real pid, and a metadata event
+    names the main process vs. workers.
+    """
+    records = list(span_dicts) if span_dicts is not None else spans()
+    events: List[Dict[str, Any]] = []
+    pids = []
+    for record in records:
+        if record["pid"] not in pids:
+            pids.append(record["pid"])
+    main_pid = os.getpid()
+    for pid in pids:
+        label = "main" if pid == main_pid else f"worker-{pid}"
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+    for record in records:
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        events.append({
+            "name": record["name"],
+            "ph": "X",
+            "ts": record["start"] * 1e6,
+            "dur": record["duration"] * 1e6,
+            "pid": record["pid"],
+            "tid": 0,
+            "args": args,
+        })
+    return events
+
+
+def export_chrome(
+    path: Union[str, "os.PathLike[str]"],
+    span_dicts: Optional[Iterable[Dict[str, Any]]] = None,
+) -> str:
+    """Write the Chrome trace-event JSON file; returns the path written."""
+    payload = {
+        "traceEvents": to_chrome_events(span_dicts),
+        "displayTimeUnit": "ms",
+    }
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path

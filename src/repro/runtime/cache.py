@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.jobs import SCHEMA_VERSION
 
 _DB_FILENAME = "results.sqlite"
@@ -111,18 +113,36 @@ class ResultCache:
         """
         found: Dict[str, Any] = {}
         distinct = [k for k in dict.fromkeys(keys) if k is not None]
-        for start in range(0, len(distinct), _SELECT_BATCH):
-            batch = distinct[start:start + _SELECT_BATCH]
-            marks = ",".join("?" * len(batch))
-            rows = self._conn.execute(
-                f"SELECT key, value FROM results"
-                f" WHERE version = ? AND key IN ({marks})",
-                [self.version, *batch],
-            ).fetchall()
-            for key, value in rows:
-                found[key] = json.loads(value)
+        started = time.perf_counter()
+        with obs_trace.span("cache.get", keys=len(distinct)) as lookup_span:
+            for start in range(0, len(distinct), _SELECT_BATCH):
+                batch = distinct[start:start + _SELECT_BATCH]
+                marks = ",".join("?" * len(batch))
+                rows = self._conn.execute(
+                    f"SELECT key, value FROM results"
+                    f" WHERE version = ? AND key IN ({marks})",
+                    [self.version, *batch],
+                ).fetchall()
+                for key, value in rows:
+                    found[key] = json.loads(value)
+            lookup_span.set(hits=len(found),
+                            misses=len(distinct) - len(found))
         self._hits += len(found)
         self._misses += len(distinct) - len(found)
+        if obs_trace.enabled():
+            elapsed = time.perf_counter() - started
+            obs_metrics.counter(
+                "repro_cache_lookups_total",
+                "Result-cache lookups by outcome",
+            ).inc(len(found), outcome="hit")
+            obs_metrics.counter(
+                "repro_cache_lookups_total",
+                "Result-cache lookups by outcome",
+            ).inc(len(distinct) - len(found), outcome="miss")
+            obs_metrics.histogram(
+                "repro_cache_lookup_seconds",
+                "Latency of batched result-cache lookups",
+            ).observe(elapsed)
         return found
 
     def put(self, key: str, kind: str, value: Any) -> None:
@@ -138,13 +158,25 @@ class ResultCache:
         ]
         if not rows:
             return 0
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO results"
-            " (key, version, kind, value, created) VALUES (?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._conn.commit()
+        started = time.perf_counter()
+        with obs_trace.span("cache.put", rows=len(rows)):
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results"
+                " (key, version, kind, value, created)"
+                " VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
         self._stores += len(rows)
+        if obs_trace.enabled():
+            obs_metrics.counter(
+                "repro_cache_stores_total",
+                "Result-cache rows written",
+            ).inc(len(rows))
+            obs_metrics.histogram(
+                "repro_cache_store_seconds",
+                "Latency of batched result-cache stores",
+            ).observe(time.perf_counter() - started)
         return len(rows)
 
     # ------------------------------------------------------------------

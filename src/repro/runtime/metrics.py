@@ -7,6 +7,16 @@ failures, retries) and the execution mode actually used (``serial`` or
 pool.run_jobs`; CLI commands persist it next to the cache so
 ``repro runtime-stats`` can show the last run, and
 :func:`repro.report.format_run_metrics` renders it as a table.
+
+Since the :mod:`repro.obs` layer landed, :class:`RunMetrics` is a thin
+back-compat facade over it: the per-run dicts (the ``runtime-stats``
+and :meth:`save`/:meth:`load` contract) are kept as before, and when
+observability is enabled every stage additionally opens a
+``runtime.<stage>`` span and every stage/counter update is mirrored
+into the global :data:`repro.obs.metrics.REGISTRY`
+(``repro_runtime_events_total{event=...}`` and
+``repro_runtime_stage_seconds{stage=...}``), so engine accounting shows
+up in traces and Prometheus exports without any caller changes.
 """
 
 from __future__ import annotations
@@ -17,6 +27,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, Union
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Where CLI runs persist their metrics, relative to the cache dir.
 LAST_RUN_FILENAME = "last_run.json"
@@ -48,17 +61,38 @@ class RunMetrics:
     # ------------------------------------------------------------------
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time of the enclosed block under ``name``."""
+        """Accumulate the wall time of the enclosed block under ``name``.
+
+        With observability enabled the block also runs inside a
+        ``runtime.<name>`` span and the elapsed time is observed on the
+        global ``repro_runtime_stage_seconds`` histogram.
+        """
         start = time.perf_counter()
         try:
-            yield
+            with obs_trace.span("runtime." + name):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self.stages[name] = self.stages.get(name, 0.0) + elapsed
+            if obs_trace.enabled():
+                obs_metrics.histogram(
+                    "repro_runtime_stage_seconds",
+                    "Engine stage wall time per run_jobs call",
+                ).observe(elapsed, stage=name)
 
     def count(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to counter ``name`` (created on first use)."""
+        """Add ``amount`` to counter ``name`` (created on first use).
+
+        Mirrored into the global registry as
+        ``repro_runtime_events_total{event=name}`` when observability
+        is enabled.
+        """
         self.counters[name] = self.counters.get(name, 0) + amount
+        if obs_trace.enabled():
+            obs_metrics.counter(
+                "repro_runtime_events_total",
+                "Engine event counts across all run_jobs calls",
+            ).inc(amount, event=name)
 
     # ------------------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ caller unchanged, exactly as the old serial loops behaved.
 from __future__ import annotations
 
 import atexit
+import logging
 import math
 import os
 import pickle
@@ -43,9 +44,13 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, JobExecutionError, MnsimError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import JobSpec
 from repro.runtime.metrics import RunMetrics
+
+_log = logging.getLogger(__name__)
 
 #: Seconds between deadline sweeps while waiting on in-flight chunks.
 _WAIT_SLICE = 0.05
@@ -135,6 +140,24 @@ def run_jobs(
     policy = policy or RunPolicy()
     metrics = metrics if metrics is not None else RunMetrics()
     specs = list(specs)
+    with obs_trace.span(
+        "runtime.run_jobs", jobs=len(specs), workers=policy.worker_count,
+        kind=specs[0].kind if specs else "",
+    ):
+        return _run_jobs_traced(
+            worker, specs, policy, cache, encode, decode, metrics
+        )
+
+
+def _run_jobs_traced(
+    worker: Callable[[Any], Any],
+    specs: List[JobSpec],
+    policy: RunPolicy,
+    cache: Optional[ResultCache],
+    encode: Optional[Callable[[Any], Any]],
+    decode: Optional[Callable[[Any], Any]],
+    metrics: RunMetrics,
+) -> List[Any]:
     metrics.workers = policy.worker_count
     metrics.count("jobs_total", len(specs))
 
@@ -215,7 +238,8 @@ def _run_serial(
         attempts = 0
         while True:
             try:
-                results[index] = worker(spec.payload)
+                with obs_trace.span("runtime.job", kind=spec.kind):
+                    results[index] = worker(spec.payload)
                 break
             except MnsimError:
                 # Deterministic domain error: retrying cannot help and
@@ -289,7 +313,9 @@ def warm_pool(jobs: int = 0) -> int:
         pool = _acquire_pool(workers)
         # Touch every worker once so the processes actually exist.
         list(pool.map(_noop, range(workers)))
-    except (OSError, NotImplementedError, ValueError):
+    except (OSError, NotImplementedError, ValueError) as exc:
+        _log.warning("warm pool start-up failed (%s); sweeps will fall "
+                     "back to serial execution", exc)
         return workers
     _release_pool(pool, workers, kill=False)
     return workers
@@ -316,14 +342,33 @@ def _picklable(obj: Any) -> bool:
     """Whether ``obj`` can cross a process boundary at all."""
     try:
         pickle.dumps(obj)
-    except Exception:
+    except Exception as exc:
+        _log.debug("worker is not picklable (%s); using serial path", exc)
         return False
     return True
 
 
-def _run_chunk(worker: Callable[[Any], Any], payloads: List[Any]) -> List[Any]:
-    """Executed inside a worker process: run one chunk of payloads."""
-    return [worker(payload) for payload in payloads]
+def _run_chunk(
+    worker: Callable[[Any], Any],
+    payloads: List[Any],
+    trace_context: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[Any], Optional[List[Dict[str, Any]]]]:
+    """Executed inside a worker process: run one chunk of payloads.
+
+    ``trace_context`` is the dispatcher's :func:`repro.obs.trace.
+    current_context` payload: when present, this worker adopts it (so
+    its spans parent under the dispatching chunk span), wraps each
+    payload in a ``runtime.job`` span, and ships the collected span
+    dicts back alongside the results.
+    """
+    obs_trace.activate(trace_context)
+    if trace_context is None:
+        return [worker(payload) for payload in payloads], None
+    results = []
+    for payload in payloads:
+        with obs_trace.span("runtime.job"):
+            results.append(worker(payload))
+    return results, obs_trace.collect()
 
 
 def _run_parallel(
@@ -350,21 +395,32 @@ def _run_parallel(
     except (OSError, NotImplementedError, ValueError):
         raise _SerialFallback() from None
 
-    in_flight: Dict[Any, Tuple[int, Optional[float]]] = {}
+    in_flight: Dict[Any, Tuple[int, Optional[float], Any]] = {}
     workers_stuck = False
     clean_exit = False
 
     def submit(chunk_index: int) -> None:
         chunk = chunks[chunk_index]
-        future = executor.submit(
-            _run_chunk, worker, [spec.payload for _, spec in chunk]
+        # The chunk span measures dispatch-to-result latency from the
+        # dispatcher's side; its id is shipped to the worker so the
+        # worker's job spans parent under it in the merged trace.
+        chunk_span = obs_trace.begin(
+            "runtime.chunk", chunk=chunk_index, jobs=len(chunk)
         )
+        context = obs_trace.current_context()
+        if context is not None:
+            context = dict(context, parent=chunk_span.span_id)
+        future = executor.submit(
+            _run_chunk, worker, [spec.payload for _, spec in chunk],
+            context,
+        )
+        metrics.count("chunks_dispatched")
         deadline = (
             time.monotonic() + policy.timeout * len(chunk)
             if policy.timeout is not None
             else None
         )
-        in_flight[future] = (chunk_index, deadline)
+        in_flight[future] = (chunk_index, deadline, chunk_span)
 
     def fail(chunk_index: int, cause: BaseException) -> None:
         attempts[chunk_index] += 1
@@ -388,11 +444,14 @@ def _run_parallel(
             )
             now = time.monotonic()
             if not finished:
-                for future, (ci, deadline) in list(in_flight.items()):
+                for future, (ci, deadline, chunk_span) in list(
+                    in_flight.items()
+                ):
                     if deadline is not None and now > deadline:
                         workers_stuck = True
                         future.cancel()
                         del in_flight[future]
+                        chunk_span.set(error="TimeoutError").finish()
                         fail(ci, TimeoutError(
                             f"chunk exceeded {policy.timeout:g}s/job budget"
                         ))
@@ -402,10 +461,11 @@ def _run_parallel(
                     # Already handled: cancelled by a timeout sweep or
                     # re-queued when a broken pool was replaced.
                     continue
-                ci, _deadline = in_flight.pop(future)
+                ci, _deadline, chunk_span = in_flight.pop(future)
                 try:
-                    chunk_results = future.result(timeout=0)
+                    chunk_results, worker_spans = future.result(timeout=0)
                 except MnsimError:
+                    chunk_span.set(error="MnsimError").finish()
                     raise
                 except pickle.PicklingError:
                     # The worker/payload cannot cross the process
@@ -422,13 +482,22 @@ def _run_parallel(
                     if "pickle" in str(exc).lower():
                         wait(list(in_flight), timeout=5.0)
                         raise _SerialFallback() from None
+                    chunk_span.set(error=type(exc).__name__).finish()
                     fail(ci, exc)
                 except BrokenProcessPool as exc:
                     # A worker died (crash / kill).  Every other
                     # in-flight future is collateral damage: resubmit
                     # them on a fresh pool without charging an attempt,
                     # and charge only the chunk that surfaced the break.
-                    victims = [vci for vci, _dl in in_flight.values()]
+                    chunk_span.set(error="BrokenProcessPool").finish()
+                    _log.warning(
+                        "worker pool broke (%s); resubmitting %d chunk(s) "
+                        "on a fresh pool", exc, len(in_flight),
+                    )
+                    victims = []
+                    for vci, _dl, victim_span in in_flight.values():
+                        victim_span.set(resubmitted=True).finish()
+                        victims.append(vci)
                     in_flight.clear()
                     _shutdown_pool(executor, kill=True)
                     try:
@@ -439,8 +508,12 @@ def _run_parallel(
                         submit(vci)
                     fail(ci, exc)
                 except Exception as exc:
+                    chunk_span.set(error=type(exc).__name__).finish()
                     fail(ci, exc)
                 else:
+                    chunk_span.finish()
+                    if worker_spans:
+                        obs_trace.absorb(worker_spans)
                     for (index, _spec), value in zip(
                         chunks[ci], chunk_results
                     ):
@@ -463,6 +536,11 @@ def _shutdown_pool(executor: ProcessPoolExecutor, *, kill: bool) -> None:
     needed when a chunk blew its timeout and a worker may be stuck in
     user code forever.  The process list must be snapshotted *before*
     ``shutdown()``, which drops the executor's reference to it.
+
+    Teardown stays best-effort (a worker that is already gone is fine),
+    but failures are no longer invisible: each one is logged and counted
+    on the ``repro_worker_teardown_failures_total`` metric so operators
+    can tell a leaky host from a healthy one.
     """
     processes = (
         list((getattr(executor, "_processes", None) or {}).values())
@@ -472,9 +550,23 @@ def _shutdown_pool(executor: ProcessPoolExecutor, *, kill: bool) -> None:
     for process in processes:
         try:
             process.terminate()
-        except Exception:  # pragma: no cover - best effort only
-            pass
-    executor.shutdown(wait=False, cancel_futures=True)
+        except Exception as exc:  # pragma: no cover - best effort only
+            _log.warning(
+                "failed to terminate worker pid=%s: %s",
+                getattr(process, "pid", "?"), exc,
+            )
+            obs_metrics.counter(
+                "repro_worker_teardown_failures_total",
+                "Worker processes that could not be terminated on teardown",
+            ).inc()
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception as exc:  # pragma: no cover - best effort only
+        _log.warning("pool shutdown failed: %s", exc)
+        obs_metrics.counter(
+            "repro_worker_teardown_failures_total",
+            "Worker processes that could not be terminated on teardown",
+        ).inc()
 
 
 def _job_error(

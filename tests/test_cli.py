@@ -69,10 +69,12 @@ class TestExplore:
             "--degrees", "1", "64", "--wires", "28", "45",
             "--weight-bits", "4",
         ])
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert code == 0
-        assert "designs explored" in out
-        assert "accuracy" in out
+        # Diagnostics go to stderr; the result table stays on stdout.
+        assert "designs explored" in captured.err
+        assert "designs explored" not in captured.out
+        assert "accuracy" in captured.out
 
     def test_infeasible_constraint_fails(self, capsys):
         code = main([
@@ -90,9 +92,10 @@ class TestRuntimeFlags:
             "explore", "mlp:128,64", "--sizes", "32", "64",
             "--degrees", "1", "--wires", "45", "--jobs", "2",
         ])
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert code == 0
-        assert "runtime:" in out
+        assert "runtime:" in captured.err
+        assert "runtime:" not in captured.out
 
     def test_explore_with_cache_warms_up(self, tmp_path, capsys):
         argv = [
@@ -101,10 +104,10 @@ class TestRuntimeFlags:
             "--cache-dir", str(tmp_path / "cache"),
         ]
         assert main(argv) == 0
-        first = capsys.readouterr().out
+        first = capsys.readouterr().err
         assert "0 cache hits" in first
         assert main(argv) == 0
-        second = capsys.readouterr().out
+        second = capsys.readouterr().err
         assert "2 cache hits" in second
 
     def test_no_cache_flag_disables(self, tmp_path, capsys):
@@ -114,8 +117,9 @@ class TestRuntimeFlags:
             "--cache-dir", str(tmp_path / "cache"), "--no-cache",
         ]
         assert main(argv) == 0
-        out = capsys.readouterr().out
-        assert "cache hits" not in out
+        captured = capsys.readouterr()
+        assert "cache hits" not in captured.out
+        assert "cache hits" not in captured.err
         assert not (tmp_path / "cache" / "results.sqlite").exists()
 
     def test_simulate_accepts_cache(self, tmp_path, capsys):
@@ -195,6 +199,82 @@ class TestNetlist:
         assert code == 0
         parsed = parse_netlist(target.read_text())
         assert parsed.resistances.shape == (4, 4)
+
+
+class TestMonteCarlo:
+    def test_montecarlo_table(self, capsys):
+        code = main([
+            "montecarlo", "--size", "8", "--trials", "2", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean |error|" in out
+        assert "max |error|" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        code = main([
+            "--trace", str(trace),
+            "explore", "mlp:128,64", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().err
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "dse.explore" in names
+        assert "runtime.run_jobs" in names
+
+    def test_trace_env_var(self, tmp_path, monkeypatch, capsys):
+        trace = tmp_path / "env.trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["simulate", "mlp:64,32"]) == 0
+        assert trace.exists()
+
+    def test_metrics_flag_prometheus(self, tmp_path, capsys):
+        from repro.obs.metrics import parse_prometheus
+
+        metrics = tmp_path / "run.prom"
+        code = main([
+            "--metrics", str(metrics),
+            "explore", "mlp:128,64", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+        ])
+        assert code == 0
+        families = parse_prometheus(metrics.read_text())
+        assert "repro_runtime_events_total" in families
+
+    def test_obs_report_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main([
+            "--trace", str(trace),
+            "explore", "mlp:128,64", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dse.explore" in out
+        assert "span families" in out
+
+    def test_obs_report_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["obs-report", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_quiet_suppresses_diagnostics(self, capsys):
+        code = main([
+            "-q", "explore", "mlp:128,64", "--sizes", "32",
+            "--degrees", "1", "--wires", "45",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "designs explored" not in captured.err
+        assert "area" in captured.out
 
 
 class TestSuggest:

@@ -1,0 +1,186 @@
+"""Observability wired through the engine, solver and facade."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs import trace
+from repro.runtime.jobs import JobSpec, content_key
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.pool import RunPolicy, run_jobs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    trace.disable()
+    trace.clear()
+    trace.activate(None)
+    obs.REGISTRY.reset()
+    yield
+    trace.disable()
+    trace.clear()
+    trace.activate(None)
+    obs.REGISTRY.reset()
+
+
+def _square(task):
+    return task * task
+
+
+def _slow_square(task):
+    # Slow enough that one worker cannot drain every chunk before the
+    # second one wakes up — the test needs spans from >= 2 pids.
+    import time
+    time.sleep(0.05)
+    return task * task
+
+
+def _specs(n):
+    return [
+        JobSpec(kind="square", payload=i, key=content_key("square", i))
+        for i in range(n)
+    ]
+
+
+class TestEnginePropagation:
+    def test_serial_run_produces_nested_spans(self):
+        obs.enable()
+        run_jobs(_square, _specs(3))
+        names = [s["name"] for s in trace.spans()]
+        assert names.count("runtime.job") == 3
+        assert "runtime.run_jobs" in names
+
+    def test_parallel_run_merges_worker_spans(self):
+        """Worker spans come back parented under their chunk span and
+        carry worker (not dispatcher) pids — the cross-process
+        propagation contract."""
+        obs.enable()
+        policy = RunPolicy(jobs=2, chunk_size=1)
+        results = run_jobs(_slow_square, _specs(4), policy=policy)
+        assert results == [0, 1, 4, 9]
+
+        spans = trace.spans()
+        by_id = {s["span_id"]: s for s in spans}
+        chunk_spans = [s for s in spans if s["name"] == "runtime.chunk"]
+        job_spans = [s for s in spans if s["name"] == "runtime.job"]
+        assert len(chunk_spans) == 4
+        assert len(job_spans) == 4
+        for job in job_spans:
+            parent = by_id[job["parent_id"]]
+            assert parent["name"] == "runtime.chunk"
+
+        worker_pids = {s["pid"] for s in job_spans}
+        dispatcher_pids = {s["pid"] for s in chunk_spans}
+        assert len(worker_pids) >= 2
+        assert not (worker_pids & dispatcher_pids)
+
+    def test_disabled_run_collects_nothing(self):
+        policy = RunPolicy(jobs=2, chunk_size=1)
+        run_jobs(_square, _specs(4), policy=policy)
+        assert trace.spans() == []
+
+    def test_cache_spans_and_counters(self, tmp_path):
+        from repro.runtime.cache import ResultCache
+
+        obs.enable()
+        with ResultCache(tmp_path / "cache") as cache:
+            run_jobs(_square, _specs(3), cache=cache)
+            run_jobs(_square, _specs(3), cache=cache)
+        names = [s["name"] for s in trace.spans()]
+        assert "cache.get" in names
+        assert "cache.put" in names
+        lookups = obs.REGISTRY.get("repro_cache_lookups_total")
+        assert lookups.value(outcome="miss") == 3
+        assert lookups.value(outcome="hit") == 3
+
+
+class TestRunMetricsFacade:
+    def test_stage_and_count_mirror_into_registry(self):
+        obs.enable()
+        metrics = RunMetrics()
+        with metrics.stage("execute"):
+            pass
+        metrics.count("jobs_total", 5)
+        events = obs.REGISTRY.get("repro_runtime_events_total")
+        assert events.value(event="jobs_total") == 5
+        stages = obs.REGISTRY.get("repro_runtime_stage_seconds")
+        assert stages.snapshot(stage="execute")["count"] == 1
+        # The legacy facade keeps working unchanged.
+        assert metrics.counters["jobs_total"] == 5
+        assert "execute" in metrics.stages
+
+    def test_facade_is_silent_when_disabled(self):
+        metrics = RunMetrics()
+        with metrics.stage("execute"):
+            pass
+        metrics.count("jobs_total")
+        assert obs.REGISTRY.get("repro_runtime_events_total") is None
+
+
+class TestSolverInstrumentation:
+    def test_solver_spans_and_events(self):
+        from repro.spice.solver import CrossbarNetwork
+
+        obs.enable()
+        rng = np.random.default_rng(7)
+        resistances = rng.uniform(1e5, 1e6, size=(8, 8))
+        network = CrossbarNetwork(resistances, 2.0, 100.0)
+        network.solve(np.full(8, 0.3))
+        names = {s["name"] for s in trace.spans()}
+        assert "solver.solve" in names
+        assert "solver.assemble" in names
+        events = obs.REGISTRY.get("repro_solver_events_total")
+        assert events.value(event="factorize") >= 1
+
+    def test_debug_mode_records_residuals(self):
+        from repro.config import SimConfig
+        from repro.spice.solver import CrossbarNetwork
+
+        obs.enable(debug=True)
+        device = SimConfig().device
+        rng = np.random.default_rng(7)
+        levels = rng.integers(0, device.levels, size=(8, 8))
+        resistances = device.resistance_of_level(levels)
+        network = CrossbarNetwork(resistances, 2.0, 100.0, device=device)
+        network.solve(np.full(8, device.read_voltage))
+        solve = next(
+            s for s in trace.spans() if s["name"] == "solver.solve"
+        )
+        assert solve["attrs"]["nonlinear"] is True
+        # One delta per iteration after the first.
+        residuals = solve["attrs"]["residuals"]
+        assert len(residuals) == solve["attrs"]["iterations"] - 1
+        assert all(r >= 0 for r in residuals)
+
+
+class TestWorkerTeardownCounter:
+    def test_teardown_failure_is_counted_and_logged(self, caplog):
+        import logging
+
+        from repro.runtime import pool as pool_mod
+
+        obs.enable()
+
+        class ExplodingPool:
+            class _Proc:
+                pid = 1234
+
+                def terminate(self):
+                    raise OSError("gone")
+
+            _processes = {0: _Proc()}
+
+            def shutdown(self, wait=True):
+                pass
+
+        # The CLI may have switched the package logger to non-propagating
+        # stderr handling in an earlier test; caplog captures at the root.
+        logging.getLogger("repro").propagate = True
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.pool"):
+            pool_mod._shutdown_pool(ExplodingPool(), kill=True)
+        assert any(
+            "terminate" in rec.getMessage() for rec in caplog.records
+        )
+        failures = obs.REGISTRY.get("repro_worker_teardown_failures_total")
+        assert failures is not None
+        assert failures.value() >= 1

@@ -1,0 +1,111 @@
+"""Metrics registry: counters/gauges/histograms + expositions."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        c = Counter("events_total")
+        c.inc()
+        c.inc(2, kind="a")
+        c.inc(kind="a")
+        assert c.value() == 1
+        assert c.value(kind="a") == 3
+
+    def test_negative_increment_rejected(self):
+        c = Counter("events_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_snapshot_sum_and_count(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+
+    def test_cumulative_buckets_in_exposition(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        lines = h.exposition()
+        text = "\n".join(lines)
+        assert 'le="0.1"} 1' in text
+        assert 'le="1"} 2' in text
+        assert 'le="+Inf"} 3' in text
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total")
+        b = reg.counter("hits_total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_json_exposition_is_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total").inc(3, outcome="hit")
+        payload = json.loads(reg.to_json())
+        assert payload["hits_total"]["type"] == "counter"
+
+
+class TestPrometheusRoundTrip:
+    def test_counter_gauge_histogram_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "help text").inc(4, event="solve")
+        reg.gauge("workers").set(2)
+        hist = reg.histogram("stage_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05, stage="execute")
+        hist.observe(0.5, stage="execute")
+
+        text = reg.to_prometheus()
+        assert "# HELP events_total help text" in text
+        assert "# TYPE events_total counter" in text
+
+        families = parse_prometheus(text)
+        assert families["events_total"]["type"] == "counter"
+        assert families["events_total"]["samples"][
+            ("events_total", (("event", "solve"),))
+        ] == 4
+        assert families["workers"]["samples"][("workers", ())] == 2
+        hist_samples = families["stage_seconds"]["samples"]
+        assert hist_samples[
+            ("stage_seconds_count", (("stage", "execute"),))
+        ] == 2
+        assert hist_samples[
+            ("stage_seconds_bucket",
+             (("le", "+Inf"), ("stage", "execute")))
+        ] == 2
