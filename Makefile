@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-runtime bench-spice examples results \
-	trace-demo clean
+	trace-demo faults-demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -43,8 +43,22 @@ trace-demo:
 		montecarlo --size 16 --trials 4 --jobs 2
 	PYTHONPATH=src $(PYTHON) -m repro obs-report demo-mc.trace.json
 
+# A small fault-injection sweep: stuck cells + open lines on a 16x16
+# crossbar, run twice through the same cache to demonstrate the
+# byte-reproducible campaign JSON and the 100%-hit replay.
+faults-demo:
+	PYTHONPATH=src $(PYTHON) -m repro faults \
+		--modes stuck_mixed line_open --rates 0 0.02 0.05 \
+		--trials 6 --seed 1 --jobs 2 \
+		--cache-dir .repro-cache -o faults-demo.json
+	PYTHONPATH=src $(PYTHON) -m repro faults \
+		--modes stuck_mixed line_open --rates 0 0.02 0.05 \
+		--trials 6 --seed 1 --jobs 2 \
+		--cache-dir .repro-cache -o faults-demo-rerun.json
+	cmp faults-demo.json faults-demo-rerun.json
+
 # Local artifacts only — never touches the user-global ~/.cache/repro.
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results .repro-cache
-	rm -f last_run.json *.trace.json
+	rm -f last_run.json *.trace.json faults-demo.json faults-demo-rerun.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -58,6 +58,9 @@ class ReliabilityReport:
         Years until the refresh traffic exhausts the write endurance.
     retention_limited:
         True when retention (not read disturb) sets the interval.
+    hard_fault_rate:
+        Fraction of cells with unrepairable hard faults (stuck/open);
+        see :func:`reliability_report` for how it tightens the policy.
     """
 
     refresh_interval: float
@@ -66,6 +69,7 @@ class ReliabilityReport:
     refresh_duty_cycle: float
     endurance_lifetime_years: float
     retention_limited: bool
+    hard_fault_rate: float = 0.0
 
 
 def reliability_report(
@@ -75,6 +79,7 @@ def reliability_report(
     retention_per_level: float = DEFAULT_RETENTION_PER_LEVEL,
     disturb_per_read: float = DEFAULT_DISTURB_PER_READ,
     write_endurance: float = 1e9,
+    hard_fault_rate: float = 0.0,
 ) -> ReliabilityReport:
     """Derive the refresh policy and lifetime of a deployment.
 
@@ -92,6 +97,15 @@ def reliability_report(
         Levels of drift per compute operation.
     write_endurance:
         Programming cycles each cell tolerates.
+    hard_fault_rate:
+        Fraction of cells with unrepairable hard faults, e.g. the
+        ``cell_fault_fraction`` of a measured or sampled
+        :class:`~repro.faults.models.FaultMask`.  First-order model:
+        stuck/open cells permanently consume part of the array's error
+        margin, so the drift budget the *healthy* cells may spend
+        shrinks to ``drift_budget * (1 - hard_fault_rate)`` and every
+        refresh-derived quantity tightens proportionally.  Must lie in
+        ``[0, 1)`` — a fully-faulted array has no refresh policy.
     """
     if samples_per_second < 0:
         raise ConfigError("samples_per_second must be >= 0")
@@ -99,6 +113,9 @@ def reliability_report(
         raise ConfigError("drift_budget must be positive")
     if retention_per_level <= 0 or disturb_per_read < 0:
         raise ConfigError("bad drift parameters")
+    if not 0.0 <= hard_fault_rate < 1.0:
+        raise ConfigError("hard_fault_rate must lie in [0, 1)")
+    drift_budget = drift_budget * (1.0 - hard_fault_rate)
 
     retention_rate = 1.0 / retention_per_level  # levels per second
     disturb_rate = disturb_per_read * samples_per_second
@@ -127,6 +144,7 @@ def reliability_report(
         refresh_duty_cycle=refresh_duty_cycle,
         endurance_lifetime_years=endurance_lifetime_years,
         retention_limited=retention_rate >= disturb_rate,
+        hard_fault_rate=hard_fault_rate,
     )
 
 

@@ -9,6 +9,10 @@ The subcommands cover the software flow of the paper's Fig. 3:
   constraint, printing the per-target optima (the Tables IV/VI flow);
 * ``montecarlo`` — circuit-level Monte-Carlo accuracy sampling (drives
   the SPICE solver, so its traces show the solver's internals);
+* ``faults`` — fault-injection campaign sweeping fault rate x fault
+  mode x network into accuracy-vs-fault-rate curves with confidence
+  intervals (see :mod:`repro.faults`); ``--output`` writes a
+  byte-reproducible campaign JSON;
 * ``netlist`` — export a SPICE netlist for a random-programmed crossbar
   of the configured size (the hand-off path to external simulators);
 * ``runtime-stats`` — the job engine's last-run metrics and cache
@@ -16,7 +20,8 @@ The subcommands cover the software flow of the paper's Fig. 3:
 * ``obs-report`` — render a saved trace as a wall-time tree + top-k
   table (see :mod:`repro.obs`).
 
-``simulate``, ``explore`` and ``montecarlo`` accept the engine knobs
+``simulate``, ``explore``, ``montecarlo`` and ``faults`` accept the
+engine knobs
 ``--jobs N`` (parallel worker processes), ``--cache-dir PATH``
 (persistent result cache; also honoured from ``$REPRO_CACHE_DIR``) and
 ``--no-cache``.
@@ -343,6 +348,56 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        networks=tuple(args.networks),
+        fault_modes=tuple(args.modes),
+        fault_rates=tuple(args.rates),
+        trials=args.trials,
+        seed=args.seed,
+        size=args.size,
+        device=args.device,
+        segment_resistance=args.segment_resistance,
+    )
+    cache = _make_cache(args)
+    metrics = RunMetrics()
+    _log.info(
+        "faults: %d networks x %d modes x %d rates, %d trials, seed %d",
+        len(spec.networks), len(spec.fault_modes), len(spec.fault_rates),
+        spec.trials, spec.seed,
+    )
+    result = run_campaign(
+        spec, jobs=args.jobs, cache=cache, metrics=metrics
+    )
+    rows = []
+    for point in result.points:
+        rows.append([
+            point.network,
+            point.fault_mode,
+            f"{point.fault_rate:g}",
+            str(point.trials),
+            str(point.failures),
+            f"{point.mean_fault_count:.1f}",
+            "-" if point.mean_error is None else f"{point.mean_error:.4%}",
+            "-" if point.ci95 is None else f"{point.ci95:.4%}",
+            "-" if point.relative_accuracy is None
+            else f"{point.relative_accuracy:.2%}",
+        ])
+    print(format_table(
+        ["network", "mode", "rate", "trials", "failed",
+         "faults/trial", "mean error", "ci95", "rel. accuracy"],
+        rows,
+    ))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        _log.info("campaign JSON written to %s", args.output)
+    _finish_run(cache, metrics)
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
 
@@ -506,6 +561,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="input vectors per sampled matrix (batched solve)",
     )
     montecarlo.set_defaults(func=_cmd_montecarlo)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: accuracy vs fault rate",
+    )
+    _add_runtime_flags(faults)
+    faults.add_argument(
+        "--networks", nargs="+", default=["crossbar"],
+        help="network specs: 'crossbar' and/or 'mlp:a,b,...'",
+    )
+    faults.add_argument(
+        "--modes", nargs="+", default=["stuck_mixed"],
+        help="fault modes (stuck_low/stuck_high/stuck_mixed/"
+        "open_cell/line_open/line_short/drift)",
+    )
+    faults.add_argument(
+        "--rates", nargs="+", type=float,
+        default=[0.0, 0.01, 0.02, 0.05],
+        help="fault rates (drift: lognormal sigma)",
+    )
+    faults.add_argument(
+        "--trials", type=int, default=8, help="injections per sweep point"
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--size", type=int, default=16, help="square crossbar size"
+    )
+    faults.add_argument(
+        "--device", default="IDEAL", help="built-in memristor model name"
+    )
+    faults.add_argument(
+        "--segment-resistance", type=float, default=1.0,
+        help="wire segment resistance (ohm)",
+    )
+    faults.add_argument(
+        "--output", "-o",
+        help="write the deterministic campaign JSON to this file",
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     netlist = sub.add_parser(
         "netlist", help="export a SPICE netlist of one crossbar"

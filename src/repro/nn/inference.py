@@ -102,6 +102,7 @@ class MlpInference:
         layer_error_rates: Optional[Sequence[float]] = None,
         rng: Optional[np.random.Generator] = None,
         worst_case: bool = False,
+        layer_fault_masks: Optional[Sequence] = None,
     ) -> List[np.ndarray]:
         """Run one forward pass, returning every layer's output.
 
@@ -118,18 +119,41 @@ class MlpInference:
             Eq. 15.
         rng:
             Required when injecting random (non-worst-case) errors.
+        layer_fault_masks:
+            Optional per-layer :class:`~repro.faults.models.FaultMask`
+            (or ``None`` entries to leave a layer intact); each mask
+            corrupts its layer's weights via
+            :func:`~repro.faults.models.apply_mask_to_weights` before
+            the matrix-vector product, modelling hard cell faults on
+            the mapped crossbars.  Composes with ``layer_error_rates``
+            (faults first, then the analog band).
         """
         if layer_error_rates is not None:
             if len(layer_error_rates) != len(self.weights):
                 raise ConfigError("one error rate per layer is required")
             if not worst_case and rng is None:
                 raise ConfigError("random error injection needs an rng")
+        if layer_fault_masks is not None:
+            if len(layer_fault_masks) != len(self.weights):
+                raise ConfigError(
+                    "one fault mask (or None) per layer is required"
+                )
+            # Local import: repro.faults pulls this module in through its
+            # campaign runner, so a top-level import would be circular.
+            from repro.faults.models import apply_mask_to_weights
 
         signal = self._quantize_signal(np.asarray(inputs, dtype=float))
         outputs: List[np.ndarray] = []
         for index, (layer, matrix) in enumerate(
             zip(self.network.layers, self.weights)
         ):
+            if (
+                layer_fault_masks is not None
+                and layer_fault_masks[index] is not None
+            ):
+                matrix = apply_mask_to_weights(
+                    matrix, layer_fault_masks[index]
+                )
             product = signal @ matrix.T
             if layer_error_rates is not None:
                 eps = abs(layer_error_rates[index])

@@ -63,12 +63,23 @@ def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the 0.0.4 exposition spec: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes only ``\\`` and newline (spec 0.0.4)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(labelset: LabelSet) -> str:
     if not labelset:
         return ""
     inner = ",".join(
-        '%s="%s"' % (k, v.replace("\\", r"\\").replace('"', r"\""))
-        for k, v in labelset
+        '%s="%s"' % (k, _escape_label_value(v)) for k, v in labelset
     )
     return "{" + inner + "}"
 
@@ -341,7 +352,7 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.extend(metric.exposition())
         return "\n".join(lines) + ("\n" if lines else "")
@@ -372,12 +383,61 @@ def histogram(
 # ----------------------------------------------------------------------
 # Exposition parsing (round-trip support for tests / tooling)
 # ----------------------------------------------------------------------
+# The labels group walks label pairs token-wise (quoted strings consume
+# escape pairs) so a '}' or '"' *inside* a quoted value cannot end the
+# label block early.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>(?:[^\"}]|\"(?:[^\"\\]|\\.)*\")*)\})?"
     r"\s+(?P<value>\S+)\s*$"
 )
-_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (escape-pair walker)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown pair: keep verbatim (spec is lenient here)
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _unescape_help(text: str) -> str:
+    """Invert :func:`_escape_help` for parsed HELP lines."""
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "\\":
+                out.append("\\")
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
@@ -405,7 +465,7 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
         if line.startswith("# HELP "):
             _, _, rest = line.partition("# HELP ")
             name, _, help_text = rest.partition(" ")
-            family(name)["help"] = help_text
+            family(name)["help"] = _unescape_help(help_text)
             current = name
             continue
         if line.startswith("# TYPE "):
@@ -428,7 +488,7 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
                     base = sample_name[: -len(suffix)]
                     break
         labels = _labelset({
-            m.group("key"): m.group("val")
+            m.group("key"): _unescape_label_value(m.group("val"))
             for m in _LABEL_RE.finditer(match.group("labels") or "")
         })
         value_text = match.group("value")

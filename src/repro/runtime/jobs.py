@@ -24,7 +24,10 @@ from typing import Any, Optional
 
 #: Version stamp folded into every job key and cache row.  Bump on any
 #: change to result semantics (summary fields, model equations, ...).
-SCHEMA_VERSION = "runtime-v1"
+#: v2: canonical() float/dict-key fixes changed some serializations
+#: (-0.0, non-finite floats, mixed-type dict keys), so v1 rows must not
+#: be replayed against the new keys.
+SCHEMA_VERSION = "runtime-v2"
 
 
 def canonical(value: Any) -> Any:
@@ -33,8 +36,11 @@ def canonical(value: Any) -> Any:
     Handles the input vocabulary of the simulators: dataclasses (tagged
     with their class name so distinct types never collide), enums,
     tuples/lists, dicts (keys sorted), numbers, strings, booleans and
-    ``None``.  Non-finite floats are spelled out as strings because JSON
-    has no literal for them.
+    ``None``.  Equal values must canonicalise equally: ``-0.0`` folds
+    into ``0.0`` (they compare equal, but JSON spells them apart), and
+    non-finite floats become tagged dicts — JSON has no literal for
+    them, and a bare ``"nan"`` string would collide with a genuine
+    string of the same spelling.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = {
@@ -46,14 +52,23 @@ def canonical(value: Any) -> Any:
     if isinstance(value, enum.Enum):
         return canonical(value.value)
     if isinstance(value, dict):
-        return {str(k): canonical(v) for k, v in sorted(value.items())}
+        # Sort by the *stringified* key so mixed-type keys (int + str)
+        # cannot crash the comparison; insertion order never leaks in.
+        return {
+            key: item
+            for key, item in sorted(
+                (str(k), canonical(v)) for k, v in value.items()
+            )
+        }
     if isinstance(value, (tuple, list)):
         return [canonical(item) for item in value]
     if isinstance(value, float):
         if math.isnan(value):
-            return "nan"
+            return {"__float__": "nan"}
         if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        if value == 0.0:
+            return 0.0  # fold -0.0 (== 0.0) into one spelling
         return value
     if isinstance(value, (str, int, bool)) or value is None:
         return value

@@ -57,7 +57,7 @@ once per shape on first use.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -67,6 +67,10 @@ from repro.errors import SolverError
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.tech.memristor import MemristorModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.faults
+    # imports this module through its campaign runner)
+    from repro.faults.models import FaultMask
 
 
 def _count_solver_event(event: str, amount: int = 1) -> None:
@@ -152,6 +156,11 @@ class _CrossbarStructure:
         self.num_nodes = num_nodes
         self.num_cell_entries = 4 * m * n
         self.num_segment_entries = 4 * (seg_a.size)
+        # Segment layout: the wordline segments (row-major over the
+        # (m, n-1) grid) precede the bitline segments ((m-1, n)); the
+        # per-line fault path indexes into these blocks.
+        self.num_wl_segments = m * (n - 1)
+        self.num_bl_segments = (m - 1) * n
         self.input_nodes = input_nodes
         self.output_nodes = output_nodes
         # Signs of the 4 segment blocks (+g, +g, -g, -g per segment).
@@ -187,6 +196,32 @@ class _CrossbarStructure:
             self._segment_signs * wire_conductance,
             np.full(self.rows, wire_conductance),
             np.full(self.cols, sense_conductance),
+        ))
+
+    def wire_values(
+        self,
+        wl_segment_g: np.ndarray,
+        bl_segment_g: np.ndarray,
+        input_g: np.ndarray,
+        sense_g: np.ndarray,
+    ) -> np.ndarray:
+        """COO tail values with *per-branch* conductances.
+
+        The fault path uses this to drop (``g = 0``) or short whole
+        word-/bit-lines without touching the sparsity structure: a
+        dropped branch simply contributes nothing to the summed stamps.
+        ``wl_segment_g`` is the row-major ``(rows, cols-1)`` wordline
+        segment grid flattened; ``bl_segment_g`` the ``(rows-1, cols)``
+        bitline one.
+        """
+        segments = np.concatenate((
+            np.asarray(wl_segment_g, dtype=float).ravel(),
+            np.asarray(bl_segment_g, dtype=float).ravel(),
+        ))
+        return np.concatenate((
+            np.tile(segments, 4) * self._segment_signs,
+            np.asarray(input_g, dtype=float),
+            np.asarray(sense_g, dtype=float),
         ))
 
     def matrix(
@@ -297,6 +332,14 @@ class CrossbarNetwork:
     device:
         Optional memristor model supplying the nonlinear V-I curve; if
         ``None`` the cells are ideal ohmic resistors.
+    fault_mask:
+        Optional :class:`repro.faults.models.FaultMask`.  Stuck cells
+        rewrite their stamp values to the device's ``r_min``/``r_max``
+        (grid min/max without a device), open cells and open lines drop
+        their branches from the MNA system, shorted lines collapse to
+        the minimum wire resistance, and drift overlays multiply the
+        programmed grid.  A mask that leaves nodes floating produces a
+        singular system, surfaced as :class:`~repro.errors.SolverError`.
     """
 
     def __init__(
@@ -305,6 +348,7 @@ class CrossbarNetwork:
         wire_resistance: float,
         sense_resistance: float,
         device: Optional[MemristorModel] = None,
+        fault_mask: Optional["FaultMask"] = None,
     ) -> None:
         resistances = np.asarray(resistances, dtype=float)
         if resistances.ndim != 2:
@@ -315,11 +359,32 @@ class CrossbarNetwork:
             raise SolverError("sense_resistance must be positive")
         if wire_resistance < 0:
             raise SolverError("wire_resistance must be non-negative")
-        self.resistances = resistances
+        self.programmed_resistances = resistances
         self.rows, self.cols = resistances.shape
         self.wire_resistance = max(wire_resistance, _MIN_WIRE_RESISTANCE)
         self.sense_resistance = sense_resistance
         self.device = device
+        self.fault_mask = fault_mask
+        self._cell_gain: Optional[np.ndarray] = None
+        if fault_mask is not None:
+            if (fault_mask.rows, fault_mask.cols) != resistances.shape:
+                raise SolverError(
+                    f"fault mask shape ({fault_mask.rows}, "
+                    f"{fault_mask.cols}) does not match the "
+                    f"{self.rows}x{self.cols} crossbar"
+                )
+            r_on = device.r_min if device is not None else float(
+                resistances.min()
+            )
+            r_off = device.r_max if device is not None else float(
+                resistances.max()
+            )
+            resistances = fault_mask.apply_to_resistances(
+                resistances, r_on, r_off
+            )
+            self._cell_gain = fault_mask.cell_conductance_gain()
+            _count_solver_event("fault_mask_applied")
+        self.resistances = resistances
         self._constant_tail: Optional[np.ndarray] = None
 
     # The per-shape structure and the constant COO tail are derived
@@ -350,15 +415,55 @@ class CrossbarNetwork:
         return _structure_for(self.rows, self.cols)
 
     # ------------------------------------------------------------------
+    def _base_conductances(self) -> np.ndarray:
+        """Programmed cell conductances with open-cell branches dropped."""
+        conductances = 1.0 / self.resistances
+        if self._cell_gain is not None:
+            conductances = conductances * self._cell_gain
+        return conductances
+
+    def _wire_tail(self) -> np.ndarray:
+        """The (cached) constant COO tail, honouring any line faults."""
+        if self._constant_tail is not None:
+            return self._constant_tail
+        structure = self.structure
+        g_wire = 1.0 / self.wire_resistance
+        g_sense = 1.0 / self.sense_resistance
+        mask = self.fault_mask
+        if mask is None or not mask.has_line_faults:
+            self._constant_tail = structure.constant_values(g_wire, g_sense)
+            return self._constant_tail
+        g_short = 1.0 / _MIN_WIRE_RESISTANCE
+        wl_seg = np.full((self.rows, max(self.cols - 1, 0)), g_wire)
+        bl_seg = np.full((max(self.rows - 1, 0), self.cols), g_wire)
+        sense_g = np.full(self.cols, g_sense)
+        for i in mask.short_wordlines:
+            wl_seg[i, :] = g_short
+        for j in mask.short_bitlines:
+            bl_seg[:, j] = g_short
+        for i in mask.open_wordlines:
+            wl_seg[i, :] = 0.0
+        for j in mask.open_bitlines:
+            bl_seg[:, j] = 0.0
+        self._constant_tail = structure.wire_values(
+            wl_seg, bl_seg, self._input_conductances(), sense_g
+        )
+        return self._constant_tail
+
+    def _input_conductances(self) -> np.ndarray:
+        """Per-row source-branch conductance (zero on open wordlines)."""
+        g_wire = np.full(self.rows, 1.0 / self.wire_resistance)
+        if self.fault_mask is not None:
+            for i in self.fault_mask.open_wordlines:
+                g_wire[i] = 0.0
+        return g_wire
+
     def _matrix(self, cell_conductances: np.ndarray) -> sp.csc_matrix:
         """The CSC conductance matrix at the given cell conductances."""
         structure = self.structure
-        if self._constant_tail is None:
-            self._constant_tail = structure.constant_values(
-                1.0 / self.wire_resistance, 1.0 / self.sense_resistance
-            )
+        tail = self._wire_tail()
         with _obs_trace.span("solver.assemble"):
-            return structure.matrix(cell_conductances, self._constant_tail)
+            return structure.matrix(cell_conductances, tail)
 
     def _assemble(
         self, cell_conductances: np.ndarray, inputs: np.ndarray
@@ -371,15 +476,17 @@ class CrossbarNetwork:
 
         ``inputs`` of shape ``(M,)`` gives a ``(2MN,)`` vector; a batch
         of shape ``(K, M)`` gives a ``(2MN, K)`` column-per-vector RHS.
+        An open wordline's source branch is dropped, so its row drives
+        no current regardless of the input value.
         """
-        g_wire = 1.0 / self.wire_resistance
+        g_input = self._input_conductances()
         nodes = self.structure.input_nodes
         if inputs.ndim == 1:
             rhs = np.zeros(self.num_nodes)
-            rhs[nodes] = g_wire * inputs
+            rhs[nodes] = g_input * inputs
         else:
             rhs = np.zeros((self.num_nodes, inputs.shape[0]))
-            rhs[nodes, :] = g_wire * inputs.T
+            rhs[nodes, :] = g_input[:, np.newaxis] * inputs.T
         return rhs
 
     def _factorize(self, matrix: sp.csc_matrix) -> spla.SuperLU:
@@ -414,7 +521,7 @@ class CrossbarNetwork:
         vectors here, ``C v`` products in the RC transient module.
         """
         if cell_conductances is None:
-            cell_conductances = 1.0 / self.resistances
+            cell_conductances = self._base_conductances()
         return self._factorize(self._matrix(cell_conductances)).solve
 
     # ------------------------------------------------------------------
@@ -470,7 +577,7 @@ class CrossbarNetwork:
         steps instead of a fresh ``splu``.  If refinement ever stalls,
         the solver transparently refactorizes at the current matrix.
         """
-        conductances = 1.0 / self.resistances
+        conductances = self._base_conductances()
         rhs = self._rhs(inputs)
         voltages = None
         converged = True
@@ -514,6 +621,8 @@ class CrossbarNetwork:
                 new_cond = 1.0 / self.device.actual_resistance(
                     self.resistances, v_cell
                 )
+                if self._cell_gain is not None:
+                    new_cond = new_cond * self._cell_gain
                 conductances = (
                     _DAMPING * new_cond + (1.0 - _DAMPING) * conductances
                 )
@@ -568,7 +677,7 @@ class CrossbarNetwork:
                 "solver.solve_many", rows=self.rows, cols=self.cols,
                 batch=k,
             ):
-                conductances = 1.0 / self.resistances
+                conductances = self._base_conductances()
                 matrix = self._matrix(conductances)
                 rhs = self._rhs(inputs)
                 voltages = self._factorize(matrix).solve(rhs)
@@ -622,8 +731,8 @@ class CrossbarNetwork:
         v_cell = self._cell_voltages(voltages)
         i_cell = v_cell * conductances
         v_out = voltages[structure.output_nodes]
-        g_wire = 1.0 / self.wire_resistance
-        i_in = (inputs - voltages[structure.input_nodes]) * g_wire
+        g_input = self._input_conductances()
+        i_in = (inputs - voltages[structure.input_nodes]) * g_input
         total_power = float(np.dot(inputs, i_in))
         return CrossbarSolution(
             output_voltages=np.asarray(v_out, dtype=float),
@@ -651,8 +760,8 @@ class CrossbarNetwork:
         v_cell = wl - bl
         i_cell = v_cell * conductances
         v_out = voltages[structure.output_nodes, :].T
-        g_wire = 1.0 / self.wire_resistance
-        i_in = (inputs - voltages[structure.input_nodes, :].T) * g_wire
+        g_input = self._input_conductances()
+        i_in = (inputs - voltages[structure.input_nodes, :].T) * g_input
         total_power = np.einsum("km,km->k", inputs, i_in)
         return CrossbarSolutionBatch(
             output_voltages=v_out,

@@ -105,6 +105,30 @@ class TestSeededProtocol:
                                    jobs=2)
         assert np.array_equal(serial.samples, parallel.samples)
 
+    def test_parity_across_jobs_and_chunk_sizes(self, device):
+        """Bit-identical statistics for jobs=0/2 and any chunk_size.
+
+        The per-trial spawn key must be the only RNG source in the
+        workers, so the execution schedule (worker count, chunking)
+        can never leak into the sampled values.
+        """
+        from repro.runtime.pool import RunPolicy
+
+        reference = run_monte_carlo(device, 8, SEG_45NM, seed=13,
+                                    trials=6)
+        for policy in (
+            RunPolicy(jobs=2),
+            RunPolicy(jobs=0),
+            RunPolicy(jobs=2, chunk_size=1),
+            RunPolicy(jobs=2, chunk_size=4),
+            RunPolicy(jobs=0, chunk_size=5),
+        ):
+            run = run_monte_carlo(device, 8, SEG_45NM, seed=13,
+                                  trials=6, policy=policy)
+            assert np.array_equal(reference.samples, run.samples), (
+                f"schedule leaked into samples under {policy}"
+            )
+
     def test_trial_streams_are_independent(self, device):
         """Prefixes agree: trials 0..2 of a 3-trial run equal trials
         0..2 of a 5-trial run (per-trial spawn keys, not one stream)."""

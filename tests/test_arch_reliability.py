@@ -102,3 +102,45 @@ class TestLifetimeBudget:
     def test_invalid_target(self, accelerator):
         with pytest.raises(ConfigError):
             max_sample_rate_for_lifetime(accelerator, target_years=0.0)
+
+
+class TestHardFaultRate:
+    """Hard faults (stuck/open cells) tighten the refresh policy."""
+
+    def test_default_is_fault_free(self, accelerator):
+        report = reliability_report(accelerator, 0.0)
+        assert report.hard_fault_rate == 0.0
+
+    def test_faults_shrink_the_refresh_interval(self, accelerator):
+        healthy = reliability_report(accelerator, 0.0)
+        faulted = reliability_report(
+            accelerator, 0.0, hard_fault_rate=0.1
+        )
+        assert faulted.hard_fault_rate == 0.1
+        # Effective budget is drift_budget * (1 - rate).
+        assert faulted.refresh_interval == pytest.approx(
+            healthy.refresh_interval * 0.9
+        )
+        assert (faulted.refreshes_per_year
+                > healthy.refreshes_per_year)
+        assert (faulted.endurance_lifetime_years
+                < healthy.endurance_lifetime_years)
+
+    def test_mask_fraction_feeds_the_model(self, accelerator):
+        import numpy as np
+
+        from repro.faults.models import sample_fault_mask
+
+        mask = sample_fault_mask(
+            32, 32, 0.05, np.random.default_rng(0), mode="stuck_mixed"
+        )
+        report = reliability_report(
+            accelerator, 0.0, hard_fault_rate=mask.cell_fault_fraction
+        )
+        assert report.hard_fault_rate == mask.cell_fault_fraction
+
+    def test_rate_bounds_enforced(self, accelerator):
+        with pytest.raises(ConfigError):
+            reliability_report(accelerator, 0.0, hard_fault_rate=-0.1)
+        with pytest.raises(ConfigError):
+            reliability_report(accelerator, 0.0, hard_fault_rate=1.0)

@@ -1,0 +1,189 @@
+"""Fault-mask construction, sampling determinism, and weight corruption."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.models import (
+    FAULT_MODES,
+    FaultMask,
+    apply_mask_to_weights,
+    sample_fault_mask,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFaultMask:
+    def test_empty_mask_has_no_faults(self):
+        mask = FaultMask.empty(4, 6)
+        assert mask.is_empty
+        assert mask.fault_count == 0
+        assert mask.cell_fault_count == 0
+        assert mask.cell_fault_fraction == 0.0
+        assert not mask.has_line_faults
+
+    def test_cell_fault_fraction(self):
+        stuck = np.zeros((4, 4), dtype=bool)
+        stuck[0, 0] = stuck[1, 2] = True
+        mask = FaultMask(rows=4, cols=4, stuck_low=stuck)
+        assert mask.cell_fault_count == 2
+        assert mask.cell_fault_fraction == pytest.approx(2 / 16)
+
+    def test_overlapping_cell_faults_rejected(self):
+        both = np.zeros((3, 3), dtype=bool)
+        both[1, 1] = True
+        with pytest.raises(ConfigError):
+            FaultMask(rows=3, cols=3, stuck_low=both, stuck_high=both)
+        with pytest.raises(ConfigError):
+            FaultMask(rows=3, cols=3, stuck_low=both, open_cells=both)
+
+    def test_open_and_short_same_line_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultMask(rows=3, cols=3, open_wordlines=(1,),
+                      short_wordlines=(1,))
+
+    def test_line_indices_validated(self):
+        with pytest.raises(ConfigError):
+            FaultMask(rows=3, cols=3, open_wordlines=(3,))
+        with pytest.raises(ConfigError):
+            FaultMask(rows=3, cols=3, open_bitlines=(-1,))
+
+    def test_drift_must_be_positive_finite(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = 0.0
+        with pytest.raises(ConfigError):
+            FaultMask(rows=2, cols=2, drift=bad)
+        bad[0, 0] = np.inf
+        with pytest.raises(ConfigError):
+            FaultMask(rows=2, cols=2, drift=bad)
+
+    def test_masks_are_frozen(self):
+        stuck = np.zeros((2, 2), dtype=bool)
+        stuck[0, 0] = True
+        mask = FaultMask(rows=2, cols=2, stuck_low=stuck)
+        with pytest.raises(ValueError):
+            mask.stuck_low[0, 1] = True
+
+
+class TestApplyToResistances:
+    def test_empty_mask_is_identity(self):
+        mask = FaultMask.empty(3, 3)
+        programmed = np.full((3, 3), 5e4)
+        out = mask.apply_to_resistances(programmed, 1e3, 1e6)
+        np.testing.assert_array_equal(out, programmed)
+        assert out is not programmed  # a defensive copy
+
+    def test_stuck_cells_pin_to_window_edges(self):
+        low = np.zeros((2, 2), dtype=bool)
+        high = np.zeros((2, 2), dtype=bool)
+        low[0, 0] = True
+        high[1, 1] = True
+        mask = FaultMask(rows=2, cols=2, stuck_low=low, stuck_high=high)
+        out = mask.apply_to_resistances(np.full((2, 2), 5e4), 1e3, 1e6)
+        assert out[0, 0] == 1e3    # stuck-at-ON -> R_min
+        assert out[1, 1] == 1e6    # stuck-at-OFF -> R_max
+        assert out[0, 1] == 5e4
+
+    def test_drift_multiplies_before_stuck_pins(self):
+        low = np.zeros((2, 2), dtype=bool)
+        low[0, 0] = True
+        drift = np.full((2, 2), 2.0)
+        mask = FaultMask(rows=2, cols=2, stuck_low=low, drift=drift)
+        out = mask.apply_to_resistances(np.full((2, 2), 5e4), 1e3, 1e6)
+        assert out[0, 0] == 1e3       # stuck pin overrides drift
+        assert out[0, 1] == 1e5       # drifted
+
+    def test_shape_mismatch_rejected(self):
+        mask = FaultMask.empty(2, 2)
+        with pytest.raises(ConfigError):
+            mask.apply_to_resistances(np.ones((3, 3)), 1.0, 2.0)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        rng = _rng(5)
+        mask = sample_fault_mask(6, 5, 0.3, rng, mode="stuck_mixed")
+        clone = FaultMask.from_dict(mask.to_dict())
+        np.testing.assert_array_equal(mask.stuck_low, clone.stuck_low)
+        np.testing.assert_array_equal(mask.stuck_high, clone.stuck_high)
+        assert mask.fault_count == clone.fault_count
+
+    def test_round_trip_lines_and_drift(self):
+        drift = np.exp(_rng(1).normal(0, 0.1, size=(3, 4)))
+        mask = FaultMask(
+            rows=3, cols=4,
+            open_wordlines=(1,), short_bitlines=(0, 2), drift=drift,
+        )
+        clone = FaultMask.from_dict(mask.to_dict())
+        assert clone.open_wordlines == (1,)
+        assert clone.short_bitlines == (0, 2)
+        np.testing.assert_allclose(clone.drift, drift)
+
+    def test_dict_is_canonicalizable(self):
+        from repro.runtime.jobs import content_key
+        mask = sample_fault_mask(4, 4, 0.25, _rng(2), mode="open_cell")
+        key_a = content_key(mask.to_dict())
+        key_b = content_key(FaultMask.from_dict(mask.to_dict()).to_dict())
+        assert key_a == key_b
+
+
+class TestSampling:
+    @pytest.mark.parametrize("mode", FAULT_MODES)
+    def test_equal_seeds_give_equal_masks(self, mode):
+        a = sample_fault_mask(8, 8, 0.2, _rng(42), mode=mode)
+        b = sample_fault_mask(8, 8, 0.2, _rng(42), mode=mode)
+        assert a.to_dict() == b.to_dict()
+
+    def test_zero_rate_is_empty(self):
+        for mode in FAULT_MODES:
+            mask = sample_fault_mask(6, 6, 0.0, _rng(0), mode=mode)
+            assert mask.fault_count == 0
+
+    def test_rate_scales_fault_count(self):
+        sparse = sample_fault_mask(32, 32, 0.02, _rng(1))
+        dense = sample_fault_mask(32, 32, 0.4, _rng(1))
+        assert dense.cell_fault_count > sparse.cell_fault_count
+
+    def test_bad_mode_and_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_fault_mask(4, 4, 0.1, _rng(0), mode="gamma_ray")
+        with pytest.raises(ConfigError):
+            sample_fault_mask(4, 4, 1.5, _rng(0), mode="stuck_low")
+
+    def test_stuck_mixed_splits_between_on_and_off(self):
+        mask = sample_fault_mask(32, 32, 0.5, _rng(3), mode="stuck_mixed")
+        assert mask.stuck_low.sum() > 0
+        assert mask.stuck_high.sum() > 0
+        assert not np.any(mask.stuck_low & mask.stuck_high)
+
+
+class TestApplyToWeights:
+    def test_stuck_and_open_semantics(self):
+        weights = np.array([[1.0, -2.0], [3.0, 0.5]])
+        low = np.zeros((2, 2), dtype=bool)
+        high = np.zeros((2, 2), dtype=bool)
+        opened = np.zeros((2, 2), dtype=bool)
+        low[0, 0] = True      # -> max weight
+        high[0, 1] = True     # -> min weight
+        opened[1, 0] = True   # -> 0
+        mask = FaultMask(rows=2, cols=2, stuck_low=low, stuck_high=high,
+                         open_cells=opened)
+        out = apply_mask_to_weights(weights, mask)
+        assert out[0, 0] == 3.0
+        assert out[0, 1] == -2.0
+        assert out[1, 0] == 0.0
+        assert out[1, 1] == 0.5
+
+    def test_line_faults_rejected(self):
+        mask = FaultMask(rows=2, cols=2, open_wordlines=(0,))
+        with pytest.raises(ConfigError):
+            apply_mask_to_weights(np.ones((2, 2)), mask)
+
+    def test_drift_divides(self):
+        drift = np.full((2, 2), 2.0)
+        mask = FaultMask(rows=2, cols=2, drift=drift)
+        out = apply_mask_to_weights(np.full((2, 2), 1.0), mask)
+        np.testing.assert_allclose(out, 0.5)

@@ -95,3 +95,57 @@ class TestRelativeError:
         random = engine.relative_output_error(inputs, eps, rng=rng)
         worst = engine.relative_output_error(inputs, eps, worst_case=True)
         assert worst >= random * 0.5  # worst-case band dominates on average
+
+
+class TestFaultMasks:
+    """Hard-fault corruption of the per-layer weight matrices."""
+
+    def _masks(self, engine, rate, seed=0):
+        from repro.faults.models import sample_fault_mask
+
+        gen = np.random.default_rng(seed)
+        return [
+            sample_fault_mask(*layer.weight_shape, rate, gen,
+                              mode="stuck_mixed")
+            for layer in engine.network.layers
+        ]
+
+    def test_empty_masks_are_identity(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        clean = engine.forward(inputs)
+        masked = engine.forward(
+            inputs, layer_fault_masks=self._masks(engine, 0.0)
+        )
+        for a, b in zip(clean, masked):
+            np.testing.assert_array_equal(a, b)
+
+    def test_none_entries_leave_layers_intact(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        clean = engine.forward(inputs)
+        masked = engine.forward(
+            inputs, layer_fault_masks=[None] * len(engine.weights)
+        )
+        for a, b in zip(clean, masked):
+            np.testing.assert_array_equal(a, b)
+
+    def test_faults_perturb_the_output(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        clean = engine.forward(inputs)[-1]
+        faulty = engine.forward(
+            inputs, layer_fault_masks=self._masks(engine, 0.3, seed=4)
+        )[-1]
+        assert not np.array_equal(clean, faulty)
+
+    def test_weights_are_not_mutated(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        before = [w.copy() for w in engine.weights]
+        engine.forward(
+            inputs, layer_fault_masks=self._masks(engine, 0.3, seed=4)
+        )
+        for kept, now in zip(before, engine.weights):
+            np.testing.assert_array_equal(kept, now)
+
+    def test_mask_count_checked(self, engine, rng):
+        inputs = rng.uniform(-1, 1, size=64)
+        with pytest.raises(ConfigError):
+            engine.forward(inputs, layer_fault_masks=[None])

@@ -109,3 +109,60 @@ class TestPrometheusRoundTrip:
             ("stage_seconds_bucket",
              (("le", "+Inf"), ("stage", "execute")))
         ] == 2
+
+
+class TestHostileLabelValues:
+    """Exposition escaping per the 0.0.4 spec (quotes, backslashes,
+    newlines) and the matching escape-aware parser."""
+
+    HOSTILE = (
+        'quo"te',
+        'back\\slash',
+        'new\nline',
+        'clo}sing brace',
+        'sp ace',
+        'literal\\n not newline',
+        'mix"\\\n"all',
+    )
+
+    def test_hostile_values_round_trip(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hostile_total", "hostile labels")
+        for index, value in enumerate(self.HOSTILE):
+            counter.inc(index + 1, label=value)
+        families = parse_prometheus(reg.to_prometheus())
+        samples = families["hostile_total"]["samples"]
+        recovered = {
+            dict(labelset)["label"]: count
+            for (_, labelset), count in samples.items()
+        }
+        for index, value in enumerate(self.HOSTILE):
+            assert recovered[value] == index + 1, value
+
+    def test_exposition_lines_stay_single_line(self):
+        # A raw newline in a label value must be escaped to the two
+        # characters '\' 'n', never emitted verbatim: one sample, one
+        # exposition line.
+        reg = MetricsRegistry()
+        reg.counter("nl_total").inc(label="a\nb")
+        sample_lines = [
+            line for line in reg.to_prometheus().splitlines()
+            if line.startswith("nl_total")
+        ]
+        assert len(sample_lines) == 1
+        assert '\\n' in sample_lines[0]
+
+    def test_escaped_quote_does_not_end_the_label_block(self):
+        reg = MetricsRegistry()
+        reg.counter("edge_total").inc(label='v"}x')
+        families = parse_prometheus(reg.to_prometheus())
+        (key,) = families["edge_total"]["samples"]
+        assert dict(key[1])["label"] == 'v"}x'
+
+    def test_help_text_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("helpful_total", "line one\nline two \\ slash").inc()
+        families = parse_prometheus(reg.to_prometheus())
+        assert families["helpful_total"]["help"] == (
+            "line one\nline two \\ slash"
+        )

@@ -80,3 +80,49 @@ class TestDefaultDir:
     def test_home_fallback(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "repro"
+
+
+class TestKeyStability:
+    """Regression: equal configs must land on the same cache row.
+
+    The key derivation flows through ``runtime.jobs.canonical``; these
+    pin the float/dict edge cases that used to fork equal inputs onto
+    distinct rows (or crash outright).
+    """
+
+    def test_equal_configs_hit_the_same_row(self, cache):
+        from repro.config import SimConfig
+        from repro.runtime.jobs import content_key
+
+        a = SimConfig()
+        b = SimConfig()  # equal by construction
+        cache.put(content_key(a.to_dict()), "point", {"power": 1.0})
+        assert cache.get(content_key(b.to_dict())) == {"power": 1.0}
+
+    def test_negative_zero_config_hits_positive_zero_row(self, cache):
+        from repro.runtime.jobs import content_key
+
+        spec = {"sigma": 0.0, "nested": {"offset": 0.0}}
+        twin = {"nested": {"offset": -0.0}, "sigma": -0.0}
+        cache.put(content_key(spec), "point", 7)
+        assert cache.get(content_key(twin)) == 7
+
+    def test_nested_dict_key_order_hits_the_same_row(self, cache):
+        from repro.runtime.jobs import content_key
+
+        a = {"outer": {"x": 1, "y": {"b": 2, "a": 1}}}
+        b = {"outer": {"y": {"a": 1, "b": 2}, "x": 1}}
+        cache.put(content_key(a), "point", "same")
+        assert cache.get(content_key(b)) == "same"
+
+    def test_nan_configs_share_a_row_distinct_from_the_string(self, cache):
+        from repro.runtime.jobs import content_key
+
+        nan_key = content_key({"threshold": float("nan")})
+        str_key = content_key({"threshold": "nan"})
+        assert nan_key != str_key
+        cache.put(nan_key, "point", "float-nan")
+        assert cache.get(content_key({"threshold": float("nan")})) == (
+            "float-nan"
+        )
+        assert cache.get(str_key) is None

@@ -16,8 +16,10 @@ from repro.runtime.jobs import (
 # Regression pin: the cache key of the default configuration.  If this
 # changes, every persisted cache entry silently invalidates — that must
 # be a deliberate decision (bump SCHEMA_VERSION), never an accident.
+# Last deliberate change: runtime-v2 (canonical() float / dict-key
+# stability fixes).
 DEFAULT_CONFIG_KEY = (
-    "570b623df98713f6ac6dd28cf35ae06e0a527a3429b01245336675791fbe395b"
+    "7397fc8967e3758b93a67625a9615c71cbe332148320b13a8dd70c3eb48bd628"
 )
 
 
@@ -34,10 +36,32 @@ class TestCanonical:
     def test_enum_reduces_to_value(self):
         assert canonical(SimConfig().cell_type) == "1T1R"
 
-    def test_non_finite_floats_are_spelled_out(self):
-        assert canonical(float("inf")) == "inf"
-        assert canonical(float("-inf")) == "-inf"
-        assert canonical(float("nan")) == "nan"
+    def test_non_finite_floats_are_tagged(self):
+        assert canonical(float("inf")) == {"__float__": "inf"}
+        assert canonical(float("-inf")) == {"__float__": "-inf"}
+        assert canonical(float("nan")) == {"__float__": "nan"}
+
+    def test_non_finite_floats_do_not_collide_with_strings(self):
+        # A genuine "nan" string must never share a key with float NaN.
+        assert content_key(float("nan")) != content_key("nan")
+        assert content_key(float("inf")) != content_key("inf")
+        assert content_key(float("-inf")) != content_key("-inf")
+
+    def test_nan_keys_are_stable(self):
+        assert content_key(float("nan")) == content_key(float("nan"))
+
+    def test_negative_zero_folds_into_zero(self):
+        # -0.0 == 0.0, so equal configs must produce equal keys even
+        # though JSON spells the two apart.
+        assert canonical(-0.0) == 0.0
+        assert content_key({"a": -0.0}) == content_key({"a": 0.0})
+        assert canonical_json([-0.0]) == canonical_json([0.0])
+
+    def test_mixed_type_dict_keys_do_not_crash(self):
+        # sorted() over int-and-str keys raises TypeError; the sort
+        # must run over stringified keys instead.
+        key = content_key({1: "a", "2": "b"})
+        assert key == content_key({"2": "b", 1: "a"})
 
     def test_numpy_scalars_reduce(self):
         np = pytest.importorskip("numpy")
