@@ -1,0 +1,51 @@
+"""Project-specific static analysis (``repro lint``).
+
+An AST-based lint framework encoding the correctness invariants this
+repo's subsystems rely on — determinism of cached/seeded paths,
+cache-key purity, fork-safe module state, broad-except hygiene, and
+units discipline — as machine-checked rules instead of tribal
+knowledge.  See DESIGN.md S20 for the catalogue and the
+rule-authoring / baseline workflow, and :mod:`repro.analysis.rules`
+for the implementations.
+
+Public surface:
+
+* :func:`analyze_paths` / :func:`analyze_source` — run rules, get
+  :class:`Finding` lists (what the pytest gate uses);
+* :class:`Baseline` — the grandfather list CI subtracts;
+* :func:`run_lint` — the ``repro lint`` subcommand body.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    fingerprint_findings,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    register,
+)
+from repro.analysis.lint import add_lint_arguments, run_lint
+from repro.analysis.report import render_json, render_tree
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "add_lint_arguments",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "fingerprint_findings",
+    "register",
+    "render_json",
+    "render_tree",
+    "run_lint",
+]

@@ -1,0 +1,144 @@
+"""Grandfathered-findings baseline for ``repro lint``.
+
+The lint gate fails CI on *new* findings only: violations that predate
+the rule (and have been argued safe) live in a checked-in baseline
+file and are subtracted from every run.  The intended workflow:
+
+1. a new rule lands and surfaces existing violations;
+2. real bugs are fixed in the same PR; the few deliberate cases are
+   grandfathered with ``repro lint --update-baseline`` plus a
+   hand-written one-line justification in the file;
+3. from then on the baseline only ever shrinks — deleting an entry is
+   a cleanup, adding one needs the justification to survive review.
+
+Fingerprints are **location-free**: ``rule : module : message``, with
+an occurrence index to tell apart repeated identical findings in one
+module.  Moving a function around, reformatting, or adding unrelated
+code therefore never churns the baseline; fixing or duplicating a
+violation does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "fingerprint_findings", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding],
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    The occurrence index disambiguates identical (rule, module,
+    message) triples: findings are sorted by location first, so the
+    n-th occurrence keeps its fingerprint as long as the *count* of
+    identical findings before it is unchanged.
+    """
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    seen: Dict[Tuple[str, str, str], int] = {}
+    result: List[Tuple[Finding, str]] = []
+    for finding in ordered:
+        identity = (finding.rule, finding.module, finding.message)
+        occurrence = seen.get(identity, 0)
+        seen[identity] = occurrence + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}:{finding.module}:{finding.message}"
+            f":{occurrence}".encode("utf-8")
+        ).hexdigest()[:16]
+        result.append((finding, digest))
+    return result
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, keyed by fingerprint."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        return cls(entries={
+            entry["fingerprint"]: entry for entry in payload["entries"]
+        })
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e["rule"], e["module"], e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding, digest in fingerprint_findings(findings):
+            (matched if digest in self.entries else new).append(finding)
+        return new, matched
+
+    def stale_fingerprints(
+        self, findings: Sequence[Finding]
+    ) -> List[str]:
+        """Baseline entries whose violation no longer exists (fixed)."""
+        live = {digest for _, digest in fingerprint_findings(findings)}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+    def update_from(
+        self,
+        findings: Sequence[Finding],
+        *,
+        justification: str = "grandfathered by --update-baseline",
+        prune: bool = True,
+    ) -> None:
+        """Absorb every current finding; keep hand-written justifications
+        for entries that already existed, drop fixed ones when ``prune``."""
+        fresh: Dict[str, dict] = {}
+        for finding, digest in fingerprint_findings(findings):
+            existing = self.entries.get(digest)
+            fresh[digest] = {
+                "fingerprint": digest,
+                "rule": finding.rule,
+                "module": finding.module,
+                "message": finding.message,
+                "justification": (
+                    existing["justification"] if existing
+                    else justification
+                ),
+            }
+        if prune:
+            self.entries = fresh
+        else:
+            self.entries.update(fresh)

@@ -1,0 +1,291 @@
+"""AST-based static-analysis core: findings, rules, module loading.
+
+The framework exists because every runtime subsystem in this repo
+(job engine, result cache, tracing, fault campaigns) shipped with a
+hand-found bug in the same small family — cache-key instability,
+fork-inherited module state, silent broad excepts.  Each family is now
+encoded once as a :class:`Rule` and enforced on every PR instead of
+re-discovered by test failure (see DESIGN.md S20).
+
+A rule is a class with a stable ``rule_id`` (``R1`` ...), a ``scope``
+of dotted-module prefixes it applies to, and a ``check`` method that
+yields :class:`Finding` objects for one parsed module.  Rules register
+themselves into :data:`REGISTRY` via the :func:`register` decorator at
+import time (:mod:`repro.analysis.rules` pulls them all in).
+
+Findings are deliberately *line-number independent* in identity: the
+baseline (:mod:`repro.analysis.baseline`) fingerprints ``rule + module
++ message + occurrence``, so moving code around never churns the
+grandfather list.
+
+Inline suppression: a ``# lint: allow=R3 <reason>`` comment on the
+flagged line (or the line above it) silences the named rule(s) there;
+``allow=*`` silences everything.  Suppressions are for invariants a
+human has argued are safe — the reason text is mandatory by
+convention and checked in review, not by the tool.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type, Union
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "all_rules",
+    "parse_module",
+    "parse_source",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+#: ``# lint: allow=R1,R4 optional free-text reason``
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow=([A-Za-z0-9*,]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    ``message`` must be location-free (no line numbers, no absolute
+    paths) — it participates in the baseline fingerprint, which is
+    meant to survive unrelated edits to the file.
+    """
+
+    rule: str
+    name: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}[{self.name}] {self.message}"
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus the metadata rules need to judge it."""
+
+    path: Path
+    rel_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is allowed at ``line`` (same or previous
+        line carrying a ``# lint: allow=`` comment)."""
+        for candidate in (line, line - 1):
+            allowed = self.suppressions.get(candidate)
+            if allowed and ("*" in allowed or rule_id in allowed):
+                return True
+        return False
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.rule_id,
+            name=rule.name,
+            path=self.rel_path,
+            module=self.module,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``rule_id`` (stable, ``R<n>``), ``name`` (short
+    slug used in output), ``description`` (one line, shown by
+    ``repro lint --rules``) and ``scope`` — dotted-module prefixes the
+    rule applies to (empty tuple = every module).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    scope: Sequence[str] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if not self.scope:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def run(self, info: ModuleInfo) -> Iterator[Finding]:
+        """``check`` filtered through scope and inline suppressions."""
+        if not self.applies_to(info.module):
+            return
+        for found in self.check(info):
+            if not info.is_suppressed(found.line, found.rule):
+                yield found
+
+
+#: rule_id -> rule instance, in registration order.
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``rule_cls`` to the
+    registry (last registration of an id wins, so tests can shadow)."""
+    instance = rule_cls()
+    if not instance.rule_id or not instance.name:
+        raise ValueError(f"{rule_cls.__name__} must set rule_id and name")
+    REGISTRY[instance.rule_id] = instance
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, importing the built-in set on first use."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return list(REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Module loading
+# ----------------------------------------------------------------------
+def _module_name(rel_path: Path) -> str:
+    """Dotted module name for a repo-relative file path.
+
+    ``src/repro/runtime/cache.py`` -> ``repro.runtime.cache``.  Files
+    outside a ``src`` root fall back to their path parts from the last
+    ``repro`` component, else the bare stem — fixtures in temp dirs can
+    instead pass an explicit module to :func:`parse_source`.
+    """
+    parts = list(rel_path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts) or rel_path.stem
+
+
+def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {part for part in match.group(1).split(",") if part}
+            suppressions[lineno] = rules
+    return suppressions
+
+
+def parse_source(
+    source: str,
+    *,
+    module: str,
+    path: Union[str, Path] = "<memory>",
+) -> ModuleInfo:
+    """Parse in-memory source (fixture snippets, tests)."""
+    return ModuleInfo(
+        path=Path(path),
+        rel_path=str(path),
+        module=module,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=_scan_suppressions(source),
+    )
+
+
+def parse_module(path: Path, root: Optional[Path] = None) -> ModuleInfo:
+    """Parse one file; ``root`` anchors the reported relative path."""
+    path = path.resolve()
+    root = (root or Path.cwd()).resolve()
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = Path(path.name)
+    source = path.read_text(encoding="utf-8")
+    info = parse_source(source, module=_module_name(rel), path=path)
+    info.rel_path = rel.as_posix()
+    return info
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+_PARSE_ERROR = Rule()
+_PARSE_ERROR.rule_id = "R0"
+_PARSE_ERROR.name = "parse-error"
+_PARSE_ERROR.description = "File could not be parsed as Python."
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over every file under
+    ``paths``; returns findings sorted by location."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            info = parse_module(path, root=root)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule=_PARSE_ERROR.rule_id, name=_PARSE_ERROR.name,
+                path=str(path), module=path.stem,
+                line=exc.lineno or 0, col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        for rule in active:
+            findings.extend(rule.run(info))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_source(
+    source: str,
+    *,
+    module: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run rules over an in-memory snippet (the fixture-test entry)."""
+    info = parse_source(source, module=module)
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.run(info))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,78 @@
+"""Renderers for lint results: terminal tree and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import fingerprint_findings
+from repro.analysis.core import Finding
+
+__all__ = ["render_tree", "render_json"]
+
+
+def render_tree(
+    findings: Sequence[Finding],
+    *,
+    grandfathered: Sequence[Finding] = (),
+    checked_files: int = 0,
+) -> str:
+    """Group findings by file into an indented terminal tree."""
+    lines: List[str] = []
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        lines.append(path)
+        for finding in sorted(by_path[path],
+                              key=lambda f: (f.line, f.col, f.rule)):
+            lines.append(
+                f"  {finding.line}:{finding.col} "
+                f"{finding.rule}[{finding.name}] {finding.message}"
+            )
+    summary = (
+        f"{len(findings)} finding(s) in {len(by_path)} file(s)"
+        if findings else "clean"
+    )
+    if checked_files:
+        summary += f" ({checked_files} file(s) checked)"
+    if grandfathered:
+        summary += f"; {len(grandfathered)} grandfathered in baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    grandfathered: Sequence[Finding] = (),
+    checked_files: int = 0,
+    baseline_path: Optional[str] = None,
+) -> str:
+    """Stable machine-readable report (consumed by the CI lint job)."""
+    def encode(items: Sequence[Finding]) -> List[dict]:
+        return [
+            {
+                "rule": finding.rule,
+                "name": finding.name,
+                "path": finding.path,
+                "module": finding.module,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "fingerprint": digest,
+            }
+            for finding, digest in fingerprint_findings(items)
+        ]
+
+    payload = {
+        "findings": encode(findings),
+        "grandfathered": encode(grandfathered),
+        "summary": {
+            "new": len(findings),
+            "grandfathered": len(grandfathered),
+            "files_checked": checked_files,
+            "baseline": baseline_path,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,29 @@
+"""Built-in rule set; importing this package registers every rule.
+
+Rule catalogue (see DESIGN.md S20 for the full rationale):
+
+====  ===============  ====================================================
+id    name             invariant
+====  ===============  ====================================================
+R1    determinism      no wall clock / unseeded RNG in cached or trial
+                       paths — randomness flows from an injected
+                       ``SeedSequence``
+R2    cache-purity     values fed to ``canonical()``/``content_key()``
+                       must be serializable data, not closures/handles
+R3    fork-safety      module-level mutable state in worker-imported
+                       packages needs an ``activate()``-style reset hook
+R4    except-hygiene   no bare/broad ``except`` without logging, a
+                       metrics counter, or a re-raise
+R5    units            scale arithmetic in ``circuits``/``tech`` uses
+                       named ``repro.units`` constants, not magic
+                       powers of ten
+====  ===============  ====================================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration imports)
+    determinism,
+    exceptions,
+    forksafety,
+    purity,
+    units,
+)

@@ -1,0 +1,37 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["dotted_chain", "call_chain", "walk_functions"]
+
+
+def dotted_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name bases.
+
+    Only pure Name/Attribute chains resolve — ``x().y`` or
+    ``d["k"].y`` return None, which rules treat as "not a module
+    access" rather than guessing.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_chain(node: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The dotted chain of a call's callee (None when not dotted)."""
+    return dotted_chain(node.func)
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/async-function definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,104 @@
+"""R1 — determinism in cached and trial paths.
+
+The job engine's result cache replays results purely from the content
+hash of a job's inputs (:mod:`repro.runtime.jobs`), and the fault /
+Monte-Carlo campaigns promise byte-identical output for a given seed.
+Both guarantees die silently the moment a module on those paths reads
+the wall clock or draws from a process-global RNG: the result varies
+between runs while the cache key says it cannot.
+
+This rule flags, in the scoped packages:
+
+* wall-clock reads — ``time.time()`` / ``time.time_ns()`` and
+  ``datetime`` ``now()/utcnow()/today()``.  The monotonic clocks
+  (``time.monotonic``, ``time.perf_counter``) stay legal: they are
+  used for timeouts and latency measurement, never for results;
+* the stdlib process-global RNG — any ``random.<fn>()`` draw;
+* numpy's legacy global RNG — ``np.random.rand()`` and friends.
+  The modern seeded API (``np.random.default_rng``,
+  ``np.random.SeedSequence``, ``Generator`` methods on an injected
+  ``rng``) is the sanctioned replacement and is not flagged.
+
+Scope: the packages reachable from cache-key construction and the
+seeded trial paths (engine, campaigns, accuracy sampling, DSE, and the
+config objects their keys serialize).  Presentation-layer wall-clock
+use (e.g. trace timestamps in :mod:`repro.obs`) is deliberately out of
+scope — it never feeds a cache key or a result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules._ast_util import call_chain
+
+_WALL_CLOCK = {"time", "time_ns"}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+#: Legacy numpy global-RNG entry points (np.random.<fn>).  The seeded
+#: object API (default_rng / SeedSequence / Generator) is allowed.
+_NP_LEGACY = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "seed", "get_state", "set_state", "normal", "uniform",
+    "choice", "shuffle", "permutation", "standard_normal", "lognormal",
+    "exponential", "poisson", "binomial", "beta", "gamma",
+}
+
+#: Draws on the stdlib process-global ``random`` module.
+_PY_RANDOM = {
+    "random", "randint", "randrange", "uniform", "normalvariate",
+    "gauss", "choice", "choices", "shuffle", "sample", "seed",
+    "betavariate", "expovariate", "lognormvariate", "triangular",
+    "getrandbits", "randbytes",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "R1"
+    name = "determinism"
+    description = (
+        "No wall clock or unseeded global RNG in modules feeding cache "
+        "keys or seeded trials; use an injected SeedSequence/Generator."
+    )
+    scope = (
+        "repro.runtime",
+        "repro.faults",
+        "repro.accuracy",
+        "repro.dse",
+        "repro.config",
+        "repro.nn",
+        "repro.functional",
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None or len(chain) < 2:
+                continue
+            base, fn = chain[-2], chain[-1]
+            if base == "time" and fn in _WALL_CLOCK:
+                yield info.finding(
+                    self, node,
+                    f"wall-clock read time.{fn}() in a determinism-"
+                    "scoped module; results and cache keys must not "
+                    "depend on it (monotonic/perf_counter are fine "
+                    "for timeouts)",
+                )
+            elif base in ("datetime", "date") and fn in _DATETIME_FNS:
+                yield info.finding(
+                    self, node,
+                    f"wall-clock read {base}.{fn}() in a determinism-"
+                    "scoped module; pass timestamps in explicitly",
+                )
+            elif base == "random" and fn in _NP_LEGACY | _PY_RANDOM:
+                yield info.finding(
+                    self, node,
+                    f"global-RNG draw {'.'.join(chain)}() — use an "
+                    "injected np.random.Generator seeded via "
+                    "SeedSequence so trials replay deterministically",
+                )

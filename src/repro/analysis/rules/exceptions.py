@@ -1,0 +1,93 @@
+"""R4 — broad-except hygiene.
+
+A behaviour-level simulator that swallows exceptions silently produces
+*wrong numbers*, not crashes — the worst failure mode for a tool whose
+output is design decisions.  PR 3 established the convention for the
+few places that legitimately catch everything (worker teardown, pickle
+probes): every bare/broad handler must leave a trace — a log line, a
+metrics counter, or a re-raise.  This rule enforces it.
+
+Flagged: ``except:``, ``except Exception``, ``except BaseException``
+(alone or in a tuple) whose handler body contains none of
+
+* a ``raise`` statement,
+* a logging call (``_log.warning(...)``, ``logging.error(...)``,
+  ``logger.exception(...)`` — any attribute call whose receiver name
+  looks like a logger and whose method is a logging level),
+* a metrics increment (``metrics.count(...)``, ``...inc(...)``,
+  ``...observe(...)``).
+
+Narrow excepts (``except ValueError``) are the preferred fix and are
+never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception",
+                "critical", "log"}
+_LOG_RECEIVERS = ("log", "logger", "logging")
+_METRIC_METHODS = {"count", "inc", "observe"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _handler_is_accounted(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute):
+            method = node.func.attr
+            if method in _METRIC_METHODS:
+                return True
+            if method in _LOG_METHODS:
+                receiver = node.func.value
+                base = receiver.id if isinstance(receiver, ast.Name) else (
+                    receiver.attr if isinstance(receiver, ast.Attribute)
+                    else ""
+                )
+                if any(part in base.lower() for part in _LOG_RECEIVERS):
+                    return True
+    return False
+
+
+@register
+class ExceptHygieneRule(Rule):
+    rule_id = "R4"
+    name = "except-hygiene"
+    description = (
+        "Bare/broad except blocks must log, count a metric, or "
+        "re-raise — silent swallowing corrupts results invisibly."
+    )
+    scope = ("repro",)
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _handler_is_accounted(node):
+                caught = ("bare except" if node.type is None
+                          else "broad except")
+                yield info.finding(
+                    self, node,
+                    f"{caught} without logging, a metrics counter, or "
+                    "a re-raise; narrow the exception type or account "
+                    "for the swallow (PR-3 convention)",
+                )

@@ -1,0 +1,153 @@
+"""R3 — fork-safety of module-level mutable state.
+
+The job engine dispatches work to ``ProcessPoolExecutor`` workers; on
+fork-start platforms every worker inherits a snapshot of the parent's
+module globals at fork time.  Any module-level state that is *mutated
+at runtime* in the parent therefore leaks into workers in a
+half-consistent state — the PR 3 bug (a live contextvar span and a
+populated trace buffer inherited by every worker, corrupting merged
+traces) is the canonical example.  The fix convention from that PR: a
+worker entry hook (``activate()`` in :mod:`repro.obs.trace`) that
+resets the inherited state before any work runs.
+
+This rule generalizes the convention.  In worker-imported packages it
+collects module-level names that are
+
+* bound to a mutable container (``{}``/``[]``/``set()``/``dict()``/
+  ``deque()``/``ContextVar(...)``/``itertools.count()`` ...), **and**
+  mutated inside some function (``.append``/``.clear``/``[k] = v``/
+  ``next(...)`` ...), or
+* rebound through a ``global`` statement in any function,
+
+and requires each to be referenced from a *reset hook* — a function
+whose name contains ``activate``/``reset``/``clear``/``shutdown``/
+``teardown``.  Registries filled only at import time (decorator
+population, model tables) are read-only afterwards and are not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Set
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules._ast_util import dotted_chain, walk_functions
+
+_RESET_HOOK_RE = re.compile(
+    r"(activate|reset|clear|shutdown|teardown)", re.IGNORECASE
+)
+
+#: Constructors whose result is mutable shared state worth tracking.
+_MUTABLE_CTORS = {
+    "dict", "list", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict", "ContextVar", "count",
+}
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "add", "update", "clear", "pop", "popitem",
+    "remove", "discard", "insert", "setdefault", "appendleft", "set",
+    "reset",
+}
+
+
+def _is_mutable_initializer(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_chain(node.func)
+        return chain is not None and chain[-1] in _MUTABLE_CTORS
+    return False
+
+
+@register
+class ForkSafetyRule(Rule):
+    rule_id = "R3"
+    name = "fork-safety"
+    description = (
+        "Runtime-mutated module globals in worker-imported packages "
+        "must be reset by an activate()-style hook."
+    )
+    # Everything a worker function's import closure can pull in: the
+    # engine itself, the solver stack, observability, and the model
+    # layers the campaign/Monte-Carlo workers execute.
+    scope = (
+        "repro.runtime",
+        "repro.obs",
+        "repro.spice",
+        "repro.faults",
+        "repro.accuracy",
+        "repro.dse",
+        "repro.functional",
+        "repro.nn",
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        module_state: Dict[str, ast.AST] = {}
+        for statement in info.tree.body:
+            targets = []
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                targets, value = [statement.target], statement.value
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and _is_mutable_initializer(value)):
+                    module_state[target.id] = statement
+
+        rebindable: Dict[str, ast.AST] = {}
+        mutated: Set[str] = set()
+        hook_refs: Set[str] = set()
+        for function in walk_functions(info.tree):
+            is_hook = bool(_RESET_HOOK_RE.search(function.name))
+            for node in ast.walk(function):
+                if isinstance(node, ast.Global):
+                    for name in node.names:
+                        rebindable.setdefault(name, function)
+                        if is_hook:
+                            hook_refs.add(name)
+                elif isinstance(node, ast.Name):
+                    if is_hook:
+                        hook_refs.add(node.id)
+                elif isinstance(node, ast.Call):
+                    receiver = None
+                    if (isinstance(node.func, ast.Attribute)
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.attr in _MUTATING_METHODS):
+                        receiver = node.func.value.id
+                    elif (isinstance(node.func, ast.Name)
+                            and node.func.id == "next"
+                            and node.args
+                            and isinstance(node.args[0], ast.Name)):
+                        receiver = node.args[0].id
+                    if receiver is not None:
+                        mutated.add(receiver)
+                elif (isinstance(node, ast.Subscript)
+                        and isinstance(node.ctx, (ast.Store, ast.Del))
+                        and isinstance(node.value, ast.Name)):
+                    mutated.add(node.value.id)
+
+        candidates: Dict[str, ast.AST] = {}
+        for name, statement in module_state.items():
+            if name in mutated:
+                candidates[name] = statement
+        for name, function in rebindable.items():
+            if name not in candidates and not name.startswith("__"):
+                candidates[name] = module_state.get(name, function)
+
+        for name in sorted(candidates):
+            if name in hook_refs:
+                continue
+            node = candidates[name]
+            yield info.finding(
+                self, node,
+                f"module-level mutable state {name!r} is mutated at "
+                "runtime but no activate/reset-style hook references "
+                "it; forked workers inherit it mid-flight (add it to "
+                "the module's reset hook, see repro.obs.trace.activate)",
+            )

@@ -1,0 +1,67 @@
+"""R5 — units discipline in the circuit and technology models.
+
+The library computes in SI base units everywhere and converts at the
+edges through the named constants of :mod:`repro.units` (``NM``,
+``NS``, ``UJ`` ...) or :func:`repro.units.to_unit` /
+:func:`repro.units.from_unit`.  A bare ``* 1e-9`` buried in a model is
+how unit bugs hide: the reader cannot tell nanometres from nanowatts
+from nanoseconds, and a mis-scaled constant shifts every downstream
+area/energy table while remaining dimensionally invisible (the
+``fo4_delay = fo4_ps * 1e-12`` idiom this rule was written against).
+
+Flagged, inside the ``circuits``/``tech`` packages: a bare
+power-of-ten literal from the SI-prefix ladder (1e-15 … 1e9) used as a
+multiplication/division operand.  The fix is the named constant —
+``fo4_ps * PS`` says what the scale *means* and grep-ably ties every
+conversion to one module.  Non-prefix numerics (model coefficients,
+``3.1e-3`` with an embedded mantissa) are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+#: SI-prefix scales with their repro.units spelling (for the hint).
+_SCALE_NAMES = {
+    1e-15: "FF (femto)",
+    1e-12: "PS/PJ/PF (pico)",
+    1e-9: "NM/NS/NJ/NW (nano)",
+    1e-6: "UM/US/UJ/UW (micro)",
+    1e-3: "MM/MS/MJ/MW (milli)",
+    1e3: "KOHM/KHZ (kilo)",
+    1e6: "MOHM/MHZ (mega)",
+    1e9: "GHZ (giga)",
+}
+
+
+@register
+class UnitsDisciplineRule(Rule):
+    rule_id = "R5"
+    name = "units"
+    description = (
+        "Scale factors in circuits/tech arithmetic must be named "
+        "repro.units constants, not magic powers of ten."
+    )
+    scope = ("repro.circuits", "repro.tech")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            for operand in (node.left, node.right):
+                if (isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, float)
+                        and operand.value in _SCALE_NAMES):
+                    hint = _SCALE_NAMES[operand.value]
+                    yield info.finding(
+                        self, operand,
+                        f"magic scale literal {operand.value:g} in "
+                        f"unit arithmetic; use the named repro.units "
+                        f"constant ({hint}) so the dimension is "
+                        "explicit",
+                    )

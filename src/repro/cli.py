@@ -18,7 +18,11 @@ The subcommands cover the software flow of the paper's Fig. 3:
 * ``runtime-stats`` — the job engine's last-run metrics and cache
   effectiveness (see :mod:`repro.runtime`);
 * ``obs-report`` — render a saved trace as a wall-time tree + top-k
-  table (see :mod:`repro.obs`).
+  table (see :mod:`repro.obs`);
+* ``lint`` — the project-specific static-analysis pass (determinism,
+  cache-key purity, fork-safety, except hygiene, units discipline;
+  see :mod:`repro.analysis`): exit 0 clean modulo the checked-in
+  baseline, exit 2 on new findings.
 
 ``simulate``, ``explore``, ``montecarlo`` and ``faults`` accept the
 engine knobs
@@ -398,6 +402,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
 
@@ -634,6 +644,15 @@ def build_parser() -> argparse.ArgumentParser:
         "or ~/.cache/repro)",
     )
     runtime_stats.set_defaults(func=_cmd_runtime_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project static-analysis rules (R1-R5)",
+    )
+    from repro.analysis.lint import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     obs_report = sub.add_parser(
         "obs-report",
