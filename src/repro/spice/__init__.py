@@ -20,6 +20,7 @@ from repro.spice.solver import (
     CrossbarNetwork,
     CrossbarSolution,
     CrossbarSolutionBatch,
+    clear_structure_cache,
     ideal_output_voltages,
 )
 from repro.spice.netlist import generate_netlist
@@ -34,6 +35,7 @@ __all__ = [
     "CrossbarNetwork",
     "CrossbarSolution",
     "CrossbarSolutionBatch",
+    "clear_structure_cache",
     "ideal_output_voltages",
     "generate_netlist",
     "ParsedNetlist",

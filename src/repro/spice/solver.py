@@ -240,6 +240,20 @@ class _CrossbarStructure:
 _STRUCTURE_CACHE: Dict[Tuple[int, int], _CrossbarStructure] = {}
 
 
+def clear_structure_cache() -> int:
+    """Drop the shared per-shape structure cache; returns entries freed.
+
+    The cache is pure memoization — a structure depends only on the
+    crossbar shape, so fork-inherited entries are *correct* — but it
+    retains the largest sparsity pattern ever assembled.  Long-lived
+    pool workers sweeping many shapes, and memory-sensitive tests, use
+    this as the reset hook (fork-safety convention, DESIGN.md S20).
+    """
+    freed = len(_STRUCTURE_CACHE)
+    _STRUCTURE_CACHE.clear()
+    return freed
+
+
 def _structure_for(rows: int, cols: int) -> _CrossbarStructure:
     """The shared, lazily-built structure for an ``(M, N)`` crossbar."""
     key = (rows, cols)
