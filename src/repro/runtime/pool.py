@@ -508,6 +508,11 @@ def _run_parallel(
                         submit(vci)
                     fail(ci, exc)
                 except Exception as exc:
+                    _log.warning(
+                        "chunk %d (%d job(s)) failed with %s: %s; "
+                        "retrying if attempts remain", ci,
+                        len(chunks[ci]), type(exc).__name__, exc,
+                    )
                     chunk_span.set(error=type(exc).__name__).finish()
                     fail(ci, exc)
                 else:
