@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import TechnologyError
-from repro.units import NM, FF, NS
+from repro.units import NM, FF, NS, NW, PS
 
 # Area of one NAND2-equivalent standard cell, in units of F^2.  Standard-cell
 # libraries land between 300 and 500 F^2 for a 2-input NAND including routing
@@ -93,9 +93,9 @@ def _node(nm: float, vdd: float, fo4_ps: float, cap_scale: float,
     return CmosNode(
         feature_size=nm * NM,
         vdd=vdd,
-        fo4_delay=fo4_ps * 1e-12,
+        fo4_delay=fo4_ps * PS,
         nand2_cap=_NAND2_CAP_90NM * cap_scale,
-        leakage_per_gate=leak_nw * 1e-9,
+        leakage_per_gate=leak_nw * NW,
     )
 
 

@@ -40,6 +40,7 @@ UJ = 1e-6
 MJ = 1e-3
 
 # Power
+NW = 1e-9
 UW = 1e-6
 MW = 1e-3
 
