@@ -39,7 +39,6 @@ from repro.accuracy.interconnect import DEFAULT_SENSE_RESISTANCE
 from repro.errors import ConfigError, SolverError
 from repro.faults.models import (
     FAULT_MODES,
-    apply_mask_to_weights,
     sample_fault_mask,
 )
 from repro.nn.inference import MlpInference

@@ -25,7 +25,7 @@ question in one look.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "load_trace",
