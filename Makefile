@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-runtime bench-spice examples results \
-	trace-demo faults-demo clean
+	trace-demo faults-demo lint lint-baseline clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -57,8 +57,26 @@ faults-demo:
 		--cache-dir .repro-cache -o faults-demo-rerun.json
 	cmp faults-demo.json faults-demo-rerun.json
 
+# Project-specific static analysis (repro lint, DESIGN.md S20) plus
+# generic hygiene via ruff when it is installed (pinned in pyproject;
+# CI always runs it, local runs degrade gracefully without it).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro \
+		--baseline lint-baseline.json
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src \
+		|| echo "ruff not installed; skipped (pip install ruff==0.5.7)"
+
+# Regenerate lint-baseline.json from the current findings.  Newly
+# grandfathered entries get a placeholder justification — replace it
+# by hand; tests/test_analysis_rules.py rejects the placeholder.
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro \
+		--baseline lint-baseline.json --update-baseline
+
 # Local artifacts only — never touches the user-global ~/.cache/repro.
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results .repro-cache
 	rm -f last_run.json *.trace.json faults-demo.json faults-demo-rerun.json
+	rm -f lint-report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +
