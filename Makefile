@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-runtime bench-spice examples results \
-	trace-demo faults-demo lint lint-baseline clean
+	trace-demo faults-demo serve-demo lint lint-baseline clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -57,6 +57,35 @@ faults-demo:
 		--cache-dir .repro-cache -o faults-demo-rerun.json
 	cmp faults-demo.json faults-demo-rerun.json
 
+# Boot the job server on an ephemeral port, drive one Monte-Carlo
+# payload through submit -> event stream -> result with curl, verify
+# the result matches the CLI byte-for-byte, then shut down.  The same
+# sequence runs in CI as the service-smoke job.
+serve-demo:
+	@rm -f .serve-demo-port
+	@PYTHONPATH=src $(PYTHON) -m repro serve --port 0 \
+		--port-file .serve-demo-port --cache-dir .repro-cache & \
+	SERVER=$$!; \
+	trap 'kill $$SERVER 2>/dev/null' EXIT; \
+	for _ in $$(seq 50); do \
+		test -s .serve-demo-port && break; sleep 0.2; \
+	done; \
+	PORT=$$(cat .serve-demo-port); \
+	echo "== server on port $$PORT"; \
+	curl -fsS -X POST "http://127.0.0.1:$$PORT/jobs" \
+		-H 'Content-Type: application/json' \
+		-d '{"kind":"montecarlo","montecarlo":{"trials":4,"seed":7,"size":16}}' \
+		-o .serve-demo-receipt.json; \
+	JOB=$$($(PYTHON) -c "import json;print(json.load(open('.serve-demo-receipt.json'))['job_id'])"); \
+	echo "== job $$JOB"; \
+	curl -fsS "http://127.0.0.1:$$PORT/jobs/$$JOB/events"; \
+	curl -fsS "http://127.0.0.1:$$PORT/jobs/$$JOB/result" \
+		-o serve-demo.json; \
+	PYTHONPATH=src $(PYTHON) -m repro montecarlo --trials 4 --seed 7 \
+		--size 16 --cache-dir .repro-cache -o serve-demo-cli.json; \
+	cmp serve-demo.json serve-demo-cli.json && \
+	echo "== service result is byte-identical to the CLI"
+
 # Project-specific static analysis (repro lint, DESIGN.md S20) plus
 # generic hygiene via ruff when it is installed (pinned in pyproject;
 # CI always runs it, local runs degrade gracefully without it).
@@ -78,5 +107,6 @@ lint-baseline:
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results .repro-cache
 	rm -f last_run.json *.trace.json faults-demo.json faults-demo-rerun.json
-	rm -f lint-report.json
+	rm -f lint-report.json serve-demo.json serve-demo-cli.json
+	rm -f .serve-demo-port .serve-demo-receipt.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

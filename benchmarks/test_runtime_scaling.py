@@ -31,7 +31,8 @@ from repro.config import SimConfig
 from repro.dse import DesignSpace, explore
 from repro.nn.networks import large_bank_layer
 from repro.runtime.cache import ResultCache
-from repro.runtime.pool import shutdown_warm_pool, warm_pool
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.pool import RunPolicy, shutdown_warm_pool, warm_pool
 
 BASE = SimConfig(cmos_tech=45, weight_bits=4, signal_bits=8)
 SPACE = DesignSpace()
@@ -98,4 +99,73 @@ def test_runtime_scaling(tmp_path, write_result):
         f"  parallel x{JOBS}     {parallel_s * 1e3:8.1f} ms\n"
         f"  warm cache      {cached_s * 1e3:8.1f} ms "
         f"({cached_s / serial_s:.0%} of serial)",
+    )
+
+
+def test_min_sweep_serial_fallback(write_result):
+    """Tiny sweeps below ``min_sweep_for_parallel`` must stay serial.
+
+    The BENCH finding above showed short sweeps are dominated by pool
+    dispatch (spawn + per-chunk pickle/IPC), not compute; the engine now
+    refuses to fan out when fewer than ``min_sweep_for_parallel`` jobs
+    remain after the cache pass.  This regression pins the heuristic:
+    the same 2-point sweep runs ``serial`` under a threshold of 8 and
+    ``process`` under the permissive default of 2, and the timings land
+    in ``BENCH_runtime.json`` next to the headline numbers.
+    """
+    network = large_bank_layer()
+    tiny = DesignSpace(
+        crossbar_sizes=(64,),
+        parallelism_degrees=(1, 16),
+        interconnect_nodes=(28,),
+    )
+
+    thresholded = RunMetrics()
+    serial_s, serial_points = _best_of(
+        BEST_OF,
+        lambda: explore(
+            BASE, network, tiny,
+            policy=RunPolicy(jobs=JOBS, min_sweep_for_parallel=8),
+            metrics=thresholded,
+        ),
+    )
+    assert thresholded.mode == "serial", (
+        f"2 pending jobs under min_sweep_for_parallel=8 must run "
+        f"serially, got mode={thresholded.mode!r}"
+    )
+
+    permissive = RunMetrics()
+    warm_pool(JOBS)
+    try:
+        process_s, process_points = _best_of(
+            BEST_OF,
+            lambda: explore(
+                BASE, network, tiny,
+                policy=RunPolicy(jobs=JOBS, min_sweep_for_parallel=2),
+                metrics=permissive,
+            ),
+        )
+    finally:
+        shutdown_warm_pool()
+    assert permissive.mode == "process"
+    assert process_points == serial_points  # heuristic never changes results
+
+    bench_path = REPO_ROOT / "BENCH_runtime.json"
+    record = {}
+    if bench_path.exists():
+        record = json.loads(bench_path.read_text(encoding="utf-8"))
+    record.update({
+        "tiny_serial_s": round(serial_s, 6),
+        "tiny_process_s": round(process_s, 6),
+        "min_sweep_for_parallel": 8,
+    })
+    bench_path.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    write_result(
+        "min_sweep_serial_fallback",
+        f"2-point sweep, jobs={JOBS}:\n"
+        f"  serial (threshold 8)   {serial_s * 1e3:8.1f} ms\n"
+        f"  process (threshold 2)  {process_s * 1e3:8.1f} ms",
     )

@@ -19,7 +19,7 @@ individually cacheable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -133,6 +133,8 @@ def run_monte_carlo(
     cache: Optional[ResultCache] = None,
     metrics: Optional[RunMetrics] = None,
     policy: Optional[RunPolicy] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> MonteCarloResult:
     """Sample crossbar solves and collect relative output errors.
 
@@ -168,6 +170,9 @@ def run_monte_carlo(
         bit-for-bit.
     cache / metrics / policy:
         Engine knobs, as in :func:`repro.dse.explorer.explore`.
+    progress / should_cancel:
+        Engine hooks forwarded to :func:`repro.runtime.pool.run_jobs`
+        (requires ``seed=``; the legacy ``rng`` path ignores them).
     """
     if trials < 1:
         raise ConfigError("trials must be >= 1")
@@ -228,6 +233,8 @@ def run_monte_carlo(
             encode=lambda arr: [float(v) for v in arr],
             decode=lambda data: np.asarray(data, dtype=float),
             metrics=metrics,
+            progress=progress,
+            should_cancel=should_cancel,
         )
     return MonteCarloResult(samples=np.concatenate(errors))
 

@@ -20,8 +20,9 @@ This rule flags, in the scoped packages:
   ``rng``) is the sanctioned replacement and is not flagged.
 
 Scope: the packages reachable from cache-key construction and the
-seeded trial paths (engine, campaigns, accuracy sampling, DSE, and the
-config objects their keys serialize).  Presentation-layer wall-clock
+seeded trial paths (engine, campaigns, accuracy sampling, DSE, the
+config objects their keys serialize, and the service layer whose job
+ids are payload fingerprints).  Presentation-layer wall-clock
 use (e.g. trace timestamps in :mod:`repro.obs`) is deliberately out of
 scope — it never feeds a cache key or a result.
 """
@@ -71,6 +72,7 @@ class DeterminismRule(Rule):
         "repro.config",
         "repro.nn",
         "repro.functional",
+        "repro.service",
     )
 
     def check(self, info: ModuleInfo) -> Iterator[Finding]:

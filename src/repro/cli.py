@@ -9,6 +9,11 @@ The subcommands cover the software flow of the paper's Fig. 3:
   constraint, printing the per-target optima (the Tables IV/VI flow);
 * ``montecarlo`` — circuit-level Monte-Carlo accuracy sampling (drives
   the SPICE solver, so its traces show the solver's internals);
+  ``--output`` writes a deterministic result JSON byte-identical to
+  the service's result document for the equivalent payload;
+* ``serve`` — the simulation-as-a-service HTTP job server (see
+  :mod:`repro.service`): validated JSON payloads in, content-addressed
+  job ids, progress streaming, cached result retrieval;
 * ``faults`` — fault-injection campaign sweeping fault rate x fault
   mode x network into accuracy-vs-fault-rate curves with confidence
   intervals (see :mod:`repro.faults`); ``--output`` writes a
@@ -57,7 +62,7 @@ from repro.arch.breakdown import accelerator_breakdown
 from repro.config import SimConfig
 from repro.dse.explorer import explore, optimal_table, simulate_point
 from repro.dse.space import DesignSpace
-from repro.errors import ConfigError, JobExecutionError, MnsimError
+from repro.errors import JobExecutionError, MnsimError, ValidationError
 from repro.nn.networks import (
     Network,
     caffenet,
@@ -126,11 +131,15 @@ def parse_network(spec: str) -> Network:
         try:
             sizes = [int(part) for part in spec[4:].split(",") if part]
         except ValueError:
-            raise ConfigError(f"bad MLP spec {spec!r}") from None
+            raise ValidationError(
+                "MLP sizes must be comma-separated integers",
+                path="network", value=spec,
+            ) from None
         return mlp(sizes, name=spec)
-    raise ConfigError(
-        f"unknown network {spec!r}; built-ins: "
-        f"{sorted(_BUILTIN_NETWORKS)} or mlp:a,b,c"
+    raise ValidationError(
+        "unknown network",
+        path="network", value=spec,
+        allowed=sorted(_BUILTIN_NETWORKS) + ["mlp:a,b,c"],
     )
 
 
@@ -312,13 +321,19 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
 
 
 def _cmd_montecarlo(args: argparse.Namespace) -> int:
-    from repro.accuracy.montecarlo import run_monte_carlo
+    from repro.runtime.pool import RunPolicy
+    from repro.service.schema import InputMode, MonteCarloSpec
+    from repro.service.workloads import montecarlo_document, render_document
 
     config = _load_config(args)
-    device = config.device
     size = args.size or config.crossbar_size
-    segment = config.wire.segment_resistance(
-        device.cell_pitch(config.cell_type)
+    spec = MonteCarloSpec(
+        trials=args.trials,
+        seed=args.seed,
+        size=args.size,
+        sigma=args.sigma,
+        input_mode=InputMode(args.input_mode),
+        inputs_per_trial=args.inputs_per_trial,
     )
     cache = _make_cache(args)
     metrics = RunMetrics()
@@ -326,28 +341,31 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         "monte-carlo: %dx%d crossbar, %d trials, seed %d",
         size, size, args.trials, args.seed,
     )
-    result = run_monte_carlo(
-        device, size, segment,
-        trials=args.trials,
-        sigma=args.sigma,
-        input_mode=args.input_mode,
-        seed=args.seed,
-        jobs=args.jobs,
-        inputs_per_trial=args.inputs_per_trial,
+    # The document builder is shared with the service layer, so the
+    # --output file is byte-identical to `GET /jobs/{id}/result` for
+    # the equivalent payload.
+    doc = montecarlo_document(
+        config, spec,
         cache=cache,
         metrics=metrics,
+        policy=RunPolicy(jobs=args.jobs),
     )
+    summary = doc["summary"]
     print(format_table(
         ["metric", "value"],
         [
-            ["samples", str(result.samples.size)],
-            ["mean |error|", f"{result.mean_abs_error:.4%}"],
-            ["p50 |error|", f"{result.percentile(50):.4%}"],
-            ["p95 |error|", f"{result.percentile(95):.4%}"],
-            ["p99 |error|", f"{result.percentile(99):.4%}"],
-            ["max |error|", f"{result.max_abs_error:.4%}"],
+            ["samples", str(summary["samples"])],
+            ["mean |error|", f"{summary['mean_abs_error']:.4%}"],
+            ["p50 |error|", f"{summary['p50_abs_error']:.4%}"],
+            ["p95 |error|", f"{summary['p95_abs_error']:.4%}"],
+            ["p99 |error|", f"{summary['p99_abs_error']:.4%}"],
+            ["max |error|", f"{summary['max_abs_error']:.4%}"],
         ],
     ))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_document(doc))
+        _log.info("monte-carlo JSON written to %s", args.output)
     _finish_run(cache, metrics)
     return 0
 
@@ -399,6 +417,34 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             handle.write(result.to_json())
         _log.info("campaign JSON written to %s", args.output)
     _finish_run(cache, metrics)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.jobs import JobManager
+    from repro.service.server import serve
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if args.no_cache:
+        cache_dir = None
+    manager = JobManager(cache_dir=cache_dir, workers=args.workers)
+    server = serve(args.host, args.port, manager)
+    host, port = server.server_address[:2]
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+    _log.info(
+        "cache: %s | workers: %d | POST a payload to "
+        "http://%s:%d/jobs to submit work",
+        cache_dir or "(disabled)", args.workers, host, port,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _log.info("interrupt: shutting down")
+    finally:
+        server.server_close()
+        manager.shutdown()
     return 0
 
 
@@ -570,6 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--inputs-per-trial", type=int, default=1,
         help="input vectors per sampled matrix (batched solve)",
     )
+    montecarlo.add_argument(
+        "--output", "-o",
+        help="write the deterministic result JSON to this file "
+        "(byte-identical to the service's result document)",
+    )
     montecarlo.set_defaults(func=_cmd_montecarlo)
 
     faults = sub.add_parser(
@@ -633,6 +684,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suggest.add_argument("--max-error", type=float, default=None)
     suggest.set_defaults(func=_cmd_suggest)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP job server",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the bound port to FILE (for scripts using --port 0)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="executor threads; each job still parallelises internally "
+        "via --jobs-style process pools (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR, else uncached)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     runtime_stats = sub.add_parser(
         "runtime-stats",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError, TechnologyError
+from repro.errors import ConfigError, TechnologyError, ValidationError
 from repro.tech import (
     CellType,
     get_cmos_node,
@@ -103,46 +103,87 @@ class SimConfig:
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
+        # Field-addressed errors: the CLI and the HTTP service both
+        # surface the same structured ValidationError for bad fields.
         if self.network_depth is not None and self.network_depth < 1:
-            raise ConfigError("network_depth must be >= 1 when given")
+            raise ValidationError(
+                "must be >= 1 when given",
+                path="network_depth", value=self.network_depth,
+            )
         if min(self.interface_number) < 1:
-            raise ConfigError("interface_number entries must be >= 1")
+            raise ValidationError(
+                "entries must be >= 1",
+                path="interface_number", value=list(self.interface_number),
+            )
         if self.crossbar_size < 2:
-            raise ConfigError("crossbar_size must be >= 2")
+            raise ValidationError(
+                "must be >= 2",
+                path="crossbar_size", value=self.crossbar_size,
+            )
         if self.crossbar_size & (self.crossbar_size - 1):
-            raise ConfigError(
-                f"crossbar_size must be a power of two, got {self.crossbar_size}"
+            raise ValidationError(
+                "must be a power of two",
+                path="crossbar_size", value=self.crossbar_size,
             )
         if self.pooling_size < 1:
-            raise ConfigError("pooling_size must be >= 1")
-        if self.spacial_size < 1:
-            raise ConfigError("spacial_size must be >= 1")
-        if self.weight_polarity not in (1, 2):
-            raise ConfigError("weight_polarity must be 1 (unsigned) or 2 (signed)")
-        if self.parallelism_degree < 0:
-            raise ConfigError("parallelism_degree must be >= 0 (0 = all parallel)")
-        if self.parallelism_degree > self.crossbar_size:
-            raise ConfigError(
-                "parallelism_degree cannot exceed crossbar_size "
-                f"({self.parallelism_degree} > {self.crossbar_size})"
+            raise ValidationError(
+                "must be >= 1", path="pooling_size", value=self.pooling_size,
             )
-        if self.weight_bits < 1 or self.signal_bits < 1:
-            raise ConfigError("weight_bits and signal_bits must be >= 1")
+        if self.spacial_size < 1:
+            raise ValidationError(
+                "must be >= 1", path="spacial_size", value=self.spacial_size,
+            )
+        if self.weight_polarity not in (1, 2):
+            raise ValidationError(
+                "must be 1 (unsigned) or 2 (signed)",
+                path="weight_polarity", value=self.weight_polarity,
+                allowed=(1, 2),
+            )
+        if self.parallelism_degree < 0:
+            raise ValidationError(
+                "must be >= 0 (0 = all parallel)",
+                path="parallelism_degree", value=self.parallelism_degree,
+            )
+        if self.parallelism_degree > self.crossbar_size:
+            raise ValidationError(
+                f"cannot exceed crossbar_size ({self.crossbar_size})",
+                path="parallelism_degree", value=self.parallelism_degree,
+            )
+        if self.weight_bits < 1:
+            raise ValidationError(
+                "must be >= 1", path="weight_bits", value=self.weight_bits,
+            )
+        if self.signal_bits < 1:
+            raise ValidationError(
+                "must be >= 1", path="signal_bits", value=self.signal_bits,
+            )
         if self.resistance_range is not None:
             low, high = self.resistance_range
             if not 0 < low < high:
-                raise ConfigError(
-                    f"resistance_range must satisfy 0 < min < max, got {self.resistance_range}"
+                raise ValidationError(
+                    "must satisfy 0 < min < max",
+                    path="resistance_range",
+                    value=list(self.resistance_range),
                 )
         if self.device_sigma is not None and not 0 <= self.device_sigma <= 0.3:
-            raise ConfigError("device_sigma must lie in [0, 0.3]")
+            raise ValidationError(
+                "must lie in [0, 0.3]",
+                path="device_sigma", value=self.device_sigma,
+            )
         # Eagerly resolve technology lookups so typos fail here, not later.
-        try:
-            get_cmos_node(self.cmos_tech)
-            get_interconnect_node(self.interconnect_tech)
-            get_memristor_model(self.memristor_model)
-        except TechnologyError as exc:
-            raise ConfigError(str(exc)) from exc
+        _TECH_FIELDS = (
+            ("cmos_tech", get_cmos_node, self.cmos_tech),
+            ("interconnect_tech", get_interconnect_node,
+             self.interconnect_tech),
+            ("memristor_model", get_memristor_model, self.memristor_model),
+        )
+        for field_name, lookup, value in _TECH_FIELDS:
+            try:
+                lookup(value)
+            except TechnologyError as exc:
+                raise ValidationError(
+                    str(exc), path=field_name, value=value,
+                ) from exc
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -239,8 +280,10 @@ class SimConfig:
         """Rebuild a configuration from a :meth:`to_dict` mapping."""
         unknown = set(data) - set(cls.__dataclass_fields__)
         if unknown:
-            raise ConfigError(
-                f"unknown configuration fields {sorted(unknown)}"
+            raise ValidationError(
+                f"unknown configuration fields {sorted(unknown)}",
+                path=sorted(unknown)[0],
+                allowed=sorted(cls.__dataclass_fields__),
             )
         values = {
             name: tuple(value) if isinstance(value, list) else value
@@ -363,7 +406,9 @@ def _normalize_network_type(text: str) -> str:
     if normalized == "ANN":  # Table I default spelling
         normalized = "DNN"
     if normalized not in NETWORK_TYPES:
-        raise ConfigError(
-            f"unknown network type {text!r}; expected one of {NETWORK_TYPES} (or ANN)"
+        raise ValidationError(
+            "unknown network type",
+            path="network_type", value=text,
+            allowed=NETWORK_TYPES + ("ANN",),
         )
     return normalized

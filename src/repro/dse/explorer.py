@@ -11,7 +11,15 @@ efficiency, reciprocal power, speed, accuracy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.arch.accelerator import Accelerator, AcceleratorSummary
 from repro.config import SimConfig
@@ -147,6 +155,8 @@ def explore(
     cache: Optional[ResultCache] = None,
     metrics: Optional[RunMetrics] = None,
     policy: Optional[RunPolicy] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> List[DesignPoint]:
     """Simulate every valid design point.
 
@@ -174,6 +184,9 @@ def explore(
     policy:
         Full :class:`~repro.runtime.pool.RunPolicy` override (timeout,
         retries, chunking); when given, ``jobs`` is ignored.
+    progress / should_cancel:
+        Engine hooks forwarded to :func:`repro.runtime.pool.run_jobs`
+        (per-sweep completion callback / cooperative cancellation).
     """
     space = space if space is not None else DesignSpace()
     configs = list(space.configs(base_config))
@@ -192,6 +205,8 @@ def explore(
             encode=_encode_summary,
             decode=_decode_summary,
             metrics=metrics,
+            progress=progress,
+            should_cancel=should_cancel,
         )
     points: List[DesignPoint] = []
     for config, summary in zip(configs, summaries):

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -379,6 +379,8 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     metrics: Optional[RunMetrics] = None,
     policy: Optional[RunPolicy] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> CampaignResult:
     """Run the full fault sweep through the job engine.
 
@@ -392,6 +394,8 @@ def run_campaign(
     cache / metrics / policy:
         Engine knobs, as in :func:`repro.dse.explorer.explore`; cached
         campaigns replay without touching the solver.
+    progress / should_cancel:
+        Engine hooks forwarded to :func:`repro.runtime.pool.run_jobs`.
     """
     device = get_memristor_model(spec.device)
     combos: List[Tuple[str, str, float]] = []
@@ -427,6 +431,8 @@ def run_campaign(
             policy=policy if policy is not None else RunPolicy(jobs=jobs),
             cache=cache,
             metrics=metrics,
+            progress=progress,
+            should_cancel=should_cancel,
         )
     points = []
     for index, (network, mode, rate) in enumerate(combos):

@@ -43,7 +43,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError, JobExecutionError, MnsimError
+from repro.errors import (
+    ConfigError,
+    JobCancelled,
+    JobExecutionError,
+    MnsimError,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache
@@ -82,12 +87,21 @@ class RunPolicy:
     retries:
         How many times a failed/timed-out chunk is re-dispatched before
         the run aborts with :class:`~repro.errors.JobExecutionError`.
+    min_sweep_for_parallel:
+        Sweeps with fewer pending (uncached) jobs than this run
+        serially even when ``jobs > 1`` — below a handful of jobs the
+        pool's dispatch/IPC round-trips cost more than the compute they
+        parallelise (the BENCH_runtime parallel-gap finding).  The
+        default of 2 preserves the historical behaviour (any sweep of
+        at least two jobs may fan out); latency-sensitive callers such
+        as :mod:`repro.service` raise it.
     """
 
     jobs: int = 1
     chunk_size: Optional[int] = None
     timeout: Optional[float] = None
     retries: int = 1
+    min_sweep_for_parallel: int = 2
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -98,6 +112,8 @@ class RunPolicy:
             raise ConfigError("timeout must be positive when given")
         if self.retries < 0:
             raise ConfigError("retries must be >= 0")
+        if self.min_sweep_for_parallel < 2:
+            raise ConfigError("min_sweep_for_parallel must be >= 2")
 
     @property
     def worker_count(self) -> int:
@@ -116,6 +132,8 @@ def run_jobs(
     encode: Optional[Callable[[Any], Any]] = None,
     decode: Optional[Callable[[Any], Any]] = None,
     metrics: Optional[RunMetrics] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> List[Any]:
     """Execute ``worker(spec.payload)`` for every spec, in input order.
 
@@ -136,6 +154,16 @@ def run_jobs(
     metrics:
         Optional :class:`RunMetrics` to fill in; pass your own to
         inspect stage times, cache effectiveness and failures.
+    progress:
+        Optional ``progress(done, total)`` callback, invoked from the
+        dispatching thread after the cache stage and as jobs/chunks
+        complete — the service layer's progress stream rides on it.
+        It must be cheap and must not raise.
+    should_cancel:
+        Optional predicate polled between jobs (serial) / between chunk
+        completions (parallel).  When it turns true the run raises
+        :class:`~repro.errors.JobCancelled`; in-flight chunk results
+        are discarded and pending jobs never execute.
     """
     policy = policy or RunPolicy()
     metrics = metrics if metrics is not None else RunMetrics()
@@ -145,8 +173,14 @@ def run_jobs(
         kind=specs[0].kind if specs else "",
     ):
         return _run_jobs_traced(
-            worker, specs, policy, cache, encode, decode, metrics
+            worker, specs, policy, cache, encode, decode, metrics,
+            progress, should_cancel,
         )
+
+
+def _check_cancel(should_cancel: Optional[Callable[[], bool]]) -> None:
+    if should_cancel is not None and should_cancel():
+        raise JobCancelled("run cancelled by caller")
 
 
 def _run_jobs_traced(
@@ -157,9 +191,12 @@ def _run_jobs_traced(
     encode: Optional[Callable[[Any], Any]],
     decode: Optional[Callable[[Any], Any]],
     metrics: RunMetrics,
+    progress: Optional[Callable[[int, int], None]],
+    should_cancel: Optional[Callable[[], bool]],
 ) -> List[Any]:
     metrics.workers = policy.worker_count
     metrics.count("jobs_total", len(specs))
+    _check_cancel(should_cancel)
 
     results: List[Any] = [None] * len(specs)
     done = [False] * len(specs)
@@ -176,36 +213,51 @@ def _run_jobs_traced(
                     done[i] = True
         metrics.count("cache_hits", sum(done))
         metrics.count("cache_misses", len(specs) - sum(done))
+    if progress is not None:
+        progress(sum(done), len(specs))
 
     pending = [(i, spec) for i, spec in enumerate(specs) if not done[i]]
 
     # Stage 2: execute -------------------------------------------------
     if pending:
+        completed = len(specs) - len(pending)
+
+        def advance(newly_done: int) -> None:
+            nonlocal completed
+            completed += newly_done
+            if progress is not None:
+                progress(completed, len(specs))
+
         with metrics.stage("execute"):
             # Processes are used whenever more than one worker is
             # requested — even on a single core they buy crash/timeout
             # isolation; genuine pool failures fall back below.  An
             # unpicklable worker (test lambda, closure) can never cross
             # the process boundary, so it is routed straight to the
-            # serial path without ever creating a pool.
+            # serial path without ever creating a pool.  Sweeps below
+            # the policy's parallelism threshold stay serial too: for a
+            # handful of jobs the dispatch round-trips dominate.
             use_processes = (
                 policy.worker_count > 1
                 and len(pending) > 1
+                and len(pending) >= policy.min_sweep_for_parallel
                 and _picklable(worker)
             )
             if use_processes:
                 try:
                     _run_parallel(worker, pending, policy, metrics, results,
-                                  done)
+                                  done, advance, should_cancel)
                     metrics.mode = "process"
                 except _SerialFallback:
                     pending = [
                         (i, spec) for i, spec in pending if not done[i]
                     ]
-                    _run_serial(worker, pending, policy, metrics, results)
+                    _run_serial(worker, pending, policy, metrics, results,
+                                advance, should_cancel)
                     metrics.mode = "serial"
             else:
-                _run_serial(worker, pending, policy, metrics, results)
+                _run_serial(worker, pending, policy, metrics, results,
+                            advance, should_cancel)
                 metrics.mode = "serial"
         metrics.count("jobs_executed", len(pending))
 
@@ -233,8 +285,11 @@ def _run_serial(
     policy: RunPolicy,
     metrics: RunMetrics,
     results: List[Any],
+    advance: Optional[Callable[[int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> None:
     for index, spec in pending:
+        _check_cancel(should_cancel)
         attempts = 0
         while True:
             try:
@@ -251,6 +306,8 @@ def _run_serial(
                 if attempts > policy.retries:
                     raise _job_error(spec, attempts, exc) from None
                 metrics.count("retries")
+        if advance is not None:
+            advance(1)
 
 
 # ----------------------------------------------------------------------
@@ -378,6 +435,8 @@ def _run_parallel(
     metrics: RunMetrics,
     results: List[Any],
     done: List[bool],
+    advance: Optional[Callable[[int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
 ) -> None:
     small_sweep = len(pending) < policy.worker_count * _SMALL_SWEEP_PER_WORKER
     chunks_per_worker = 2 if small_sweep else 4
@@ -438,6 +497,17 @@ def _run_parallel(
         for chunk_index in range(len(chunks)):
             submit(chunk_index)
         while in_flight:
+            if should_cancel is not None and should_cancel():
+                # Workers may be mid-chunk in user code: cancel what is
+                # still queued and let the finally block terminate the
+                # processes (the pool is never reused after a cancel).
+                for future in list(in_flight):
+                    future.cancel()
+                for _ci, _dl, victim_span in in_flight.values():
+                    victim_span.set(error="JobCancelled").finish()
+                in_flight.clear()
+                workers_stuck = True
+                raise JobCancelled("run cancelled by caller")
             finished, _ = wait(
                 list(in_flight), timeout=_WAIT_SLICE,
                 return_when=FIRST_COMPLETED,
@@ -524,6 +594,8 @@ def _run_parallel(
                     ):
                         results[index] = value
                         done[index] = True
+                    if advance is not None:
+                        advance(len(chunks[ci]))
         clean_exit = True
     finally:
         if clean_exit and not workers_stuck:

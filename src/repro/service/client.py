@@ -1,0 +1,157 @@
+"""Python client for the service API (stdlib ``urllib`` only).
+
+:class:`ServiceClient` mirrors the HTTP surface one-to-one and is what
+the test suite and the CI smoke job drive; it reconstructs the server's
+structured 400 rejections back into
+:class:`~repro.errors.ValidationError` so callers handle local and
+remote validation failures identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import MnsimError, ValidationError
+
+#: Default per-request timeout (seconds); generous because the event
+#: stream long-polls.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(MnsimError, RuntimeError):
+    """A non-validation error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _rebuild_validation_error(doc: Dict[str, Any]) -> ValidationError:
+    err = doc.get("error", {})
+    kwargs: Dict[str, Any] = {"path": err.get("path", "")}
+    if "value" in err:
+        kwargs["value"] = err["value"]
+    if "allowed" in err:
+        kwargs["allowed"] = err["allowed"]
+    message = err.get("message", "invalid payload")
+    # Strip the decorations ValidationError appends, so rebuilding does
+    # not double them up.
+    for marker in (" (got ", " (allowed: "):
+        if marker in message:
+            message = message.split(marker)[0]
+    if kwargs["path"] and message.startswith(kwargs["path"] + ": "):
+        message = message[len(kwargs["path"]) + 2:]
+    return ValidationError(message, **kwargs)
+
+
+class ServiceClient:
+    """Minimal synchronous client for one service endpoint."""
+
+    def __init__(self, base_url: str,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> urllib.request.addinfourl:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = {}
+            err = doc.get("error", {})
+            if exc.code == 400 and "path" in err:
+                raise _rebuild_validation_error(doc) from None
+            raise ServiceError(
+                exc.code, err.get("message", raw.decode("utf-8", "replace"))
+            ) from None
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        with self._request(method, path, body) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> bool:
+        with self._request("GET", "/healthz") as response:
+            return response.read().strip() == b"ok"
+
+    def metrics_text(self) -> str:
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode("utf-8")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a payload document; returns the submission receipt.
+
+        Raises :class:`ValidationError` (rebuilt from the structured
+        400 body) when the server rejects the document.
+        """
+        return self._json("POST", "/jobs", payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The finished job's result document, byte-exact."""
+        with self._request("GET", f"/jobs/{job_id}/result") as response:
+            return response.read()
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def iter_events(self, job_id: str,
+                    after: int = 0) -> Iterator[Dict[str, Any]]:
+        """Yield progress events until the job reaches a terminal state.
+
+        ``http.client`` de-chunks the stream transparently, so this is
+        a plain line reader.
+        """
+        path = f"/jobs/{job_id}/events"
+        if after:
+            path += f"?after={after}"
+        with self._request("GET", path) as response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, f"job {job_id} still {status['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll)

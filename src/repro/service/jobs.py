@@ -1,0 +1,382 @@
+"""The job manager: queued execution of validated payloads.
+
+:class:`JobManager` owns the service's unit of multi-tenancy — a *job*
+is one validated :class:`~repro.service.schema.SimulationPayload`
+moving through ``queued -> running -> done`` (or ``failed`` /
+``cancelled``).  The HTTP layer (:mod:`repro.service.server`) is a thin
+shell over this class; all state lives here, guarded by one lock, so
+the manager is equally usable in-process (tests drive it directly).
+
+Dedupe is content-addressed end to end: the job id *is* the payload
+fingerprint (:meth:`SimulationPayload.fingerprint`), so N identical
+submissions collapse onto one record and one engine execution, and the
+engine's sqlite :class:`~repro.runtime.cache.ResultCache` dedupes the
+underlying sweep points across manager restarts.
+
+Progress and lifecycle transitions are recorded as a monotonic
+:class:`JobEvent` sequence per job; :meth:`JobManager.events_since`
+blocks on a condition variable until new events arrive, which is what
+the server's chunked ``/jobs/{id}/events`` stream long-polls.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import JobCancelled, MnsimError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.cache import ResultCache
+from repro.runtime.metrics import RunMetrics
+from repro.service.schema import SimulationPayload
+from repro.service.workloads import render_document, run_payload
+
+_log = logging.getLogger("repro.service")
+
+
+class JobState:
+    """String vocabulary for the job lifecycle (JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One entry in a job's monotonic event log."""
+
+    seq: int
+    event: str  # "state" or "progress"
+    state: str
+    done: int = 0
+    total: int = 0
+    error: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "event": self.event,
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class JobRecord:
+    """All manager-side state of one job (mutate under the lock)."""
+
+    job_id: str
+    payload: SimulationPayload
+    state: str = JobState.QUEUED
+    done: int = 0
+    total: int = 0
+    error: Optional[Dict[str, Any]] = None
+    result_text: Optional[str] = None
+    cancel_requested: bool = False
+    events: List[JobEvent] = field(default_factory=list)
+
+    def status_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.payload.kind.value,
+            "description": self.payload.describe(),
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """Thread-backed queue of payload executions, deduped by content.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the engine's sqlite result cache; ``None`` runs
+        uncached.  Each execution opens its own :class:`ResultCache`
+        (sqlite connections are per-thread).
+    workers:
+        Executor threads.  The default of 1 serialises engine runs —
+        the engine parallelises *inside* a job via its process pool, so
+        one executor thread is usually the right degree.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[str, JobRecord] = {}
+        self._queue: Deque[str] = deque()
+        self._order: List[str] = []
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, payload: SimulationPayload) -> Tuple[JobRecord, bool]:
+        """Enqueue a validated payload; dedupe onto an existing job.
+
+        Returns ``(record, created)``.  A payload whose fingerprint
+        matches a queued / running / done job joins that job instead of
+        re-running the engine; failed and cancelled jobs are retried
+        with a fresh record under the same id.
+        """
+        job_id = payload.fingerprint()
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("manager is shut down")
+            record = self._jobs.get(job_id)
+            if record is not None and record.state not in (
+                JobState.FAILED, JobState.CANCELLED
+            ):
+                obs_metrics.counter(
+                    "repro_service_jobs_total",
+                    "Service job submissions by outcome",
+                ).inc(event="deduplicated")
+                return record, False
+            record = JobRecord(job_id=job_id, payload=payload)
+            self._jobs[job_id] = record
+            self._order.append(job_id)
+            self._append_event(record, "state")
+            self._queue.append(job_id)
+            obs_metrics.counter(
+                "repro_service_jobs_total",
+                "Service job submissions by outcome",
+            ).inc(event="submitted")
+            self._wake.notify_all()
+        return record, True
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Status dicts for every known job, in submission order."""
+        with self._lock:
+            seen = set()
+            out = []
+            for job_id in self._order:
+                if job_id in seen:
+                    continue
+                seen.add(job_id)
+                out.append(self._jobs[job_id].status_dict())
+            return out
+
+    def result_text(self, job_id: str) -> Optional[str]:
+        """The stored result document of a finished job (else None)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return record.result_text if record is not None else None
+
+    def events_since(
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: Optional[float] = None,
+    ) -> List[JobEvent]:
+        """Events with ``seq > after``, blocking until some exist.
+
+        Returns immediately (possibly empty) once the job is terminal;
+        otherwise waits up to ``timeout`` seconds for new events.
+        """
+        with self._wake:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return []
+
+            def fresh() -> List[JobEvent]:
+                return [e for e in record.events if e.seq > after]
+
+            events = fresh()
+            if events or record.state in JobState.TERMINAL:
+                return events
+            self._wake.wait(timeout=timeout)
+            return fresh()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> str:
+        """Block until the job reaches a terminal state; return it."""
+        with self._wake:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            self._wake.wait_for(
+                lambda: record.state in JobState.TERMINAL, timeout=timeout
+            )
+            return record.state
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Request cancellation; returns the resulting state.
+
+        A queued job is cancelled immediately (it never reaches the
+        engine); a running job gets its cancel flag raised and stops at
+        the engine's next chunk boundary via ``should_cancel``.
+        """
+        with self._wake:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            if record.state == JobState.QUEUED:
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass  # a worker grabbed it between checks
+                record.cancel_requested = True
+                self._finish(record, JobState.CANCELLED)
+            elif record.state == JobState.RUNNING:
+                record.cancel_requested = True
+            return record.state
+
+    # -- shutdown ------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop accepting work and join the executor threads."""
+        with self._wake:
+            self._closed = True
+            for job_id in list(self._queue):
+                record = self._jobs[job_id]
+                record.cancel_requested = True
+                self._finish(record, JobState.CANCELLED)
+            self._queue.clear()
+            for record in self._jobs.values():
+                if record.state == JobState.RUNNING:
+                    record.cancel_requested = True
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    # -- internals -----------------------------------------------------
+    def _append_event(
+        self, record: JobRecord, event: str,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        # Caller holds the lock.
+        record.events.append(JobEvent(
+            seq=len(record.events) + 1,
+            event=event,
+            state=record.state,
+            done=record.done,
+            total=record.total,
+            error=error,
+        ))
+        self._wake.notify_all()
+
+    def _finish(self, record: JobRecord, state: str,
+                error: Optional[Dict[str, Any]] = None) -> None:
+        # Caller holds the lock.
+        record.state = state
+        record.error = error
+        self._append_event(record, "state", error=error)
+        obs_metrics.counter(
+            "repro_service_jobs_total",
+            "Service job submissions by outcome",
+        ).inc(event=state)
+
+    def _next_job(self) -> Optional[JobRecord]:
+        with self._wake:
+            while True:
+                if self._closed:
+                    return None
+                while self._queue:
+                    job_id = self._queue.popleft()
+                    record = self._jobs[job_id]
+                    if record.state != JobState.QUEUED:
+                        continue  # cancelled while queued
+                    record.state = JobState.RUNNING
+                    self._append_event(record, "state")
+                    return record
+                self._wake.wait()
+
+    def _worker_loop(self) -> None:
+        while True:
+            record = self._next_job()
+            if record is None:
+                return
+            self._execute(record)
+
+    def _execute(self, record: JobRecord) -> None:
+        payload = record.payload
+
+        def progress(done: int, total: int) -> None:
+            with self._wake:
+                record.done = done
+                record.total = total
+                self._append_event(record, "progress")
+            obs_metrics.gauge(
+                "repro_service_job_progress",
+                "Completed engine jobs of the most recent progress "
+                "report, per service job",
+            ).set(done, job=record.job_id[:12])
+
+        def should_cancel() -> bool:
+            return record.cancel_requested
+
+        # sqlite connections are bound to their creating thread, so the
+        # executor opens a fresh handle per job rather than sharing one.
+        cache = (
+            ResultCache(self.cache_dir) if self.cache_dir is not None
+            else None
+        )
+        metrics = RunMetrics()
+        try:
+            with obs_trace.span(
+                "service.job", kind=payload.kind.value,
+                job=record.job_id[:12],
+            ):
+                document = run_payload(
+                    payload,
+                    cache=cache,
+                    metrics=metrics,
+                    progress=progress,
+                    should_cancel=should_cancel,
+                )
+            text = render_document(document)
+            with self._wake:
+                record.result_text = text
+                record.done = max(record.done, record.total)
+                self._finish(record, JobState.DONE)
+        except JobCancelled:
+            with self._wake:
+                self._finish(record, JobState.CANCELLED)
+        except MnsimError as exc:
+            with self._wake:
+                self._finish(record, JobState.FAILED, error={
+                    "type": type(exc).__name__, "message": str(exc),
+                })
+        except Exception as exc:
+            _log.exception("job %s crashed", record.job_id[:12])
+            with self._wake:
+                self._finish(record, JobState.FAILED, error={
+                    "type": type(exc).__name__, "message": str(exc),
+                })
+        finally:
+            if cache is not None:
+                cache.close()

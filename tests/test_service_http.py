@@ -1,0 +1,175 @@
+"""End-to-end HTTP API: submit, stream, fetch, byte-identity with CLI."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.obs.metrics import parse_prometheus
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager
+from repro.service.server import serve
+
+MC_PAYLOAD = {
+    "kind": "montecarlo",
+    "montecarlo": {"trials": 3, "seed": 1, "size": 8},
+}
+
+
+@pytest.fixture
+def service():
+    manager = JobManager()
+    server = serve("127.0.0.1", 0, manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        "http://127.0.0.1:%d" % server.server_address[1]
+    )
+    yield client, manager
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+    thread.join(timeout=5)
+
+
+def test_healthz(service):
+    client, _ = service
+    assert client.healthz()
+
+
+def test_submit_poll_result_and_dedupe(service, tmp_path):
+    client, _ = service
+    receipt = client.submit(MC_PAYLOAD)
+    assert receipt["state"] in ("queued", "running", "done")
+    assert receipt["deduplicated"] is False
+    job_id = receipt["job_id"]
+
+    status = client.wait(job_id, timeout=60)
+    assert status["state"] == "done"
+    assert status["done"] == status["total"] == 3
+
+    body = client.result_bytes(job_id)
+    doc = json.loads(body.decode("utf-8"))
+    assert doc["schema"] == "service-result-v1"
+    assert doc["kind"] == "montecarlo"
+    assert len(doc["samples"]) == doc["summary"]["samples"]
+
+    # Byte-identity with the CLI: the same parameters through
+    # `repro montecarlo --output` must produce the same file.
+    out = tmp_path / "cli.json"
+    code = main([
+        "-q", "montecarlo", "--trials", "3", "--seed", "1",
+        "--size", "8", "--no-cache", "-o", str(out),
+    ])
+    assert code == 0
+    assert out.read_bytes() == body
+
+    # Second identical submission: deduplicated, served from the
+    # stored record without another engine run.
+    again = client.submit(MC_PAYLOAD)
+    assert again["deduplicated"] is True
+    assert again["job_id"] == job_id
+    assert client.result_bytes(job_id) == body
+
+
+def test_event_stream_reaches_terminal_state(service):
+    client, _ = service
+    job_id = client.submit(MC_PAYLOAD)["job_id"]
+    events = list(client.iter_events(job_id))
+    assert events, "stream must deliver at least the state events"
+    assert events[-1]["state"] == "done"
+    progress = [e for e in events if e["event"] == "progress"]
+    assert progress and progress[-1]["done"] == progress[-1]["total"] == 3
+    # Resume after a checkpoint: only newer events come back.
+    last_seq = events[-1]["seq"]
+    tail = list(client.iter_events(job_id, after=last_seq - 1))
+    assert [e["seq"] for e in tail] == [last_seq]
+
+
+def test_malformed_payload_rejected_with_path(service):
+    client, manager = service
+    with pytest.raises(ValidationError) as excinfo:
+        client.submit({"kind": "montecarlo",
+                       "montecarlo": {"trials": "many"}})
+    err = excinfo.value
+    assert err.path == "montecarlo.trials"
+    assert err.value == "many"
+    assert manager.snapshot() == [], "rejected payloads must not enqueue"
+
+    with pytest.raises(ValidationError) as excinfo:
+        client.submit({"kind": "warp-drive"})
+    assert excinfo.value.path == "kind"
+    assert "montecarlo" in excinfo.value.allowed
+
+
+def test_unknown_routes_and_jobs(service):
+    client, _ = service
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.result_bytes("deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("GET", "/nope")
+    assert excinfo.value.status == 404
+
+
+def test_result_conflict_until_done(service, monkeypatch):
+    client, manager = service
+    # Park the executor so the job stays queued.
+    import repro.service.jobs as jobs_mod
+    gate = threading.Event()
+    original = jobs_mod.run_payload
+
+    def slow(payload, **kwargs):
+        gate.wait(timeout=10)
+        return original(payload, **kwargs)
+
+    monkeypatch.setattr(jobs_mod, "run_payload", slow)
+    job_id = client.submit(MC_PAYLOAD)["job_id"]
+    with pytest.raises(ServiceError) as excinfo:
+        client.result_bytes(job_id)
+    assert excinfo.value.status == 409
+    gate.set()
+    assert client.wait(job_id, timeout=60)["state"] == "done"
+
+
+def test_cancel_endpoint(service, monkeypatch):
+    client, _ = service
+    import repro.service.jobs as jobs_mod
+    gate = threading.Event()
+    original = jobs_mod.run_payload
+
+    def slow(payload, **kwargs):
+        gate.wait(timeout=10)
+        return original(payload, **kwargs)
+
+    monkeypatch.setattr(jobs_mod, "run_payload", slow)
+    blocker = client.submit(MC_PAYLOAD)["job_id"]
+    queued = client.submit({
+        "kind": "montecarlo",
+        "montecarlo": {"trials": 3, "seed": 99, "size": 8},
+    })["job_id"]
+    reply = client.cancel(queued)
+    assert reply["state"] == "cancelled"
+    gate.set()
+    assert client.wait(blocker, timeout=60)["state"] == "done"
+    assert client.wait(queued, timeout=5)["state"] == "cancelled"
+
+
+def test_metrics_exposition(service):
+    client, _ = service
+    job_id = client.submit(MC_PAYLOAD)["job_id"]
+    client.wait(job_id, timeout=60)
+    text = client.metrics_text()
+    families = parse_prometheus(text)
+    assert "repro_service_jobs_total" in families
+    samples = families["repro_service_jobs_total"]["samples"]
+    submitted = [
+        value for (name, labels), value in samples.items()
+        if ("event", "submitted") in labels
+    ]
+    assert submitted and submitted[0] >= 1

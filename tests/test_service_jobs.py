@@ -1,0 +1,189 @@
+"""Job manager semantics: dedupe, lifecycle, cancellation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobCancelled, MnsimError
+from repro.service.jobs import JobManager, JobState
+from repro.service.schema import SimulationPayload
+
+MC_PAYLOAD = {
+    "kind": "montecarlo",
+    "montecarlo": {"trials": 2, "seed": 0, "size": 8},
+}
+
+
+def payload(**overrides):
+    doc = dict(MC_PAYLOAD)
+    if overrides:
+        doc["montecarlo"] = dict(doc["montecarlo"], **overrides)
+    return SimulationPayload.from_dict(doc)
+
+
+@pytest.fixture
+def manager():
+    mgr = JobManager()
+    yield mgr
+    mgr.shutdown()
+
+
+class _CountingRunner:
+    """Replacement for ``run_payload`` that counts engine entries."""
+
+    def __init__(self, delay=0.0, error=None, poll_cancel=False):
+        self.calls = 0
+        self.lock = threading.Lock()
+        self.delay = delay
+        self.error = error
+        self.poll_cancel = poll_cancel
+
+    def __call__(self, payload, *, cache=None, metrics=None,
+                 progress=None, should_cancel=None):
+        with self.lock:
+            self.calls += 1
+        deadline = time.monotonic() + self.delay
+        while time.monotonic() < deadline:
+            if self.poll_cancel and should_cancel and should_cancel():
+                raise JobCancelled("cancelled mid-run")
+            time.sleep(0.005)
+        if self.error is not None:
+            raise self.error
+        if progress is not None:
+            progress(1, 1)
+        return {"schema": "test", "ok": True}
+
+
+def test_concurrent_submissions_execute_once(manager, monkeypatch):
+    runner = _CountingRunner(delay=0.05)
+    monkeypatch.setattr("repro.service.jobs.run_payload", runner)
+
+    results = []
+    results_lock = threading.Lock()
+
+    def submit():
+        record, created = manager.submit(payload())
+        manager.wait(record.job_id, timeout=30)
+        with results_lock:
+            results.append((record.job_id, created,
+                            manager.result_text(record.job_id)))
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert runner.calls == 1, "N identical submissions must run once"
+    ids = {job_id for job_id, _, _ in results}
+    assert len(ids) == 1, "content-addressing must collapse the ids"
+    created_flags = [created for _, created, _ in results]
+    assert created_flags.count(True) == 1
+    texts = {text for _, _, text in results}
+    assert len(texts) == 1 and None not in texts
+
+
+def test_done_job_serves_later_submissions(manager, monkeypatch):
+    runner = _CountingRunner()
+    monkeypatch.setattr("repro.service.jobs.run_payload", runner)
+    record, created = manager.submit(payload())
+    assert created
+    assert manager.wait(record.job_id, timeout=30) == JobState.DONE
+
+    again, created = manager.submit(payload())
+    assert not created
+    assert again is record
+    assert runner.calls == 1
+
+
+def test_cancel_queued_job_never_reaches_engine(manager, monkeypatch):
+    runner = _CountingRunner(delay=0.3)
+    monkeypatch.setattr("repro.service.jobs.run_payload", runner)
+
+    blocker, _ = manager.submit(payload(seed=100))
+    # The single worker is busy with `blocker`, so this one stays queued.
+    victim, _ = manager.submit(payload(seed=101))
+    assert victim.state == JobState.QUEUED
+
+    state = manager.cancel(victim.job_id)
+    assert state == JobState.CANCELLED
+    assert manager.wait(victim.job_id, timeout=1) == JobState.CANCELLED
+    assert manager.wait(blocker.job_id, timeout=30) == JobState.DONE
+    assert runner.calls == 1, "a cancelled queued job must never run"
+    states = [e.state for e in victim.events]
+    assert states == [JobState.QUEUED, JobState.CANCELLED]
+
+
+def test_cancel_running_job_stops_at_poll(manager, monkeypatch):
+    runner = _CountingRunner(delay=10.0, poll_cancel=True)
+    monkeypatch.setattr("repro.service.jobs.run_payload", runner)
+    record, _ = manager.submit(payload(seed=102))
+    deadline = time.monotonic() + 5
+    while record.state != JobState.RUNNING:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    manager.cancel(record.job_id)
+    assert manager.wait(record.job_id, timeout=10) == JobState.CANCELLED
+    assert manager.result_text(record.job_id) is None
+
+
+def test_failed_job_reports_structured_error_and_retries(
+    manager, monkeypatch
+):
+    runner = _CountingRunner(error=MnsimError("solver exploded"))
+    monkeypatch.setattr("repro.service.jobs.run_payload", runner)
+    record, _ = manager.submit(payload(seed=103))
+    assert manager.wait(record.job_id, timeout=30) == JobState.FAILED
+    assert record.error == {
+        "type": "MnsimError", "message": "solver exploded",
+    }
+
+    # Failed jobs may be resubmitted: fresh record, same id, re-runs.
+    retry, created = manager.submit(payload(seed=103))
+    assert created
+    assert retry.job_id == record.job_id
+    manager.wait(retry.job_id, timeout=30)
+    assert runner.calls == 2
+
+
+def test_events_stream_progress_and_terminal_state(manager, monkeypatch):
+    monkeypatch.setattr(
+        "repro.service.jobs.run_payload", _CountingRunner()
+    )
+    record, _ = manager.submit(payload(seed=104))
+    manager.wait(record.job_id, timeout=30)
+    events = manager.events_since(record.job_id, after=0, timeout=0)
+    kinds = [(e.event, e.state) for e in events]
+    assert kinds[0] == ("state", JobState.QUEUED)
+    assert kinds[-1] == ("state", JobState.DONE)
+    assert ("progress", JobState.RUNNING) in kinds
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    # Resumption: events strictly after a checkpoint.
+    tail = manager.events_since(record.job_id, after=seqs[-2], timeout=0)
+    assert [e.seq for e in tail] == [seqs[-1]]
+
+
+def test_engine_cache_dedupes_across_manager_restarts(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    first = JobManager(cache_dir=cache_dir)
+    try:
+        record, _ = first.submit(payload())
+        assert first.wait(record.job_id, timeout=60) == JobState.DONE
+        text = first.result_text(record.job_id)
+    finally:
+        first.shutdown()
+
+    # A new manager (fresh process in real life) re-runs the payload but
+    # every underlying trial is served from the sqlite cache, and the
+    # result document is byte-identical.
+    second = JobManager(cache_dir=cache_dir)
+    try:
+        record2, created = second.submit(payload())
+        assert created  # no in-memory record survives the restart
+        assert second.wait(record2.job_id, timeout=60) == JobState.DONE
+        assert second.result_text(record2.job_id) == text
+    finally:
+        second.shutdown()
