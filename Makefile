@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-runtime bench-spice examples results \
-	trace-demo faults-demo serve-demo lint lint-baseline clean
+.PHONY: install test bench bench-runtime bench-spice bench-batch \
+	examples results trace-demo faults-demo serve-demo lint \
+	lint-baseline clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +23,9 @@ bench-runtime:
 
 bench-spice:
 	$(PYTHON) -m pytest benchmarks/test_spice_solver_perf.py -v
+
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/test_batch_eval.py -v
 
 examples:
 	@for script in examples/*.py; do \

@@ -17,6 +17,9 @@ R4    except-hygiene   no bare/broad ``except`` without logging, a
 R5    units            scale arithmetic in ``circuits``/``tech`` uses
                        named ``repro.units`` constants, not magic
                        powers of ten
+R6    hot-loop-solve   no point-wise ``.solve()``/``.solve_many()``
+                       calls inside loops in ``accuracy``/``dse``/
+                       ``faults`` — batch through ``solve_batch``
 ====  ===============  ====================================================
 """
 
@@ -24,6 +27,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     determinism,
     exceptions,
     forksafety,
+    hotloop,
     purity,
     units,
 )

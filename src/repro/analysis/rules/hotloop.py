@@ -1,0 +1,101 @@
+"""R6 — no point-wise solves in the evaluation layers' hot loops.
+
+The batched evaluation path (DESIGN.md S22) exists because looping
+``network.solve(...)`` / ``network.solve_many(...)`` point-wise rebuilds
+and re-stamps each trial's system one at a time — exactly the pattern
+:func:`repro.spice.solver.solve_batch` amortises by stacking stamp
+values and rewriting all CSC arrays in one ``np.add.reduceat`` sweep.
+A solve call re-introduced inside a loop in the Monte-Carlo, DSE, or
+fault layers silently regresses those sweeps back onto the slow path
+while producing identical numbers, so nothing but a benchmark would
+catch it.
+
+Flagged, inside ``repro.accuracy`` / ``repro.dse`` / ``repro.faults``:
+an attribute call named ``solve`` or ``solve_many`` lexically inside a
+``for`` / ``while`` body (or a comprehension).  Calls in nested
+function definitions are not charged to the enclosing loop — the
+function may be a worker executed elsewhere.  Hoist the call, batch
+through ``solve_batch``, or suppress with ``# lint: allow=R6 <reason>``
+where a single point-wise solve is genuinely required.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+_SOLVE_NAMES = ("solve", "solve_many")
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSION_NODES = (
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp
+)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _solve_calls_within(root: ast.AST) -> Iterator[ast.Call]:
+    """Solve-attribute calls under ``root``, skipping nested defs.
+
+    Nested loops are *not* skipped — a call there is still inside the
+    outer loop — but each call is reported once by the outer walk's
+    de-duplication.
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        # The root itself may be the call (a comprehension's element)
+        # or a nested def (skipped wholesale, root or not).
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SOLVE_NAMES
+        ):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class PointwiseSolveInLoopRule(Rule):
+    rule_id = "R6"
+    name = "hot-loop-solve"
+    description = (
+        "No point-wise .solve()/.solve_many() calls inside loops in "
+        "the accuracy/dse/faults layers; batch via solve_batch."
+    )
+    scope = ("repro.accuracy", "repro.dse", "repro.faults")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, _LOOP_NODES):
+                bodies: List[ast.AST] = [*node.body, *node.orelse]
+                kind = "while" if isinstance(node, ast.While) else "for"
+            elif isinstance(node, _COMPREHENSION_NODES):
+                if isinstance(node, ast.DictComp):
+                    bodies = [node.key, node.value]
+                else:
+                    bodies = [node.elt]
+                # Condition/iterable expressions run per element too.
+                for comp in node.generators:
+                    bodies.extend(comp.ifs)
+                kind = "comprehension"
+            else:
+                continue
+            for body in bodies:
+                for call in _solve_calls_within(body):
+                    location = (call.lineno, call.col_offset)
+                    if location in seen:
+                        continue
+                    seen.add(location)
+                    yield info.finding(
+                        self, call,
+                        f"point-wise .{call.func.attr}() call inside "
+                        f"a {kind} body re-solves one system per "
+                        "iteration; stack the members and go through "
+                        "spice.solver.solve_batch (or hoist the call "
+                        "out of the loop)",
+                    )

@@ -183,10 +183,22 @@ class Accelerator:
         return model.network_accuracy(layer_sizes=layer_sizes)
 
     # ------------------------------------------------------------------
-    def summary(self) -> AcceleratorSummary:
-        """The table-row view of this design point."""
+    def summary(
+        self, accuracy: Optional[LayerAccuracy] = None
+    ) -> AcceleratorSummary:
+        """The table-row view of this design point.
+
+        ``accuracy`` lets callers share one computed
+        :class:`~repro.accuracy.model.LayerAccuracy` across design
+        points that are accuracy-equivalent — the paper's Sec. VII.C.1
+        observation that digital parallelism does not affect crossbar
+        computing accuracy, which the DSE explorer exploits to evaluate
+        each shape-group's accuracy once.  Omitted, it is computed here
+        (the historical behaviour).
+        """
         sample = self.sample_performance()
-        accuracy = self.accuracy()
+        if accuracy is None:
+            accuracy = self.accuracy()
         return AcceleratorSummary(
             area=sample.area,
             energy_per_sample=sample.dynamic_energy,

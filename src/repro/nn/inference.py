@@ -79,7 +79,7 @@ class MlpInference:
         network: Network,
         rng: np.random.Generator,
         signal_bits: int = 8,
-        scale: float = None,
+        scale: Optional[float] = None,
     ) -> "MlpInference":
         """Build with seeded random weights (scaled ~1/sqrt(fan_in))."""
         weights = []
@@ -90,6 +90,36 @@ class MlpInference:
                 rng.uniform(-amplitude, amplitude, size=(out_features, in_features))
             )
         return cls(network, weights, signal_bits=signal_bits)
+
+    def with_fault_masks(
+        self, layer_fault_masks: Sequence
+    ) -> "MlpInference":
+        """A copy whose weights are corrupted *once* by the given masks.
+
+        Applies :func:`~repro.faults.models.apply_mask_to_weights` to
+        each layer's matrix up front — the same arithmetic
+        :meth:`forward` performs per call with ``layer_fault_masks=``,
+        so outputs are bit-identical — and returns a model whose
+        repeated forward passes reuse the corrupted matrices instead of
+        re-corrupting them every time.  ``None`` entries leave their
+        layer intact.
+        """
+        if len(layer_fault_masks) != len(self.weights):
+            raise ConfigError(
+                "one fault mask (or None) per layer is required"
+            )
+        # Local import: repro.faults pulls this module in through its
+        # campaign runner, so a top-level import would be circular.
+        from repro.faults.models import apply_mask_to_weights
+
+        weights = [
+            matrix if mask is None
+            else apply_mask_to_weights(matrix, mask)
+            for matrix, mask in zip(self.weights, layer_fault_masks)
+        ]
+        return MlpInference(
+            self.network, weights, signal_bits=self.signal_bits
+        )
 
     # ------------------------------------------------------------------
     def _quantize_signal(self, values: np.ndarray) -> np.ndarray:

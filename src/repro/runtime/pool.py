@@ -66,6 +66,12 @@ _WAIT_SLICE = 0.05
 #: overhead dominates over imbalance).
 _SMALL_SWEEP_PER_WORKER = 64
 
+#: Jobs per batch-worker group on the serial path (when the policy's
+#: ``chunk_size`` doesn't pin one).  Large enough to amortise batched
+#: assembly, small enough to keep progress/cancellation responsive and
+#: the stacked value arrays modest.
+_SERIAL_BATCH_SIZE = 64
+
 
 @dataclass(frozen=True)
 class RunPolicy:
@@ -95,6 +101,15 @@ class RunPolicy:
         default of 2 preserves the historical behaviour (any sweep of
         at least two jobs may fan out); latency-sensitive callers such
         as :mod:`repro.service` raise it.
+    batch_within_chunk:
+        When the caller supplies a ``batch_worker`` to
+        :func:`run_jobs`, execute each chunk (or serial group) through
+        it as *one* vectorized call instead of looping the per-job
+        worker — hot sweeps are vectorized first and forked second.
+        Batch workers are required to return results bit-identical to
+        the per-job worker (the solver's batched path guarantees this),
+        so flipping this knob never changes results or cache keys, only
+        wall-clock.  ``False`` forces the historical per-job loop.
     """
 
     jobs: int = 1
@@ -102,6 +117,7 @@ class RunPolicy:
     timeout: Optional[float] = None
     retries: int = 1
     min_sweep_for_parallel: int = 2
+    batch_within_chunk: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -134,6 +150,7 @@ def run_jobs(
     metrics: Optional[RunMetrics] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     should_cancel: Optional[Callable[[], bool]] = None,
+    batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
 ) -> List[Any]:
     """Execute ``worker(spec.payload)`` for every spec, in input order.
 
@@ -164,6 +181,16 @@ def run_jobs(
         completions (parallel).  When it turns true the run raises
         :class:`~repro.errors.JobCancelled`; in-flight chunk results
         are discarded and pending jobs never execute.
+    batch_worker:
+        Optional vectorized sibling of ``worker``: a top-level
+        picklable function mapping a *list* of payloads to the list of
+        their results, in order, **bit-identical** to calling
+        ``worker`` on each.  When given (and
+        ``policy.batch_within_chunk`` is on) each chunk / serial group
+        executes as one ``batch_worker`` call, so same-shape jobs can
+        share assembly and amortise per-call overhead.  Caching,
+        retries and cancellation semantics are unchanged — a cache hit
+        still skips the job, and results are cached per spec key.
     """
     policy = policy or RunPolicy()
     metrics = metrics if metrics is not None else RunMetrics()
@@ -174,7 +201,7 @@ def run_jobs(
     ):
         return _run_jobs_traced(
             worker, specs, policy, cache, encode, decode, metrics,
-            progress, should_cancel,
+            progress, should_cancel, batch_worker,
         )
 
 
@@ -193,6 +220,7 @@ def _run_jobs_traced(
     metrics: RunMetrics,
     progress: Optional[Callable[[int, int], None]],
     should_cancel: Optional[Callable[[], bool]],
+    batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
 ) -> List[Any]:
     metrics.workers = policy.worker_count
     metrics.count("jobs_total", len(specs))
@@ -229,6 +257,12 @@ def _run_jobs_traced(
                 progress(completed, len(specs))
 
         with metrics.stage("execute"):
+            # Vectorize first, fork second: a batch worker (when the
+            # policy allows it) turns each chunk / serial group into
+            # one call that shares assembly across its jobs.
+            batcher = (
+                batch_worker if policy.batch_within_chunk else None
+            )
             # Processes are used whenever more than one worker is
             # requested — even on a single core they buy crash/timeout
             # isolation; genuine pool failures fall back below.  An
@@ -242,22 +276,23 @@ def _run_jobs_traced(
                 and len(pending) > 1
                 and len(pending) >= policy.min_sweep_for_parallel
                 and _picklable(worker)
+                and (batcher is None or _picklable(batcher))
             )
             if use_processes:
                 try:
                     _run_parallel(worker, pending, policy, metrics, results,
-                                  done, advance, should_cancel)
+                                  done, advance, should_cancel, batcher)
                     metrics.mode = "process"
                 except _SerialFallback:
                     pending = [
                         (i, spec) for i, spec in pending if not done[i]
                     ]
                     _run_serial(worker, pending, policy, metrics, results,
-                                advance, should_cancel)
+                                advance, should_cancel, batcher)
                     metrics.mode = "serial"
             else:
                 _run_serial(worker, pending, policy, metrics, results,
-                            advance, should_cancel)
+                            advance, should_cancel, batcher)
                 metrics.mode = "serial"
         metrics.count("jobs_executed", len(pending))
 
@@ -279,6 +314,20 @@ def _run_jobs_traced(
 # ----------------------------------------------------------------------
 # Serial path
 # ----------------------------------------------------------------------
+def _run_batch(
+    batch_worker: Callable[[List[Any]], List[Any]],
+    payloads: List[Any],
+) -> List[Any]:
+    """Invoke a batch worker, enforcing its one-result-per-job contract."""
+    values = list(batch_worker(payloads))
+    if len(values) != len(payloads):
+        raise JobExecutionError(
+            f"batch worker returned {len(values)} result(s) for "
+            f"{len(payloads)} job(s)"
+        )
+    return values
+
+
 def _run_serial(
     worker: Callable[[Any], Any],
     pending: Sequence[Tuple[int, JobSpec]],
@@ -287,7 +336,12 @@ def _run_serial(
     results: List[Any],
     advance: Optional[Callable[[int], None]] = None,
     should_cancel: Optional[Callable[[], bool]] = None,
+    batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
 ) -> None:
+    if batch_worker is not None:
+        _run_serial_batched(batch_worker, pending, policy, metrics,
+                            results, advance, should_cancel)
+        return
     for index, spec in pending:
         _check_cancel(should_cancel)
         attempts = 0
@@ -308,6 +362,56 @@ def _run_serial(
                 metrics.count("retries")
         if advance is not None:
             advance(1)
+
+
+def _run_serial_batched(
+    batch_worker: Callable[[List[Any]], List[Any]],
+    pending: Sequence[Tuple[int, JobSpec]],
+    policy: RunPolicy,
+    metrics: RunMetrics,
+    results: List[Any],
+    advance: Optional[Callable[[int], None]] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Serial path with vectorized groups instead of a per-job loop.
+
+    Groups are deterministic (input order, fixed size), so batch
+    workers whose results are bit-identical to the per-job worker make
+    this path indistinguishable from :func:`_run_serial` except in
+    wall-clock.  Cancellation is polled between groups; a group that
+    fails with a non-domain error is retried whole.
+    """
+    group_size = policy.chunk_size or _SERIAL_BATCH_SIZE
+    for start in range(0, len(pending), group_size):
+        group = list(pending[start:start + group_size])
+        _check_cancel(should_cancel)
+        attempts = 0
+        while True:
+            try:
+                with obs_trace.span(
+                    "runtime.batch", kind=group[0][1].kind,
+                    jobs=len(group),
+                ):
+                    values = _run_batch(
+                        batch_worker, [spec.payload for _, spec in group]
+                    )
+                break
+            except MnsimError:
+                raise
+            except Exception as exc:
+                attempts += 1
+                metrics.count("worker_failures")
+                if attempts > policy.retries:
+                    raise _job_error(
+                        group[0][1], attempts, exc,
+                        jobs_in_chunk=len(group),
+                    ) from None
+                metrics.count("retries")
+        for (index, _spec), value in zip(group, values):
+            results[index] = value
+        metrics.count("batched_jobs", len(group))
+        if advance is not None:
+            advance(len(group))
 
 
 # ----------------------------------------------------------------------
@@ -409,16 +513,26 @@ def _run_chunk(
     worker: Callable[[Any], Any],
     payloads: List[Any],
     trace_context: Optional[Dict[str, Any]] = None,
+    batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
 ) -> Tuple[List[Any], Optional[List[Dict[str, Any]]]]:
     """Executed inside a worker process: run one chunk of payloads.
 
+    With a ``batch_worker`` the whole chunk is one vectorized call
+    (wrapped in a single ``runtime.batch`` span); otherwise each
+    payload runs through ``worker`` under its own ``runtime.job`` span.
+
     ``trace_context`` is the dispatcher's :func:`repro.obs.trace.
     current_context` payload: when present, this worker adopts it (so
-    its spans parent under the dispatching chunk span), wraps each
-    payload in a ``runtime.job`` span, and ships the collected span
-    dicts back alongside the results.
+    its spans parent under the dispatching chunk span) and ships the
+    collected span dicts back alongside the results.
     """
     obs_trace.activate(trace_context)
+    if batch_worker is not None:
+        if trace_context is None:
+            return _run_batch(batch_worker, payloads), None
+        with obs_trace.span("runtime.batch", jobs=len(payloads)):
+            results = _run_batch(batch_worker, payloads)
+        return results, obs_trace.collect()
     if trace_context is None:
         return [worker(payload) for payload in payloads], None
     results = []
@@ -437,6 +551,7 @@ def _run_parallel(
     done: List[bool],
     advance: Optional[Callable[[int], None]] = None,
     should_cancel: Optional[Callable[[], bool]] = None,
+    batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
 ) -> None:
     small_sweep = len(pending) < policy.worker_count * _SMALL_SWEEP_PER_WORKER
     chunks_per_worker = 2 if small_sweep else 4
@@ -471,7 +586,7 @@ def _run_parallel(
             context = dict(context, parent=chunk_span.span_id)
         future = executor.submit(
             _run_chunk, worker, [spec.payload for _, spec in chunk],
-            context,
+            context, batch_worker,
         )
         metrics.count("chunks_dispatched")
         deadline = (
@@ -594,6 +709,8 @@ def _run_parallel(
                     ):
                         results[index] = value
                         done[index] = True
+                    if batch_worker is not None:
+                        metrics.count("batched_jobs", len(chunks[ci]))
                     if advance is not None:
                         advance(len(chunks[ci]))
         clean_exit = True

@@ -57,7 +57,15 @@ once per shape on first use.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 import scipy.sparse as sp
@@ -236,6 +244,26 @@ class _CrossbarStructure:
             shape=(self.num_nodes, self.num_nodes),
         )
 
+    def matrix_batch(
+        self,
+        cell_conductances: np.ndarray,  # (B, M, N)
+        constant_tails: np.ndarray,  # (B, T)
+    ) -> np.ndarray:
+        """CSC ``data`` rows for a whole stack of same-shape crossbars.
+
+        Stacks every member's COO values into one ``(B, 4MN + T)``
+        array and rewrites all CSC value arrays in a single
+        ``np.add.reduceat`` sweep along the entry axis.  Each row is
+        bit-identical to what :meth:`matrix` computes for that member —
+        ``reduceat`` sums the same entries in the same order — so
+        batched assembly never perturbs results.  Pair a row with the
+        shared ``csc_indices`` / ``csc_indptr`` to materialise the
+        member's matrix.
+        """
+        g = cell_conductances.reshape(cell_conductances.shape[0], -1)
+        values = np.concatenate((g, g, -g, -g, constant_tails), axis=1)
+        return np.add.reduceat(values[:, self.order], self.starts, axis=1)
+
 
 _STRUCTURE_CACHE: Dict[Tuple[int, int], _CrossbarStructure] = {}
 
@@ -304,9 +332,16 @@ class CrossbarSolution:
 class CrossbarSolutionBatch:
     """Results of a batched solve: one leading ``K`` axis per field.
 
-    Produced by :meth:`CrossbarNetwork.solve_many`.  Indexing with
-    ``batch[k]`` recovers the ``k``-th :class:`CrossbarSolution`; the
-    stacked arrays support vectorized post-processing of whole sweeps.
+    Produced by :meth:`CrossbarNetwork.solve_many` and
+    :func:`solve_batch`.  Indexing with ``batch[k]`` recovers the
+    ``k``-th :class:`CrossbarSolution`; the stacked arrays support
+    vectorized post-processing of whole sweeps.
+
+    ``failed`` is only populated by ``solve_batch(...,
+    on_singular="mark")``: a true entry marks a member whose system was
+    singular (or produced non-finite voltages) — its result arrays are
+    NaN and ``converged`` is false.  It stays ``None`` on paths that
+    raise instead of marking.
     """
 
     output_voltages: np.ndarray  # (K, N)
@@ -316,6 +351,7 @@ class CrossbarSolutionBatch:
     total_power: np.ndarray  # (K,)
     iterations: np.ndarray  # (K,) int
     converged: np.ndarray  # (K,) bool
+    failed: Optional[np.ndarray] = None  # (K,) bool, solve_batch only
 
     def __len__(self) -> int:
         return self.output_voltages.shape[0]
@@ -673,8 +709,10 @@ class CrossbarNetwork:
 
         Nonlinear devices shift every cell's operating point with the
         inputs, so each vector keeps its own (exact) fixed-point
-        iteration; the batch still shares the precomputed structure and
-        each per-vector result is identical to :meth:`solve`.
+        iteration; the batch runs through :func:`solve_batch`, which
+        assembles all members' matrices in one sweep per round and
+        vectorizes the device update across the batch axis while
+        keeping each per-vector result bit-identical to :meth:`solve`.
         """
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim != 2 or inputs.shape[1] != self.rows:
@@ -704,27 +742,13 @@ class CrossbarNetwork:
                     np.ones(k, dtype=np.int64), np.ones(k, dtype=bool),
                 )
 
-        solutions = [
-            self.solve(inputs[i], tolerance, max_iterations)
-            for i in range(k)
-        ]
-        return CrossbarSolutionBatch(
-            output_voltages=np.stack(
-                [s.output_voltages for s in solutions]
-            ),
-            cell_voltages=np.stack([s.cell_voltages for s in solutions]),
-            cell_currents=np.stack([s.cell_currents for s in solutions]),
-            input_currents=np.stack(
-                [s.input_currents for s in solutions]
-            ),
-            total_power=np.array([s.total_power for s in solutions]),
-            iterations=np.array(
-                [s.iterations for s in solutions], dtype=np.int64
-            ),
-            converged=np.array(
-                [s.converged for s in solutions], dtype=bool
-            ),
-        )
+        with _obs_trace.span(
+            "solver.solve_many", rows=self.rows, cols=self.cols,
+            batch=k,
+        ):
+            return solve_batch(
+                [self] * k, inputs, tolerance, max_iterations
+            )
 
     # ------------------------------------------------------------------
     def _cell_voltages(self, voltages: np.ndarray) -> np.ndarray:
@@ -786,6 +810,386 @@ class CrossbarNetwork:
             iterations=iterations,
             converged=converged,
         )
+
+
+# ----------------------------------------------------------------------
+# Matrix-batched solving (DESIGN.md S22)
+# ----------------------------------------------------------------------
+#: Histogram buckets for ``repro_solver_batch_size`` (members per call).
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _count_batched_solve(batch: int) -> None:
+    """Record one ``solve_batch`` call on the obs metrics (when on)."""
+    if _obs_trace.enabled():
+        _obs_metrics.histogram(
+            "repro_solver_batch_size",
+            "Members per solve_batch call",
+            buckets=_BATCH_SIZE_BUCKETS,
+        ).observe(float(batch))
+        _obs_metrics.counter(
+            "repro_solver_batched_solves_total",
+            "Crossbar solves executed through the batched path",
+        ).inc(batch)
+
+
+def solve_batch(
+    networks: Sequence[CrossbarNetwork],
+    inputs: np.ndarray,
+    tolerance: float = _DEFAULT_TOLERANCE,
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    *,
+    on_singular: str = "raise",
+) -> CrossbarSolutionBatch:
+    """Solve ``B`` same-shape crossbars, one input vector each.
+
+    The whole batch shares one cached :class:`_CrossbarStructure`:
+    every member's stamp values are stacked into one array and all CSC
+    value arrays are rewritten in a single ``np.add.reduceat`` sweep
+    per fixed-point round (:meth:`_CrossbarStructure.matrix_batch`),
+    and the nonlinear device update / damping / convergence bookkeeping
+    run vectorized across the batch axis.  Each member's *numeric*
+    factorization and triangular solves stay per-member — they are what
+    pins every member bit-identical to :meth:`CrossbarNetwork.solve`,
+    which is the contract the Monte-Carlo / DSE / fault layers rely on
+    for schedule-independent reproducibility (and the reason the
+    batched path never changes cache keys).
+
+    Parameters
+    ----------
+    networks:
+        The batch members.  All must share one shape and one device
+        model (mixing linear and nonlinear members would split the
+        fixed-point loop); wire/sense parameters and fault masks may
+        differ freely per member.
+    inputs:
+        Input voltage vectors, shape ``(B, M)`` — row ``b`` drives
+        ``networks[b]``.
+    tolerance / max_iterations:
+        Fixed-point knobs, as in :meth:`CrossbarNetwork.solve`.
+    on_singular:
+        ``"raise"`` (default) surfaces the first singular member as
+        :class:`~repro.errors.SolverError`, like the point-wise path.
+        ``"mark"`` records the member in the result's ``failed`` array
+        (NaN outputs, ``converged=False``) and keeps solving the rest —
+        the fault-campaign contract, where a singular mask is a valid
+        *failed trial*, not an error.
+    """
+    networks = list(networks)
+    if not networks:
+        raise SolverError("solve_batch needs at least one network")
+    if on_singular not in ("raise", "mark"):
+        raise SolverError(
+            f"on_singular must be 'raise' or 'mark', got {on_singular!r}"
+        )
+    first = networks[0]
+    for net in networks:
+        if (net.rows, net.cols) != (first.rows, first.cols):
+            raise SolverError(
+                "solve_batch members must share one shape; got "
+                f"{net.rows}x{net.cols} and {first.rows}x{first.cols}"
+            )
+        if not (net.device is first.device or net.device == first.device):
+            raise SolverError(
+                "solve_batch members must share one device model"
+            )
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.shape != (len(networks), first.rows):
+        raise SolverError(
+            f"batched inputs must have shape ({len(networks)}, "
+            f"{first.rows}), got {inputs.shape}"
+        )
+    nonlinear = first._is_nonlinear()
+    with _obs_trace.span(
+        "solver.solve_batch", rows=first.rows, cols=first.cols,
+        batch=len(networks), nonlinear=nonlinear,
+    ):
+        _count_batched_solve(len(networks))
+        if nonlinear:
+            group = _nonlinear_group_size(first.structure.num_nodes)
+            if len(networks) <= group:
+                return _solve_batch_nonlinear(
+                    networks, inputs, tolerance, max_iterations,
+                    on_singular,
+                )
+            # Fixed-point rounds interleave every member's LU factors;
+            # past a cache-sized working set that round-robin evicts
+            # them faster than it amortises assembly (measured: 32
+            # members at 64x64 run ~25% slower than the point-wise
+            # loop, 8 run ~2% faster).  Members are independent, so
+            # slicing the batch changes wall-clock only, never bits.
+            parts = [
+                _solve_batch_nonlinear(
+                    networks[start:start + group],
+                    inputs[start:start + group],
+                    tolerance, max_iterations, on_singular,
+                )
+                for start in range(0, len(networks), group)
+            ]
+            return _concat_batches(parts)
+        return _solve_batch_linear(networks, inputs, on_singular)
+
+
+# Cache-friendly working-set budget for the nonlinear round-robin: the
+# sub-group size keeps (members x num_nodes) under this many unknowns,
+# so every member's LU factors stay resident across fixed-point rounds.
+# 64k unknowns -> 128 members at 16x16, 32 at 32x32, 8 at 64x64 — the
+# empirical sweet spots of the group-size sweep (DESIGN.md S22).
+_NONLINEAR_WORKSET_NODES = 65536
+
+
+def _nonlinear_group_size(num_nodes: int) -> int:
+    return max(4, _NONLINEAR_WORKSET_NODES // max(1, num_nodes))
+
+
+def _concat_batches(
+    parts: List[CrossbarSolutionBatch],
+) -> CrossbarSolutionBatch:
+    """Stitch sub-group results back into one batch, in member order."""
+    if len(parts) == 1:
+        return parts[0]
+    failed = None
+    if parts[0].failed is not None:
+        failed = np.concatenate([part.failed for part in parts])
+    return CrossbarSolutionBatch(
+        output_voltages=np.concatenate(
+            [part.output_voltages for part in parts]
+        ),
+        cell_voltages=np.concatenate(
+            [part.cell_voltages for part in parts]
+        ),
+        cell_currents=np.concatenate(
+            [part.cell_currents for part in parts]
+        ),
+        input_currents=np.concatenate(
+            [part.input_currents for part in parts]
+        ),
+        total_power=np.concatenate([part.total_power for part in parts]),
+        iterations=np.concatenate([part.iterations for part in parts]),
+        converged=np.concatenate([part.converged for part in parts]),
+        failed=failed,
+    )
+
+
+def _solve_batch_linear(
+    networks: List[CrossbarNetwork],
+    inputs: np.ndarray,
+    on_singular: str,
+) -> CrossbarSolutionBatch:
+    """One assembly sweep, then a per-member factorize/solve pass."""
+    first = networks[0]
+    structure = first.structure
+    num_nodes = structure.num_nodes
+    batch = len(networks)
+    conductances = np.stack(
+        [net._base_conductances() for net in networks]
+    )
+    tails = np.stack([net._wire_tail() for net in networks])
+    with _obs_trace.span("solver.assemble", batch=batch):
+        data = structure.matrix_batch(conductances, tails)
+    voltages = np.zeros((batch, num_nodes))
+    failed = np.zeros(batch, dtype=bool)
+    for index, net in enumerate(networks):
+        matrix = sp.csc_matrix(
+            (data[index], structure.csc_indices, structure.csc_indptr),
+            shape=(num_nodes, num_nodes),
+        )
+        rhs = net._rhs(inputs[index])
+        try:
+            solved = net._factorize(matrix).solve(rhs)
+            if np.any(~np.isfinite(solved)):
+                raise SolverError(
+                    "solver produced non-finite node voltages"
+                )
+        except SolverError:
+            if on_singular == "raise":
+                raise
+            failed[index] = True
+            continue
+        voltages[index] = solved
+    iterations = np.where(failed, 0, 1).astype(np.int64)
+    return _stack_member_solutions(
+        networks, voltages, conductances, inputs, iterations,
+        converged=~failed, failed=failed,
+        mark=(on_singular == "mark"),
+    )
+
+
+def _solve_batch_nonlinear(
+    networks: List[CrossbarNetwork],
+    inputs: np.ndarray,
+    tolerance: float,
+    max_iterations: int,
+    on_singular: str,
+) -> CrossbarSolutionBatch:
+    """Batched damped fixed point, bit-identical per member.
+
+    Mirrors :meth:`CrossbarNetwork._solve_nodes` exactly: the first
+    round factorizes each member, later rounds refine against the
+    member's frozen LU (refactorizing on stall), the device update and
+    damping are elementwise (so evaluating them on the stacked grids
+    changes nothing), and a member retires the first time its node
+    voltages move less than ``tolerance`` — with its conductances
+    already advanced by that round's update, as in the point-wise loop.
+    """
+    first = networks[0]
+    device = first.device
+    structure = first.structure
+    m, n = first.rows, first.cols
+    num_nodes = structure.num_nodes
+    batch = len(networks)
+
+    conductances = np.stack(
+        [net._base_conductances() for net in networks]
+    )
+    tails = np.stack([net._wire_tail() for net in networks])
+    resistances = np.stack([net.resistances for net in networks])
+    gain_stack = None
+    if any(net._cell_gain is not None for net in networks):
+        # Members without a mask multiply by exactly 1.0 — an IEEE
+        # identity, so their bits still match the point-wise path
+        # (which skips the multiply entirely).
+        gain_stack = np.stack([
+            np.ones((m, n)) if net._cell_gain is None else net._cell_gain
+            for net in networks
+        ])
+    rhs = np.stack(
+        [net._rhs(inputs[index]) for index, net in enumerate(networks)]
+    )
+
+    voltages = np.zeros((batch, num_nodes))
+    previous = np.zeros((batch, num_nodes))
+    has_previous = np.zeros(batch, dtype=bool)
+    lus: List[Optional[spla.SuperLU]] = [None] * batch
+    iterations = np.zeros(batch, dtype=np.int64)
+    converged = np.zeros(batch, dtype=bool)
+    failed = np.zeros(batch, dtype=bool)
+    active = np.ones(batch, dtype=bool)
+
+    for round_index in range(1, max_iterations + 1):
+        members = np.flatnonzero(active)
+        if members.size == 0:
+            break
+        with _obs_trace.span("solver.assemble", batch=members.size):
+            data = structure.matrix_batch(
+                conductances[members], tails[members]
+            )
+        for offset, index in enumerate(members):
+            net = networks[index]
+            iterations[index] = round_index
+            matrix = sp.csc_matrix(
+                (data[offset], structure.csc_indices,
+                 structure.csc_indptr),
+                shape=(num_nodes, num_nodes),
+            )
+            try:
+                if lus[index] is None:
+                    lus[index] = net._factorize(matrix)
+                    solved = lus[index].solve(rhs[index])
+                else:
+                    with _obs_trace.span("solver.refine"):
+                        solved = _refined_solve(
+                            lus[index], matrix, rhs[index],
+                            voltages[index],
+                        )
+                    if solved is None:
+                        _count_solver_event("refactorize_on_stall")
+                        lus[index] = net._factorize(matrix)
+                        solved = lus[index].solve(rhs[index])
+                    else:
+                        _count_solver_event("refine_accept")
+                if np.any(~np.isfinite(solved)):
+                    raise SolverError(
+                        "solver produced non-finite node voltages"
+                    )
+            except SolverError:
+                if on_singular == "raise":
+                    raise
+                failed[index] = True
+                active[index] = False
+                continue
+            voltages[index] = solved
+        members = np.flatnonzero(active)
+        if members.size == 0:
+            break
+        # Device update + damping, vectorized across the batch axis.
+        wl = voltages[members, : m * n].reshape(-1, m, n)
+        bl = voltages[members, m * n:].reshape(-1, m, n)
+        v_cell = wl - bl
+        new_cond = 1.0 / device.actual_resistance(
+            resistances[members], v_cell
+        )
+        if gain_stack is not None:
+            new_cond = new_cond * gain_stack[members]
+        conductances[members] = (
+            _DAMPING * new_cond
+            + (1.0 - _DAMPING) * conductances[members]
+        )
+        # Convergence: per-member max |delta|, exact as the scalar loop.
+        ready = members[has_previous[members]]
+        if ready.size:
+            deltas = np.max(
+                np.abs(voltages[ready] - previous[ready]), axis=1
+            )
+            settled = ready[deltas < tolerance]
+            converged[settled] = True
+            active[settled] = False
+        previous[members] = voltages[members]
+        has_previous[members] = True
+
+    return _stack_member_solutions(
+        networks, voltages, conductances, inputs, iterations,
+        converged=converged, failed=failed,
+        mark=(on_singular == "mark"),
+    )
+
+
+def _stack_member_solutions(
+    networks: List[CrossbarNetwork],
+    voltages: np.ndarray,  # (B, 2MN)
+    conductances: np.ndarray,  # (B, M, N)
+    inputs: np.ndarray,  # (B, M)
+    iterations: np.ndarray,
+    converged: np.ndarray,
+    failed: np.ndarray,
+    mark: bool,
+) -> CrossbarSolutionBatch:
+    """Package per-member results; failed members become NaN rows.
+
+    ``failed`` drives the NaN fill either way, but only surfaces as
+    the result's ``failed`` field under ``mark`` (``on_singular=
+    "mark"``) — raise-mode results keep the field ``None``, like the
+    point-wise path and ``solve_many``.
+    """
+    batch = len(networks)
+    m, n = networks[0].rows, networks[0].cols
+    output_voltages = np.full((batch, n), np.nan)
+    cell_voltages = np.full((batch, m, n), np.nan)
+    cell_currents = np.full((batch, m, n), np.nan)
+    input_currents = np.full((batch, m), np.nan)
+    total_power = np.full(batch, np.nan)
+    for index, net in enumerate(networks):
+        if failed[index]:
+            continue
+        solution = net._package(
+            voltages[index], conductances[index], inputs[index],
+            int(iterations[index]), bool(converged[index]),
+        )
+        output_voltages[index] = solution.output_voltages
+        cell_voltages[index] = solution.cell_voltages
+        cell_currents[index] = solution.cell_currents
+        input_currents[index] = solution.input_currents
+        total_power[index] = solution.total_power
+    return CrossbarSolutionBatch(
+        output_voltages=output_voltages,
+        cell_voltages=cell_voltages,
+        cell_currents=cell_currents,
+        input_currents=input_currents,
+        total_power=total_power,
+        iterations=np.asarray(iterations, dtype=np.int64),
+        converged=np.asarray(converged, dtype=bool),
+        failed=np.asarray(failed, dtype=bool) if mark else None,
+    )
 
 
 def _refined_solve(

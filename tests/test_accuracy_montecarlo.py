@@ -157,3 +157,49 @@ class TestValidation:
         rng = np.random.default_rng(0)
         with pytest.raises(ConfigError):
             run_monte_carlo(device, 8, SEG_45NM, rng, jobs=2)
+
+
+class TestBatchedParity:
+    """The batched trial worker is byte-identical to the point-wise
+    path for every ``jobs`` setting (DESIGN.md S22)."""
+
+    def _pointwise(self, device, **kwargs):
+        from repro.runtime.pool import RunPolicy
+        return run_monte_carlo(
+            device, 16, SEG_45NM, seed=11, trials=6,
+            policy=RunPolicy(batch_within_chunk=False), **kwargs,
+        )
+
+    def test_batched_matches_pointwise_serial(self, device):
+        batched = run_monte_carlo(device, 16, SEG_45NM, seed=11,
+                                  trials=6)
+        assert np.array_equal(batched.samples,
+                              self._pointwise(device).samples)
+
+    def test_batched_matches_pointwise_parallel(self, device):
+        batched = run_monte_carlo(device, 16, SEG_45NM, seed=11,
+                                  trials=6, jobs=2)
+        assert np.array_equal(batched.samples,
+                              self._pointwise(device).samples)
+
+    def test_multi_input_trials_fall_back_identically(self, device):
+        """``inputs_per_trial > 1`` uses the per-trial solve_many path
+        inside the batch worker's fallback — still byte-identical."""
+        from repro.runtime.pool import RunPolicy
+        batched = run_monte_carlo(device, 12, SEG_45NM, seed=13,
+                                  trials=4, inputs_per_trial=3)
+        pointwise = run_monte_carlo(
+            device, 12, SEG_45NM, seed=13, trials=4, inputs_per_trial=3,
+            policy=RunPolicy(batch_within_chunk=False),
+        )
+        assert np.array_equal(batched.samples, pointwise.samples)
+
+    def test_full_input_mode_batched_identically(self, device):
+        from repro.runtime.pool import RunPolicy
+        batched = run_monte_carlo(device, 12, SEG_45NM, seed=17,
+                                  trials=4, input_mode="full")
+        pointwise = run_monte_carlo(
+            device, 12, SEG_45NM, seed=17, trials=4, input_mode="full",
+            policy=RunPolicy(batch_within_chunk=False),
+        )
+        assert np.array_equal(batched.samples, pointwise.samples)

@@ -228,3 +228,26 @@ class TestWeightedOptimal:
             weighted_optimal(points, {"area": 0.0})
         with pytest.raises(ExplorationError):
             weighted_optimal([], {"area": 1.0})
+
+
+class TestBatchedParity:
+    """Shape-grouped accuracy sharing returns the exact same points as
+    the historical per-point evaluation, for every ``jobs`` setting."""
+
+    def test_batched_matches_pointwise_serial(
+        self, base_config, small_space, large_layer_network, points
+    ):
+        from repro.runtime.pool import RunPolicy
+        pointwise = explore(
+            base_config, large_layer_network, small_space,
+            policy=RunPolicy(batch_within_chunk=False),
+        )
+        assert points == pointwise
+
+    def test_batched_matches_pointwise_parallel(
+        self, base_config, small_space, large_layer_network, points
+    ):
+        parallel = explore(
+            base_config, large_layer_network, small_space, jobs=2
+        )
+        assert points == parallel

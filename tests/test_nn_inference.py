@@ -149,3 +149,50 @@ class TestFaultMasks:
         inputs = rng.uniform(-1, 1, size=64)
         with pytest.raises(ConfigError):
             engine.forward(inputs, layer_fault_masks=[None])
+
+
+class TestWithFaultMasks:
+    """Pre-applied masks vs per-forward corruption: same bits, one
+    ``apply_mask_to_weights`` instead of one per pass."""
+
+    def _model_and_masks(self, seed=31):
+        from repro.faults.models import sample_fault_mask
+
+        rng = np.random.default_rng(seed)
+        network = mlp([12, 8, 5], name="mask-hoist")
+        model = MlpInference.with_random_weights(network, rng)
+        masks = [
+            sample_fault_mask(out, inp, 0.15, rng)
+            for out, inp in (w.shape for w in model.weights)
+        ]
+        inputs = rng.uniform(-1, 1, size=12)
+        return model, masks, inputs
+
+    def test_bit_identical_to_per_call_masks(self):
+        model, masks, inputs = self._model_and_masks()
+        hoisted = model.with_fault_masks(masks).forward(inputs)
+        per_call = model.forward(inputs, layer_fault_masks=masks)
+        for a, b in zip(hoisted, per_call):
+            assert np.array_equal(a, b)
+
+    def test_none_entries_leave_layers_intact(self):
+        model, masks, inputs = self._model_and_masks()
+        partial = [masks[0], None]
+        hoisted = model.with_fault_masks(partial)
+        assert hoisted.weights[1] is model.weights[1]
+        assert np.array_equal(
+            hoisted.forward(inputs)[-1],
+            model.forward(inputs, layer_fault_masks=partial)[-1],
+        )
+
+    def test_original_model_unchanged(self):
+        model, masks, inputs = self._model_and_masks()
+        before = [w.copy() for w in model.weights]
+        model.with_fault_masks(masks)
+        for original, kept in zip(before, model.weights):
+            assert np.array_equal(original, kept)
+
+    def test_mask_count_checked(self):
+        model, masks, _ = self._model_and_masks()
+        with pytest.raises(ConfigError):
+            model.with_fault_masks(masks[:1])

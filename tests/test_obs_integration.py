@@ -184,3 +184,46 @@ class TestWorkerTeardownCounter:
         failures = obs.REGISTRY.get("repro_worker_teardown_failures_total")
         assert failures is not None
         assert failures.value() >= 1
+
+
+class TestBatchedSolveInstrumentation:
+    def test_solve_batch_records_size_and_count(self):
+        from repro.spice.solver import CrossbarNetwork, solve_batch
+        from repro.tech import get_memristor_model
+
+        obs.enable()
+        device = get_memristor_model("RRAM")
+        rng = np.random.default_rng(61)
+        networks, inputs = [], []
+        for _ in range(5):
+            networks.append(CrossbarNetwork(
+                rng.uniform(1e5, 1e6, size=(8, 8)), 0.25, 1e3,
+                device=device,
+            ))
+            inputs.append(rng.uniform(0.1, 1.0, size=8))
+        solve_batch(networks, np.stack(inputs))
+
+        names = [s["name"] for s in trace.spans()]
+        assert "solver.solve_batch" in names
+        batch_span = next(
+            s for s in trace.spans() if s["name"] == "solver.solve_batch"
+        )
+        assert batch_span["attrs"]["batch"] == 5
+
+        hist = obs.REGISTRY.get("repro_solver_batch_size")
+        assert hist.snapshot()["count"] == 1
+        assert hist.snapshot()["sum"] == 5.0
+        counter = obs.REGISTRY.get("repro_solver_batched_solves_total")
+        assert counter.value() == 5
+
+    def test_disabled_tracing_records_nothing(self):
+        from repro.spice.solver import CrossbarNetwork, solve_batch
+
+        rng = np.random.default_rng(62)
+        networks = [
+            CrossbarNetwork(rng.uniform(1e5, 1e6, size=(6, 6)),
+                            0.25, 1e3, device=None)
+            for _ in range(3)
+        ]
+        solve_batch(networks, rng.uniform(0.1, 1.0, size=(3, 6)))
+        assert obs.REGISTRY.get("repro_solver_batch_size") is None
