@@ -304,6 +304,10 @@ def run_monte_carlo(
             payload=task,
             key=content_key(*key_parts),
         ))
+    # Report the total up front so progress consumers (the service's
+    # ETA estimator) know the work size before the first chunk lands.
+    if progress is not None:
+        progress(0, len(specs))
     with obs_trace.span("mc.run", trials=trials, size=size):
         errors = run_jobs(
             _run_trial,

@@ -23,7 +23,11 @@ The subcommands cover the software flow of the paper's Fig. 3:
 * ``runtime-stats`` — the job engine's last-run metrics and cache
   effectiveness (see :mod:`repro.runtime`);
 * ``obs-report`` — render a saved trace as a wall-time tree + top-k
-  table (see :mod:`repro.obs`);
+  table (see :mod:`repro.obs`); ``--job ID`` fetches a running
+  service's per-job trace instead of reading a file;
+* ``jobs`` — ``list`` and ``watch`` jobs on a running service;
+  ``watch`` streams progress events with live ETA, throughput and
+  resource usage;
 * ``lint`` — the project-specific static-analysis pass (determinism,
   cache-key purity, fork-safety, except hygiene, units discipline;
   see :mod:`repro.analysis`): exit 0 clean modulo the checked-in
@@ -455,8 +459,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_report
+    from repro.obs.report import render_report, spans_from_trace
 
+    if args.job:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        try:
+            spans = spans_from_trace(client.job_trace(args.job))
+        except OSError as exc:  # URLError: service not reachable
+            raise MnsimError(
+                f"cannot reach service at {args.url!r}: {exc}"
+            )
+        print(render_report(spans, k=args.top, max_depth=args.depth))
+        return 0
+    if not args.trace_file:
+        raise MnsimError(
+            "either a trace file or --job JOB_ID is required"
+        )
     try:
         print(render_report(
             args.trace_file, k=args.top, max_depth=args.depth,
@@ -464,6 +484,51 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         raise MnsimError(f"cannot read trace {args.trace_file!r}: {exc}")
     return 0
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        jobs = client.jobs()
+    except OSError as exc:
+        raise MnsimError(f"cannot reach service at {args.url!r}: {exc}")
+    if not jobs:
+        print("no jobs known to the service")
+        return 0
+    rows = [
+        [
+            job["job_id"][:12],
+            job.get("kind", "?"),
+            job.get("state", "?"),
+            f"{job.get('done', 0)}/{job.get('total', 0)}",
+            job.get("description", ""),
+        ]
+        for job in jobs
+    ]
+    print(format_table(
+        ["job", "kind", "state", "progress", "description"], rows
+    ))
+    return 0
+
+
+def _cmd_jobs_watch(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_progress_line
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    final_state = None
+    try:
+        for event in client.iter_events(args.job_id):
+            if event.get("event") == "progress":
+                print(render_progress_line(event), flush=True)
+            elif event.get("event") == "state":
+                final_state = event.get("state")
+                print(f"state: {final_state}", flush=True)
+    except OSError as exc:
+        raise MnsimError(f"cannot reach service at {args.url!r}: {exc}")
+    return 0 if final_state == "done" else 1
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
@@ -739,9 +804,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs_report = sub.add_parser(
         "obs-report",
-        help="render a saved --trace file as a wall-time tree",
+        help="render a saved --trace file (or a service job's trace) "
+             "as a wall-time tree",
     )
-    obs_report.add_argument("trace_file", help="Chrome trace-event JSON")
+    obs_report.add_argument(
+        "trace_file", nargs="?", default=None,
+        help="Chrome trace-event JSON (omit when using --job)",
+    )
+    obs_report.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="fetch the trace of this service job instead of a file",
+    )
+    obs_report.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL for --job (default %(default)s)",
+    )
     obs_report.add_argument(
         "--top", type=int, default=10, help="rows in the by-name table"
     )
@@ -749,6 +826,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--depth", type=int, default=None, help="max tree depth"
     )
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    jobs_cmd = sub.add_parser(
+        "jobs",
+        help="inspect and watch jobs on a running service",
+    )
+    jobs_sub = jobs_cmd.add_subparsers(dest="jobs_command", required=True)
+    jobs_list = jobs_sub.add_parser(
+        "list", help="list jobs known to the service"
+    )
+    jobs_list.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default %(default)s)",
+    )
+    jobs_list.set_defaults(func=_cmd_jobs_list)
+    jobs_watch = jobs_sub.add_parser(
+        "watch",
+        help="stream a job's progress events with live ETA and "
+             "resource usage",
+    )
+    jobs_watch.add_argument("job_id", help="job id (from submit or list)")
+    jobs_watch.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default %(default)s)",
+    )
+    jobs_watch.set_defaults(func=_cmd_jobs_watch)
 
     return parser
 

@@ -238,6 +238,10 @@ def explore(
     specs = [
         simulation_spec(config, network, fingerprint) for config in configs
     ]
+    # Report the total up front so progress consumers (the service's
+    # ETA estimator) know the work size before the first chunk lands.
+    if progress is not None:
+        progress(0, len(specs))
     with obs_trace.span(
         "dse.explore", points=len(configs), network=network.name,
     ):

@@ -542,6 +542,10 @@ def run_campaign(
                             spec.sense_resistance,
                         ),
                     ))
+    # Report the total up front so progress consumers (the service's
+    # ETA estimator) know the work size before the first chunk lands.
+    if progress is not None:
+        progress(0, len(specs))
     with obs_trace.span(
         "faults.campaign",
         points=len(combos), trials_per_point=spec.trials,

@@ -12,7 +12,15 @@ simulator — see DESIGN.md S18.  Three parts:
   :class:`repro.runtime.metrics.RunMetrics` is a thin per-run facade
   over it;
 * :mod:`repro.obs.report` — terminal rendering of saved traces (span
-  tree + top-k table), surfaced by ``repro obs-report``.
+  tree + top-k table) and live job progress, surfaced by
+  ``repro obs-report`` / ``repro jobs watch``;
+* :mod:`repro.obs.progress` — ETA estimation from ``progress``
+  callbacks (EWMA throughput blended with median chunk latency).
+
+Work can be scoped to a job with :class:`repro.obs.trace.JobContext`:
+spans and labelled metric samples recorded inside it carry the job id
+(propagated to worker processes), which the service layer serves back
+per job — see DESIGN.md S23.
 
 Everything is **disabled by default** and the no-op path is a cached
 singleton, so instrumented hot paths (the crossbar solver, the job
@@ -32,7 +40,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.obs import metrics, report, trace
+from repro.obs import metrics, progress, report, trace
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -41,7 +49,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_prometheus,
 )
-from repro.obs.trace import Span, span
+from repro.obs.progress import ProgressTracker
+from repro.obs.trace import JobContext, Span, current_job, span
 
 #: Environment variable: when set to a path, the CLI enables tracing and
 #: writes the Chrome trace there on exit.
@@ -55,8 +64,12 @@ __all__ = [
     "trace",
     "metrics",
     "report",
+    "progress",
     "span",
     "Span",
+    "JobContext",
+    "current_job",
+    "ProgressTracker",
     "REGISTRY",
     "Counter",
     "Gauge",

@@ -26,6 +26,18 @@ dict lookups), but hot-path callers still gate on
 this registry: it keeps its historical per-run dict snapshot (the
 ``runtime-stats`` contract) and mirrors every stage/counter into the
 global registry whenever observability is enabled.
+
+**Job scoping.**  A registry created with ``job_scoped=True`` (the
+global :data:`REGISTRY` is) injects a ``job=<id>`` label into every
+recorded sample while a :class:`repro.obs.trace.JobContext` is active.
+That is the *only* sanctioned way to get per-job labels — callers must
+never pass ``job=`` explicitly (enforced by a grep-level check in
+``tests/test_analysis_rules.py``) — so attribution follows the dynamic
+job scope, including into worker processes.  After a job's results are
+persisted, :meth:`MetricsRegistry.rollup_job` folds its label sets back
+into the base series (counters and histograms merge additively; gauges
+are evicted), keeping global scrape cardinality bounded by the number
+of *live* jobs, not the number ever run.
 """
 
 from __future__ import annotations
@@ -61,6 +73,15 @@ _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _strip_job(key: LabelSet, job_id: str) -> LabelSet:
+    """``key`` without its ``("job", job_id)`` pair."""
+    return tuple(pair for pair in key if pair != ("job", job_id))
+
+
+def _has_job(key: LabelSet, job_id: str) -> bool:
+    return ("job", job_id) in key
 
 
 def _escape_label_value(value: str) -> str:
@@ -105,9 +126,30 @@ class _Metric:
         self.name = name
         self.help = help_text
         self._lock = threading.Lock()
+        #: Set by a ``job_scoped`` registry at registration; standalone
+        #: instances (e.g. the ETA tracker's private histogram) never
+        #: inject.
+        self._job_scoped = False
 
-    # Subclasses provide: samples() -> iterable of exposition lines,
-    # and to_dict() -> JSON-safe payload.
+    def _record_key(self, labels: Dict[str, Any]) -> LabelSet:
+        """The label set a *recording* call lands on.
+
+        Job-scoped metrics add ``job=<id>`` while a
+        :class:`repro.obs.trace.JobContext` is active; read paths
+        (``value``/``snapshot``/``quantile``) address label sets
+        verbatim.
+        """
+        if self._job_scoped and "job" not in labels:
+            from repro.obs import trace as _trace
+
+            job = _trace.current_job()
+            if job is not None:
+                labels = dict(labels, job=job)
+        return _labelset(labels)
+
+    # Subclasses provide: exposition() -> list of exposition lines,
+    # to_dict() -> JSON-safe payload, _label_keys(), filter_job(),
+    # rollup_job().
 
 
 class Counter(_Metric):
@@ -122,12 +164,51 @@ class Counter(_Metric):
     def inc(self, amount: Union[int, float] = 1, **labels: Any) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        key = _labelset(labels)
+        key = self._record_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_labelset(labels), 0)
+
+    def total(self, **labels: Any) -> float:
+        """Sum over every sample whose labels *include* ``labels``.
+
+        ``total()`` is the family grand total; ``total(event="x")``
+        sums the ``event="x"`` series across whatever other labels
+        (e.g. an injected ``job``) the samples carry.
+        """
+        want = set(_labelset(labels))
+        with self._lock:
+            return sum(
+                v for k, v in self._values.items() if want <= set(k)
+            )
+
+    def _label_keys(self) -> List[LabelSet]:
+        with self._lock:
+            return list(self._values)
+
+    def filter_job(self, job_id: str) -> Optional["Counter"]:
+        with self._lock:
+            values = {
+                k: v for k, v in self._values.items() if _has_job(k, job_id)
+            }
+        if not values:
+            return None
+        out = Counter(self.name, self.help)
+        out._values = values
+        return out
+
+    def rollup_job(self, job_id: str) -> int:
+        """Fold ``job_id``'s series into the base series additively."""
+        with self._lock:
+            doomed = [k for k in self._values if _has_job(k, job_id)]
+            for key in doomed:
+                base = _strip_job(key, job_id)
+                self._values[base] = (
+                    self._values.get(base, 0) + self._values.pop(key)
+                )
+        return len(doomed)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -156,15 +237,38 @@ class Gauge(_Metric):
 
     def set(self, value: Union[int, float], **labels: Any) -> None:
         with self._lock:
-            self._values[_labelset(labels)] = float(value)
+            self._values[self._record_key(labels)] = float(value)
 
     def add(self, amount: Union[int, float], **labels: Any) -> None:
-        key = _labelset(labels)
+        key = self._record_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_labelset(labels), 0.0)
+
+    def _label_keys(self) -> List[LabelSet]:
+        with self._lock:
+            return list(self._values)
+
+    def filter_job(self, job_id: str) -> Optional["Gauge"]:
+        with self._lock:
+            values = {
+                k: v for k, v in self._values.items() if _has_job(k, job_id)
+            }
+        if not values:
+            return None
+        out = Gauge(self.name, self.help)
+        out._values = values
+        return out
+
+    def rollup_job(self, job_id: str) -> int:
+        """Evict ``job_id``'s series (gauges are not additive)."""
+        with self._lock:
+            doomed = [k for k in self._values if _has_job(k, job_id)]
+            for key in doomed:
+                del self._values[key]
+        return len(doomed)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -216,7 +320,7 @@ class Histogram(_Metric):
 
     def observe(self, value: Union[int, float], **labels: Any) -> None:
         value = float(value)
-        key = _labelset(labels)
+        key = self._record_key(labels)
         with self._lock:
             state = self._states.get(key)
             if state is None:
@@ -239,6 +343,72 @@ class Histogram(_Metric):
             return {"count": 0, "sum": 0.0, "mean": 0.0}
         mean = state.total / state.count if state.count else 0.0
         return {"count": state.count, "sum": state.total, "mean": mean}
+
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimated ``q``-quantile for one label set, or None if empty.
+
+        Linear interpolation inside the bucket holding the rank (the
+        usual Prometheus ``histogram_quantile`` estimate); observations
+        in the implicit ``+Inf`` bucket clamp to the largest finite
+        bound, so callers get a finite — if pessimistically low —
+        answer rather than infinity.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            state = self._states.get(_labelset(labels))
+            if state is None or state.count == 0:
+                return None
+            rank = q * state.count
+            running = 0
+            for i, count in enumerate(state.bucket_counts):
+                if count and running + count >= rank:
+                    if i >= len(self.bounds):  # +Inf bucket: clamp
+                        return self.bounds[-1]
+                    hi = self.bounds[i]
+                    lo = self.bounds[i - 1] if i else min(0.0, hi)
+                    return lo + (hi - lo) * ((rank - running) / count)
+                running += count
+            return self.bounds[-1]
+
+    def _label_keys(self) -> List[LabelSet]:
+        with self._lock:
+            return list(self._states)
+
+    def filter_job(self, job_id: str) -> Optional["Histogram"]:
+        with self._lock:
+            states: Dict[LabelSet, _HistogramState] = {}
+            for key, state in self._states.items():
+                if not _has_job(key, job_id):
+                    continue
+                copy = _HistogramState(len(self.bounds) + 1)
+                copy.bucket_counts = list(state.bucket_counts)
+                copy.total = state.total
+                copy.count = state.count
+                states[key] = copy
+        if not states:
+            return None
+        out = Histogram(self.name, self.help, buckets=self.bounds)
+        out._states = states
+        return out
+
+    def rollup_job(self, job_id: str) -> int:
+        """Merge ``job_id``'s series into the base series bucket-wise."""
+        with self._lock:
+            doomed = [k for k in self._states if _has_job(k, job_id)]
+            for key in doomed:
+                state = self._states.pop(key)
+                base = _strip_job(key, job_id)
+                target = self._states.get(base)
+                if target is None:
+                    target = self._states[base] = _HistogramState(
+                        len(self.bounds) + 1
+                    )
+                for i, count in enumerate(state.bucket_counts):
+                    target.bucket_counts[i] += count
+                target.total += state.total
+                target.count += state.count
+        return len(doomed)
 
     def to_dict(self) -> Dict[str, Any]:
         values = {}
@@ -284,12 +454,19 @@ class MetricsRegistry:
 
     ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
     call registers the metric, later calls return the same object (a
-    conflicting re-registration with a different type raises).
+    conflicting re-registration — different type, or a histogram with
+    different bucket bounds — raises).
+
+    ``job_scoped=True`` makes every registered metric inject a
+    ``job=<id>`` label at record time while a
+    :class:`repro.obs.trace.JobContext` is active (see module
+    docstring); only the global :data:`REGISTRY` opts in.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, job_scoped: bool = False) -> None:
         self._metrics: Dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        self.job_scoped = job_scoped
 
     # -- registration --------------------------------------------------
     def _get_or_create(self, cls, name: str, help_text: str,
@@ -302,10 +479,20 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as "
                         f"{existing.kind}, not {cls.kind}"
                     )
+                buckets = kwargs.get("buckets")
+                if buckets is not None:
+                    bounds = sorted(float(b) for b in buckets)
+                    if bounds != existing.bounds:
+                        raise ValueError(
+                            f"histogram {name!r} already registered "
+                            f"with buckets {existing.bounds}, not "
+                            f"{bounds}"
+                        )
                 if help_text and not existing.help:
                     existing.help = help_text
                 return existing
             metric = cls(name, help_text, **kwargs)
+            metric._job_scoped = self.job_scoped
             self._metrics[name] = metric
             return metric
 
@@ -317,8 +504,16 @@ class MetricsRegistry:
 
     def histogram(
         self, name: str, help_text: str = "",
-        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        buckets: Optional[Iterable[float]] = None,
     ) -> Histogram:
+        """Get-or-create; ``buckets=None`` means "whatever is
+        registered" (:data:`DEFAULT_BUCKETS` on first registration),
+        while explicit bounds must match an existing registration."""
+        if buckets is None:
+            existing = self._metrics.get(name)
+            if existing is not None and isinstance(existing, Histogram):
+                return self._get_or_create(Histogram, name, help_text)
+            buckets = DEFAULT_BUCKETS
         return self._get_or_create(
             Histogram, name, help_text, buckets=buckets
         )
@@ -334,6 +529,48 @@ class MetricsRegistry:
         """Drop every registered metric (tests and fresh CLI runs)."""
         with self._lock:
             self._metrics.clear()
+
+    # -- job label lifecycle -------------------------------------------
+    def filter_job(self, job_id: str) -> "MetricsRegistry":
+        """A detached registry holding only ``job_id``'s samples.
+
+        Serves ``GET /jobs/{id}/metrics``: the copies keep their
+        ``job=`` label and are snapshots — recording into them does not
+        touch this registry.
+        """
+        out = MetricsRegistry()
+        with self._lock:
+            items = list(self._metrics.items())
+        for name, metric in items:
+            filtered = metric.filter_job(job_id)
+            if filtered is not None:
+                out._metrics[name] = filtered
+        return out
+
+    def rollup_job(self, job_id: str) -> int:
+        """Fold ``job_id``'s label sets back into the base series.
+
+        Counters and histograms merge additively (the global totals a
+        scrape sees are unchanged); gauges are evicted.  Returns the
+        number of label sets removed.  Called once per job after its
+        observability artefacts are persisted on the job record, this
+        bounds global scrape cardinality by the number of live jobs.
+        """
+        with self._lock:
+            items = list(self._metrics.values())
+        return sum(metric.rollup_job(job_id) for metric in items)
+
+    def job_label_values(self) -> set:
+        """Distinct ``job=`` label values present across all samples."""
+        with self._lock:
+            items = list(self._metrics.values())
+        jobs = set()
+        for metric in items:
+            for key in metric._label_keys():
+                for label, value in key:
+                    if label == "job":
+                        jobs.add(value)
+        return jobs
 
     # -- export --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -359,7 +596,8 @@ class MetricsRegistry:
 
 
 #: The process-global registry every instrumented module records into.
-REGISTRY = MetricsRegistry()
+#: Job-scoped: samples recorded inside a JobContext carry a job label.
+REGISTRY = MetricsRegistry(job_scoped=True)
 
 
 def counter(name: str, help_text: str = "") -> Counter:
@@ -374,7 +612,7 @@ def gauge(name: str, help_text: str = "") -> Gauge:
 
 def histogram(
     name: str, help_text: str = "",
-    buckets: Iterable[float] = DEFAULT_BUCKETS,
+    buckets: Optional[Iterable[float]] = None,
 ) -> Histogram:
     """Get-or-create a histogram on the global :data:`REGISTRY`."""
     return REGISTRY.histogram(name, help_text, buckets=buckets)

@@ -29,15 +29,18 @@ from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "load_trace",
+    "spans_from_trace",
     "build_tree",
     "render_tree",
     "top_spans",
     "render_top_spans",
     "render_report",
+    "render_progress_line",
 ]
 
-#: args keys that carry tree structure, not user attributes.
-_STRUCTURAL_ARGS = ("span_id", "parent_id")
+#: args keys that carry tree structure / job scoping, not user
+#: attributes.
+_STRUCTURAL_ARGS = ("span_id", "parent_id", "job")
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
@@ -49,6 +52,16 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
+    return spans_from_trace(payload)
+
+
+def spans_from_trace(payload: Any) -> List[Dict[str, Any]]:
+    """Span dicts from an in-memory Chrome trace document.
+
+    The same extraction :func:`load_trace` applies to files, reusable
+    for trace documents fetched from the service's
+    ``/jobs/{id}/trace`` endpoint.
+    """
     events = payload.get("traceEvents", payload) if isinstance(
         payload, dict
     ) else payload
@@ -214,6 +227,42 @@ def render_top_spans(
     lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
     lines.extend(fmt.format(*row) for row in table)
     return "\n".join(lines)
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, float(seconds))
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render_progress_line(doc: Dict[str, Any]) -> str:
+    """One live-watch line from a job status or ``progress`` event dict.
+
+    Renders completion, smoothed throughput, remaining-time estimate,
+    and the job's peak RSS when a resource snapshot is present — the
+    row ``repro jobs watch`` prints per event.
+    """
+    done = int(doc.get("done") or 0)
+    total = int(doc.get("total") or 0)
+    percent = (100.0 * done / total) if total else 0.0
+    parts = [f"{done}/{total}", f"{percent:5.1f}%"]
+    throughput = doc.get("throughput")
+    if throughput is not None:
+        parts.append(f"{float(throughput):.2f} jobs/s")
+    parts.append(f"eta {_format_eta(doc.get('eta_seconds'))}")
+    resources = doc.get("resources") or {}
+    rss = resources.get("peak_rss_bytes")
+    if rss:
+        parts.append(f"rss {float(rss) / (1 << 20):.0f} MiB")
+    state = doc.get("state")
+    if state:
+        parts.append(str(state))
+    return "  ".join(parts)
 
 
 def render_report(

@@ -29,6 +29,14 @@ Span ids embed the pid, so ids minted in different processes never
 collide.  Timestamps are wall-clock (``time.time``) so lanes from
 different processes align; durations are measured with
 ``time.perf_counter`` for resolution.
+
+**Job scoping.**  A :class:`JobContext` tags every span recorded while
+it is active (and, via the job-scoped metrics registry, every labelled
+metric sample) with a job id.  The id rides the same propagation
+payload as the parent span id, so worker processes inherit it through
+:func:`activate` — and unlike the enabled/debug flags it is honoured
+even while tracing is off, because metric attribution must not depend
+on whether spans are being collected.
 """
 
 from __future__ import annotations
@@ -56,6 +64,10 @@ __all__ = [
     "current_context",
     "activate",
     "export_chrome",
+    "JobContext",
+    "current_job",
+    "spans_for_job",
+    "take_job_spans",
 ]
 
 _enabled = False
@@ -72,6 +84,14 @@ _current: ContextVar[Optional["Span"]] = ContextVar(
 
 #: Parent span id adopted from another process via :func:`activate`.
 _remote_parent: Optional[str] = None
+
+#: The job id owning work in the current context (None outside a job).
+_current_job: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_current_job", default=None
+)
+
+#: Job id adopted from another process via :func:`activate`.
+_remote_job: Optional[str] = None
 
 _ids = itertools.count(1)
 
@@ -110,6 +130,43 @@ def debug_enabled() -> bool:
 
 
 # ----------------------------------------------------------------------
+# Job scoping
+# ----------------------------------------------------------------------
+class JobContext:
+    """Scope work to a job id; spans and job-scoped metric samples
+    recorded inside the ``with`` block are tagged with it.
+
+    Active regardless of the tracing on/off switch: a disabled tracer
+    still needs the job id so the metrics registry can label samples.
+    Nesting restores the outer job on exit, and the id propagates to
+    worker processes through :func:`current_context`/:func:`activate`
+    exactly like the parent span id.
+    """
+
+    __slots__ = ("job_id", "_token")
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._token = None
+
+    def __enter__(self) -> "JobContext":
+        self._token = _current_job.set(self.job_id)
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        if self._token is not None:
+            _current_job.reset(self._token)
+            self._token = None
+        return False
+
+
+def current_job() -> Optional[str]:
+    """The job id owning the current context, or None outside a job."""
+    job = _current_job.get()
+    return job if job is not None else _remote_job
+
+
+# ----------------------------------------------------------------------
 # Spans
 # ----------------------------------------------------------------------
 class Span:
@@ -117,12 +174,12 @@ class Span:
 
     Attributes mirror the exported dict: ``name``, ``span_id``,
     ``parent_id``, ``pid``, ``start`` (epoch seconds), ``duration``
-    (seconds) and free-form ``attrs``.
+    (seconds), ``job`` (owning job id or None) and free-form ``attrs``.
     """
 
     __slots__ = (
         "name", "span_id", "parent_id", "pid", "start", "duration",
-        "attrs", "_t0", "_token",
+        "attrs", "job", "_t0", "_token",
     )
 
     def __init__(
@@ -137,6 +194,7 @@ class Span:
             parent_id = parent.span_id if parent is not None else _remote_parent
         self.parent_id = parent_id
         self.pid = os.getpid()
+        self.job = current_job()
         self.start = time.time()
         self.duration = 0.0
         self._t0 = time.perf_counter()
@@ -175,6 +233,7 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "pid": self.pid,
+            "job": self.job,
             "start": self.start,
             "duration": self.duration,
             "attrs": self.attrs,
@@ -262,14 +321,36 @@ def absorb(span_dicts: Iterable[Dict[str, Any]]) -> None:
         _buffer.extend(span_dicts)
 
 
+def spans_for_job(job_id: str) -> List[Dict[str, Any]]:
+    """A snapshot of the buffered spans tagged with ``job_id``."""
+    with _buffer_lock:
+        return [s for s in _buffer if s.get("job") == job_id]
+
+
+def take_job_spans(job_id: str) -> List[Dict[str, Any]]:
+    """Drain ``job_id``'s spans from the buffer, leaving the rest.
+
+    The service layer calls this once per finished job: the job's
+    spans move into its record (served by ``GET /jobs/{id}/trace``)
+    and stop occupying the shared buffer, so a long-running server's
+    trace memory stays bounded by the *live* jobs.
+    """
+    with _buffer_lock:
+        taken = [s for s in _buffer if s.get("job") == job_id]
+        if taken:
+            _buffer[:] = [s for s in _buffer if s.get("job") != job_id]
+    return taken
+
+
 # ----------------------------------------------------------------------
 # Cross-process propagation
 # ----------------------------------------------------------------------
 def current_context() -> Optional[Dict[str, Any]]:
     """The propagation payload for a child process, or None when off.
 
-    A small picklable dict: the enabled/debug flags plus the would-be
-    parent span id of work started "here" (the innermost live span).
+    A small picklable dict: the enabled/debug flags, the would-be
+    parent span id of work started "here" (the innermost live span),
+    and the owning job id so workers keep attributing to the job.
     """
     if not _enabled:
         return None
@@ -278,6 +359,7 @@ def current_context() -> Optional[Dict[str, Any]]:
         "enabled": True,
         "debug": _debug,
         "parent": parent.span_id if parent is not None else _remote_parent,
+        "job": current_job(),
     }
 
 
@@ -293,18 +375,21 @@ def activate(context: Optional[Dict[str, Any]]) -> None:
     buffer; both would corrupt the merged trace — stale parents and
     duplicated spans — so activation always resets them.
     """
-    global _remote_parent, _enabled, _debug
+    global _remote_parent, _remote_job, _enabled, _debug
     _current.set(None)
+    _current_job.set(None)
     with _buffer_lock:
         _buffer.clear()
     if not context:
         _enabled = False
         _debug = False
         _remote_parent = None
+        _remote_job = None
         return
     _enabled = True
     _debug = bool(context.get("debug", False))
     _remote_parent = context.get("parent")
+    _remote_job = context.get("job")
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +427,8 @@ def to_chrome_events(
         args["span_id"] = record["span_id"]
         if record.get("parent_id"):
             args["parent_id"] = record["parent_id"]
+        if record.get("job"):
+            args["job"] = record["job"]
         events.append({
             "name": record["name"],
             "ph": "X",

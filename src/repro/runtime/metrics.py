@@ -51,12 +51,19 @@ class RunMetrics:
         ``"serial"`` or ``"process"`` — how the execute stage ran.
     workers:
         Worker process count used for the execute stage (1 if serial).
+    resources:
+        Resource usage accumulated at chunk boundaries by the engine:
+        ``wall_seconds``, ``cpu_seconds`` (user+system, summed across
+        workers), ``peak_rss_bytes`` (max over processes),
+        ``fixed_point_iterations``, ``batched_solves`` /
+        ``pointwise_solves`` (see :func:`repro.runtime.pool.run_jobs`).
     """
 
     stages: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     mode: str = "serial"
     workers: int = 1
+    resources: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -94,6 +101,42 @@ class RunMetrics:
                 "Engine event counts across all run_jobs calls",
             ).inc(amount, event=name)
 
+    def account(self, name: str, amount: float) -> None:
+        """Accumulate ``amount`` into resource ``name`` (summing).
+
+        Mirrored as ``repro_job_resources{resource=name}`` gauges when
+        observability is enabled (job-labelled inside a JobContext).
+        """
+        self.resources[name] = self.resources.get(name, 0.0) + amount
+        if obs_trace.enabled():
+            obs_metrics.gauge(
+                "repro_job_resources",
+                "Accumulated resource usage of the current run",
+            ).set(self.resources[name], resource=name)
+
+    def account_peak(self, name: str, value: float) -> None:
+        """Track the maximum of ``value`` seen for resource ``name``."""
+        if value <= self.resources.get(name, 0.0):
+            return
+        self.resources[name] = value
+        if obs_trace.enabled():
+            obs_metrics.gauge(
+                "repro_job_resources",
+                "Accumulated resource usage of the current run",
+            ).set(value, resource=name)
+
+    def resource_snapshot(self) -> Dict[str, float]:
+        """Resources plus the cache/job counters a progress consumer
+        wants in one place (service ``progress`` events ship this)."""
+        snapshot = dict(sorted(self.resources.items()))
+        for name in (
+            "jobs_executed", "cache_hits", "cache_misses", "retries",
+            "worker_failures",
+        ):
+            if name in self.counters:
+                snapshot[name] = self.counters[name]
+        return snapshot
+
     # ------------------------------------------------------------------
     @property
     def jobs_per_second(self) -> float:
@@ -114,6 +157,7 @@ class RunMetrics:
             "counters": dict(sorted(self.counters.items())),
             "jobs_per_second": self.jobs_per_second,
             "mode": self.mode,
+            "resources": dict(sorted(self.resources.items())),
             "stages": dict(sorted(self.stages.items())),
             "total_seconds": self.total_seconds,
             "workers": self.workers,
@@ -127,6 +171,7 @@ class RunMetrics:
             counters=dict(data.get("counters", {})),
             mode=str(data.get("mode", "serial")),
             workers=int(data.get("workers", 1)),
+            resources=dict(data.get("resources", {})),
         )
 
     # ------------------------------------------------------------------

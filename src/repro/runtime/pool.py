@@ -37,11 +37,17 @@ import logging
 import math
 import os
 import pickle
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 from repro.errors import (
     ConfigError,
@@ -345,6 +351,7 @@ def _run_serial(
     for index, spec in pending:
         _check_cancel(should_cancel)
         attempts = 0
+        before = _usage_snapshot()
         while True:
             try:
                 with obs_trace.span("runtime.job", kind=spec.kind):
@@ -360,6 +367,7 @@ def _run_serial(
                 if attempts > policy.retries:
                     raise _job_error(spec, attempts, exc) from None
                 metrics.count("retries")
+        _account_usage(metrics, _usage_since(before))
         if advance is not None:
             advance(1)
 
@@ -386,6 +394,7 @@ def _run_serial_batched(
         group = list(pending[start:start + group_size])
         _check_cancel(should_cancel)
         attempts = 0
+        before = _usage_snapshot()
         while True:
             try:
                 with obs_trace.span(
@@ -410,6 +419,7 @@ def _run_serial_batched(
         for (index, _spec), value in zip(group, values):
             results[index] = value
         metrics.count("batched_jobs", len(group))
+        _account_usage(metrics, _usage_since(before))
         if advance is not None:
             advance(len(group))
 
@@ -499,6 +509,79 @@ def _noop(_: Any) -> None:
     return None
 
 
+# ----------------------------------------------------------------------
+# Resource accounting (chunk boundaries)
+# ----------------------------------------------------------------------
+def _usage_snapshot() -> Dict[str, float]:
+    """Point-in-time usage of *this* process, for delta accounting.
+
+    Wall/CPU seconds and peak RSS come from ``resource.getrusage``
+    (``os.times`` fallback where unavailable, RSS 0 there); the solver
+    counters piggy-back so a chunk's fixed-point-iteration and
+    batched-vs-pointwise solve deltas ride the same snapshot.  The
+    counters only move while observability is enabled — the deltas are
+    simply zero in a disabled run.
+    """
+    wall = time.perf_counter()
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        cpu = usage.ru_utime + usage.ru_stime
+        # Linux reports ru_maxrss in KiB, macOS in bytes.
+        rss = float(usage.ru_maxrss)
+        if sys.platform != "darwin":
+            rss *= 1024.0
+    else:  # pragma: no cover - non-POSIX platforms
+        times = os.times()
+        cpu = times.user + times.system
+        rss = 0.0
+    events = obs_metrics.counter("repro_solver_events_total")
+    return {
+        "wall": wall,
+        "cpu": cpu,
+        "rss": rss,
+        "fixed_point_iterations": events.total(
+            event="fixed_point_iterations"
+        ),
+        "pointwise_solves": events.total(event="pointwise_solve"),
+        "batched_solves": obs_metrics.counter(
+            "repro_solver_batched_solves_total"
+        ).total(),
+    }
+
+
+def _usage_since(before: Dict[str, float]) -> Dict[str, float]:
+    """The usage delta accumulated since ``before`` (same process)."""
+    after = _usage_snapshot()
+    return {
+        "wall_seconds": after["wall"] - before["wall"],
+        "cpu_seconds": after["cpu"] - before["cpu"],
+        "peak_rss_bytes": after["rss"],
+        "fixed_point_iterations": (
+            after["fixed_point_iterations"]
+            - before["fixed_point_iterations"]
+        ),
+        "pointwise_solves": (
+            after["pointwise_solves"] - before["pointwise_solves"]
+        ),
+        "batched_solves": (
+            after["batched_solves"] - before["batched_solves"]
+        ),
+    }
+
+
+def _account_usage(
+    metrics: RunMetrics, usage: Optional[Dict[str, float]]
+) -> None:
+    """Fold one chunk's usage delta into the run's resource totals."""
+    if not usage:
+        return
+    for name, amount in usage.items():
+        if name == "peak_rss_bytes":
+            metrics.account_peak(name, amount)
+        elif amount:
+            metrics.account(name, amount)
+
+
 def _picklable(obj: Any) -> bool:
     """Whether ``obj`` can cross a process boundary at all."""
     try:
@@ -514,7 +597,9 @@ def _run_chunk(
     payloads: List[Any],
     trace_context: Optional[Dict[str, Any]] = None,
     batch_worker: Optional[Callable[[List[Any]], List[Any]]] = None,
-) -> Tuple[List[Any], Optional[List[Dict[str, Any]]]]:
+) -> Tuple[
+    List[Any], Optional[List[Dict[str, Any]]], Dict[str, float]
+]:
     """Executed inside a worker process: run one chunk of payloads.
 
     With a ``batch_worker`` the whole chunk is one vectorized call
@@ -525,21 +610,29 @@ def _run_chunk(
     current_context` payload: when present, this worker adopts it (so
     its spans parent under the dispatching chunk span) and ships the
     collected span dicts back alongside the results.
+
+    The third element is this chunk's :func:`_usage_since` delta —
+    measured in the worker so the dispatcher can attribute CPU seconds
+    and peak RSS to the run (and, through the job context, to the job)
+    that actually spent them.
     """
     obs_trace.activate(trace_context)
+    before = _usage_snapshot()
     if batch_worker is not None:
         if trace_context is None:
-            return _run_batch(batch_worker, payloads), None
+            results = _run_batch(batch_worker, payloads)
+            return results, None, _usage_since(before)
         with obs_trace.span("runtime.batch", jobs=len(payloads)):
             results = _run_batch(batch_worker, payloads)
-        return results, obs_trace.collect()
+        return results, obs_trace.collect(), _usage_since(before)
     if trace_context is None:
-        return [worker(payload) for payload in payloads], None
+        results = [worker(payload) for payload in payloads]
+        return results, None, _usage_since(before)
     results = []
     for payload in payloads:
         with obs_trace.span("runtime.job"):
             results.append(worker(payload))
-    return results, obs_trace.collect()
+    return results, obs_trace.collect(), _usage_since(before)
 
 
 def _run_parallel(
@@ -648,7 +741,9 @@ def _run_parallel(
                     continue
                 ci, _deadline, chunk_span = in_flight.pop(future)
                 try:
-                    chunk_results, worker_spans = future.result(timeout=0)
+                    chunk_results, worker_spans, chunk_usage = (
+                        future.result(timeout=0)
+                    )
                 except MnsimError:
                     chunk_span.set(error="MnsimError").finish()
                     raise
@@ -704,6 +799,7 @@ def _run_parallel(
                     chunk_span.finish()
                     if worker_spans:
                         obs_trace.absorb(worker_spans)
+                    _account_usage(metrics, chunk_usage)
                     for (index, _spec), value in zip(
                         chunks[ci], chunk_results
                     ):

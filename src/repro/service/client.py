@@ -125,6 +125,20 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._json("POST", f"/jobs/{job_id}/cancel")
 
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's spans as a Chrome trace-event document."""
+        return self._json("GET", f"/jobs/{job_id}/trace")
+
+    def job_metrics(self, job_id: str) -> Dict[str, Any]:
+        """The job's metric families, resources, and run summary."""
+        return self._json("GET", f"/jobs/{job_id}/metrics")
+
+    def job_metrics_text(self, job_id: str) -> str:
+        """The job's metrics in Prometheus text exposition format."""
+        path = f"/jobs/{job_id}/metrics?format=prometheus"
+        with self._request("GET", path) as response:
+            return response.read().decode("utf-8")
+
     def iter_events(self, job_id: str,
                     after: int = 0) -> Iterator[Dict[str, Any]]:
         """Yield progress events until the job reaches a terminal state.

@@ -17,6 +17,17 @@ Progress and lifecycle transitions are recorded as a monotonic
 :class:`JobEvent` sequence per job; :meth:`JobManager.events_since`
 blocks on a condition variable until new events arrive, which is what
 the server's chunked ``/jobs/{id}/events`` stream long-polls.
+
+Observability is job-scoped (DESIGN.md S23): the engine runs inside a
+:class:`repro.obs.trace.JobContext`, so every span and labelled metric
+sample it emits — in the executor thread *and* in worker processes —
+carries the job id.  A :class:`~repro.obs.progress.ProgressTracker`
+turns the engine's progress callbacks into ``eta_seconds`` /
+``throughput`` on each ``progress`` event, and when the job finishes
+its spans and metric samples are frozen onto the record (served by
+``GET /jobs/{id}/trace`` and ``GET /jobs/{id}/metrics``) before the
+job's label sets are rolled back into the base series — global scrape
+cardinality stays bounded no matter how many jobs have run.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.errors import JobCancelled, MnsimError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.progress import ProgressTracker
 from repro.runtime.cache import ResultCache
 from repro.runtime.metrics import RunMetrics
 from repro.service.schema import SimulationPayload
@@ -53,7 +65,14 @@ class JobState:
 
 @dataclass(frozen=True)
 class JobEvent:
-    """One entry in a job's monotonic event log."""
+    """One entry in a job's monotonic event log.
+
+    ``progress`` events additionally carry the live ETA estimate
+    (``eta_seconds`` — None until the first completed chunk), the
+    smoothed ``throughput`` in jobs/second, and a ``resources``
+    snapshot (wall/CPU seconds, peak RSS, cache hits/misses, solver
+    counters) accumulated at chunk boundaries.
+    """
 
     seq: int
     event: str  # "state" or "progress"
@@ -61,6 +80,9 @@ class JobEvent:
     done: int = 0
     total: int = 0
     error: Optional[Dict[str, Any]] = None
+    eta_seconds: Optional[float] = None
+    throughput: Optional[float] = None
+    resources: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -72,6 +94,11 @@ class JobEvent:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.event == "progress":
+            out["eta_seconds"] = self.eta_seconds
+            out["throughput"] = self.throughput
+            if self.resources is not None:
+                out["resources"] = self.resources
         return out
 
 
@@ -88,6 +115,17 @@ class JobRecord:
     result_text: Optional[str] = None
     cancel_requested: bool = False
     events: List[JobEvent] = field(default_factory=list)
+    # Live observability (filled while RUNNING):
+    eta_seconds: Optional[float] = None
+    throughput: Optional[float] = None
+    resources: Optional[Dict[str, Any]] = None
+    run_metrics: Optional[RunMetrics] = None
+    # Frozen observability artefacts (filled just before the terminal
+    # state event; served by /jobs/{id}/trace and /jobs/{id}/metrics):
+    run_summary: Optional[Dict[str, Any]] = None
+    metrics_families: Optional[Dict[str, Any]] = None
+    metrics_text: Optional[str] = None
+    trace_spans: Optional[List[Dict[str, Any]]] = None
 
     def status_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -100,6 +138,12 @@ class JobRecord:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.eta_seconds is not None:
+            out["eta_seconds"] = self.eta_seconds
+        if self.throughput is not None:
+            out["throughput"] = self.throughput
+        if self.resources:
+            out["resources"] = self.resources
         return out
 
 
@@ -116,13 +160,23 @@ class JobManager:
         Executor threads.  The default of 1 serialises engine runs —
         the engine parallelises *inside* a job via its process pool, so
         one executor thread is usually the right degree.
+    observe:
+        Enable span/metric collection for the manager's lifetime so
+        per-job traces, metrics and resource accounting are populated
+        (the default — per-job observability is the service's
+        contract).  If tracing was already on it is left untouched;
+        otherwise :meth:`shutdown` restores the disabled state.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1, observe: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.cache_dir = cache_dir
+        self.observe = observe
+        self._obs_was_enabled = obs_trace.enabled()
+        if observe and not self._obs_was_enabled:
+            obs_trace.enable()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._jobs: Dict[str, JobRecord] = {}
@@ -207,6 +261,12 @@ class JobManager:
 
         Returns immediately (possibly empty) once the job is terminal;
         otherwise waits up to ``timeout`` seconds for new events.
+
+        Ordering contract: a job that completes successfully always
+        appends a final ``progress`` event with ``done == total``
+        *before* its terminal ``state`` event (enforced in
+        :meth:`_finish`), so a client that stops reading at the
+        terminal event never ends on a stale count.
         """
         with self._wake:
             record = self._jobs.get(job_id)
@@ -272,6 +332,8 @@ class JobManager:
             self._wake.notify_all()
         for thread in self._threads:
             thread.join(timeout=timeout)
+        if self.observe and not self._obs_was_enabled:
+            obs_trace.disable()
 
     # -- internals -----------------------------------------------------
     def _append_event(
@@ -279,6 +341,7 @@ class JobManager:
         error: Optional[Dict[str, Any]] = None,
     ) -> None:
         # Caller holds the lock.
+        is_progress = event == "progress"
         record.events.append(JobEvent(
             seq=len(record.events) + 1,
             event=event,
@@ -286,12 +349,30 @@ class JobManager:
             done=record.done,
             total=record.total,
             error=error,
+            eta_seconds=record.eta_seconds if is_progress else None,
+            throughput=record.throughput if is_progress else None,
+            resources=(
+                dict(record.resources)
+                if is_progress and record.resources else None
+            ),
         ))
         self._wake.notify_all()
 
     def _finish(self, record: JobRecord, state: str,
                 error: Optional[Dict[str, Any]] = None) -> None:
         # Caller holds the lock.
+        if state == JobState.DONE:
+            # Stream ordering contract (see events_since): the terminal
+            # "done" state event is always preceded by a progress event
+            # carrying done == total.
+            # Always appended (even if the engine's last report already
+            # had done == total) because only this event carries the
+            # complete resource snapshot — counters like jobs_executed
+            # land after the engine's final progress callback.
+            record.done = max(record.done, record.total)
+            record.total = record.done
+            record.eta_seconds = 0.0
+            self._append_event(record, "progress")
         record.state = state
         record.error = error
         self._append_event(record, "state", error=error)
@@ -324,17 +405,29 @@ class JobManager:
 
     def _execute(self, record: JobRecord) -> None:
         payload = record.payload
+        metrics = RunMetrics()
+        tracker = ProgressTracker(total=payload.total_work())
+        with self._lock:
+            record.run_metrics = metrics
+            record.total = tracker.total
 
         def progress(done: int, total: int) -> None:
+            tracker.update(done, total)
+            snapshot = tracker.snapshot()
             with self._wake:
-                record.done = done
-                record.total = total
+                record.done = tracker.done
+                record.total = tracker.total
+                record.eta_seconds = snapshot["eta_seconds"]
+                record.throughput = snapshot["throughput"]
+                record.resources = metrics.resource_snapshot()
                 self._append_event(record, "progress")
+            # The job label is injected by the active JobContext — the
+            # sanctioned path for per-job labels (never pass job=).
             obs_metrics.gauge(
                 "repro_service_job_progress",
                 "Completed engine jobs of the most recent progress "
                 "report, per service job",
-            ).set(done, job=record.job_id[:12])
+            ).set(done)
 
         def should_cancel() -> bool:
             return record.cancel_requested
@@ -345,38 +438,75 @@ class JobManager:
             ResultCache(self.cache_dir) if self.cache_dir is not None
             else None
         )
-        metrics = RunMetrics()
+        outcome = JobState.FAILED
+        error: Optional[Dict[str, Any]] = None
+        text: Optional[str] = None
         try:
-            with obs_trace.span(
-                "service.job", kind=payload.kind.value,
-                job=record.job_id[:12],
-            ):
-                document = run_payload(
-                    payload,
-                    cache=cache,
-                    metrics=metrics,
-                    progress=progress,
-                    should_cancel=should_cancel,
-                )
-            text = render_document(document)
-            with self._wake:
-                record.result_text = text
-                record.done = max(record.done, record.total)
-                self._finish(record, JobState.DONE)
+            # Everything the engine emits below — spans, metric
+            # samples, resource accounting, in this thread and in the
+            # worker processes — is tagged with this job id.
+            with obs_trace.JobContext(record.job_id):
+                with obs_trace.span(
+                    "service.job", kind=payload.kind.value,
+                    job=record.job_id[:12],
+                ):
+                    # Seed the stream with the payload's exact work
+                    # estimate before any engine code runs.
+                    progress(0, tracker.total)
+                    document = run_payload(
+                        payload,
+                        cache=cache,
+                        metrics=metrics,
+                        progress=progress,
+                        should_cancel=should_cancel,
+                    )
+                text = render_document(document)
+            outcome = JobState.DONE
         except JobCancelled:
-            with self._wake:
-                self._finish(record, JobState.CANCELLED)
+            outcome = JobState.CANCELLED
         except MnsimError as exc:
-            with self._wake:
-                self._finish(record, JobState.FAILED, error={
-                    "type": type(exc).__name__, "message": str(exc),
-                })
+            error = {"type": type(exc).__name__, "message": str(exc)}
         except Exception as exc:
             _log.exception("job %s crashed", record.job_id[:12])
-            with self._wake:
-                self._finish(record, JobState.FAILED, error={
-                    "type": type(exc).__name__, "message": str(exc),
-                })
+            error = {"type": type(exc).__name__, "message": str(exc)}
         finally:
             if cache is not None:
                 cache.close()
+        # Freeze trace/metrics artefacts and roll up the job's label
+        # sets *before* the terminal event: the moment a client sees
+        # the stream end, /jobs/{id}/trace and /jobs/{id}/metrics are
+        # servable and global cardinality is already back to baseline.
+        self._persist_observability(record, metrics)
+        with self._wake:
+            if outcome == JobState.DONE:
+                record.result_text = text
+                record.resources = metrics.resource_snapshot()
+            self._finish(record, outcome, error=error)
+
+    def _persist_observability(
+        self, record: JobRecord, metrics: RunMetrics
+    ) -> None:
+        """Freeze the job's observability artefacts onto its record.
+
+        The job's metric samples are snapshotted into a detached
+        registry view and its spans are drained from the shared buffer;
+        then :meth:`MetricsRegistry.rollup_job` folds the job's label
+        sets back into the base series so the global ``/metrics``
+        scrape does not grow with job count.
+        """
+        job_registry = obs_metrics.REGISTRY.filter_job(record.job_id)
+        families = job_registry.to_dict()
+        text = job_registry.to_prometheus()
+        spans = obs_trace.take_job_spans(record.job_id)
+        summary = metrics.to_dict()
+        with self._lock:
+            record.metrics_families = families
+            record.metrics_text = text
+            record.trace_spans = spans
+            record.run_summary = summary
+        evicted = obs_metrics.REGISTRY.rollup_job(record.job_id)
+        if evicted:
+            _log.debug(
+                "job %s: rolled up %d job-labelled metric series",
+                record.job_id[:12], evicted,
+            )

@@ -710,6 +710,28 @@ class SimulationPayload:
         """Deterministic content-addressed job id for this payload."""
         return content_key(PAYLOAD_SCHEMA, self.result_identity())
 
+    def total_work(self) -> int:
+        """Exact job count this payload expands into.
+
+        Matches what the driver reports through its first
+        ``progress(0, total)`` call — one job for ``simulate``, a trial
+        per Monte-Carlo draw, a design point per sweep combination,
+        a trial per network x mode x rate for fault campaigns — so the
+        service can seed a job's ``total`` (and its ETA denominator)
+        before any engine code runs.
+        """
+        if self.kind is PayloadKind.EXPLORE:
+            return len(self.sweep.to_design_space())
+        if self.kind is PayloadKind.MONTECARLO:
+            return self.montecarlo.trials
+        if self.kind is PayloadKind.FAULTS:
+            faults = self.faults
+            return (
+                len(faults.networks) * len(faults.modes)
+                * len(faults.rates) * faults.trials
+            )
+        return 1
+
     def describe(self) -> str:
         """One-line human summary for logs and job listings."""
         target = self.network.spec_string() if self.network else (

@@ -17,6 +17,11 @@ Method       Path                            Meaning
                                              (409 until the job is done)
 ``GET``      ``/jobs/{id}/events``           Chunked JSON-lines progress
                                              stream (``?after=N`` resumes)
+``GET``      ``/jobs/{id}/trace``            The job's spans as a Chrome
+                                             trace-event JSON document
+``GET``      ``/jobs/{id}/metrics``          The job's metric samples (JSON;
+                                             ``?format=prometheus`` for text
+                                             exposition)
 ``POST``     ``/jobs/{id}/cancel``           Cancel a queued/running job
 ``GET``      ``/metrics``                    Prometheus text exposition
 ``GET``      ``/healthz``                    Liveness probe
@@ -37,6 +42,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.jobs import JobManager, JobState
 from repro.service.schema import SimulationPayload
 
@@ -130,6 +136,12 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[0] == "jobs" \
                     and parts[2] == "events":
                 self._stream_events(parts[1], url.query)
+            elif len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "trace":
+                self._get_trace(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "metrics":
+                self._get_job_metrics(parts[1], url.query)
             else:
                 self._send_error_json(404, f"no such route: {url.path}")
         except (BrokenPipeError, ConnectionResetError):
@@ -207,6 +219,56 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_bytes(
             200, record.result_text.encode("utf-8"), "application/json"
         )
+
+    def _get_trace(self, job_id: str) -> None:
+        record = self.manager.get(job_id)
+        if record is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+            return
+        # Finished jobs serve their frozen span snapshot; running jobs
+        # serve whatever has completed so far from the live buffer.
+        spans = record.trace_spans
+        if spans is None:
+            spans = obs_trace.spans_for_job(record.job_id)
+        self._send_json(200, {
+            "displayTimeUnit": "ms",
+            "traceEvents": obs_trace.to_chrome_events(spans),
+        })
+
+    def _get_job_metrics(self, job_id: str, query: str) -> None:
+        record = self.manager.get(job_id)
+        if record is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+            return
+        params = parse_qs(query)
+        fmt = params.get("format", ["json"])[0]
+        if fmt == "prometheus":
+            text = record.metrics_text
+            if text is None:
+                text = obs_metrics.REGISTRY.filter_job(
+                    record.job_id
+                ).to_prometheus()
+            self._send_bytes(
+                200, text.encode("utf-8"), "text/plain; version=0.0.4"
+            )
+            return
+        if fmt != "json":
+            self._send_error_json(
+                400, f"unknown format {fmt!r} (expected json or prometheus)"
+            )
+            return
+        families = record.metrics_families
+        if families is None:
+            families = obs_metrics.REGISTRY.filter_job(
+                record.job_id
+            ).to_dict()
+        self._send_json(200, {
+            "job_id": record.job_id,
+            "state": record.state,
+            "families": families,
+            "resources": dict(record.resources or {}),
+            "run": record.run_summary,
+        })
 
     def _stream_events(self, job_id: str, query: str) -> None:
         record = self.manager.get(job_id)

@@ -689,6 +689,9 @@ class CrossbarNetwork:
             solve_span.set(iterations=iterations, converged=converged)
             if debug:
                 solve_span.set(residuals=residuals)
+        if _obs_trace.enabled():
+            _count_solver_event("pointwise_solve")
+            _count_solver_event("fixed_point_iterations", iterations)
 
         return voltages, conductances, iterations, converged
 
@@ -908,26 +911,33 @@ def solve_batch(
         if nonlinear:
             group = _nonlinear_group_size(first.structure.num_nodes)
             if len(networks) <= group:
-                return _solve_batch_nonlinear(
+                result = _solve_batch_nonlinear(
                     networks, inputs, tolerance, max_iterations,
                     on_singular,
                 )
-            # Fixed-point rounds interleave every member's LU factors;
-            # past a cache-sized working set that round-robin evicts
-            # them faster than it amortises assembly (measured: 32
-            # members at 64x64 run ~25% slower than the point-wise
-            # loop, 8 run ~2% faster).  Members are independent, so
-            # slicing the batch changes wall-clock only, never bits.
-            parts = [
-                _solve_batch_nonlinear(
-                    networks[start:start + group],
-                    inputs[start:start + group],
-                    tolerance, max_iterations, on_singular,
-                )
-                for start in range(0, len(networks), group)
-            ]
-            return _concat_batches(parts)
-        return _solve_batch_linear(networks, inputs, on_singular)
+            else:
+                # Fixed-point rounds interleave every member's LU
+                # factors; past a cache-sized working set that
+                # round-robin evicts them faster than it amortises
+                # assembly (measured: 32 members at 64x64 run ~25%
+                # slower than the point-wise loop, 8 run ~2% faster).
+                # Members are independent, so slicing the batch changes
+                # wall-clock only, never bits.
+                result = _concat_batches([
+                    _solve_batch_nonlinear(
+                        networks[start:start + group],
+                        inputs[start:start + group],
+                        tolerance, max_iterations, on_singular,
+                    )
+                    for start in range(0, len(networks), group)
+                ])
+        else:
+            result = _solve_batch_linear(networks, inputs, on_singular)
+        if _obs_trace.enabled():
+            _count_solver_event(
+                "fixed_point_iterations", int(np.sum(result.iterations))
+            )
+        return result
 
 
 # Cache-friendly working-set budget for the nonlinear round-robin: the

@@ -284,6 +284,44 @@ class TestExceptHygieneRule:
         """
         assert not findings_for(source, "repro.arch.fixture", "R4")
 
+    def test_scope_covers_obs_progress(self):
+        """The ETA estimator is product code: R4 applies to it like any
+        other repro module."""
+        found = findings_for(self.VIOLATION, "repro.obs.progress", "R4")
+        assert len(found) == 1
+
+
+# ----------------------------------------------------------------------
+# Job-label discipline (DESIGN.md S23)
+# ----------------------------------------------------------------------
+class TestJobLabelDiscipline:
+    #: Files allowed to mention an explicit ``job=`` label on a metric
+    #: record call — the injection machinery itself, nothing else.
+    ALLOWLIST = {Path("obs") / "metrics.py"}
+
+    def test_job_labels_only_via_jobcontext(self):
+        """No product code passes ``job=`` to inc/set/add/observe:
+        per-job labels flow exclusively through the registry's
+        JobContext injection, keeping attribution and the rollup
+        lifecycle in one place."""
+        import re
+
+        pattern = re.compile(
+            r"\.(inc|set|add|observe)\([^)]*\bjob\s*=", re.S
+        )
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path.relative_to(SRC) in self.ALLOWLIST:
+                continue
+            text = path.read_text(encoding="utf-8")
+            for match in pattern.finditer(text):
+                line = text[:match.start()].count("\n") + 1
+                offenders.append(f"{path.relative_to(REPO_ROOT)}:{line}")
+        assert not offenders, (
+            "explicit job= metric labels outside the injection "
+            f"machinery: {offenders}"
+        )
+
 
 # ----------------------------------------------------------------------
 # R5 units discipline

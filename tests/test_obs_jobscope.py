@@ -1,0 +1,184 @@
+"""Job-scoped observability: label injection, span tagging, lifecycle."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import trace
+from repro.obs.metrics import Counter, MetricsRegistry, parse_prometheus
+from repro.obs.trace import JobContext, current_job
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    trace.disable()
+    trace.clear()
+    trace.activate(None)
+    obs.REGISTRY.reset()
+    yield
+    trace.disable()
+    trace.clear()
+    trace.activate(None)
+    obs.REGISTRY.reset()
+
+
+class TestJobContext:
+    def test_sets_and_restores_current_job(self):
+        assert current_job() is None
+        with JobContext("job-1"):
+            assert current_job() == "job-1"
+            with JobContext("job-2"):
+                assert current_job() == "job-2"
+            assert current_job() == "job-1"
+        assert current_job() is None
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = current_job()
+
+        with JobContext("job-1"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # A thread spawned inside the context does not inherit the
+        # contextvar (threads start from a fresh context) — only the
+        # explicit propagation payload carries the job id across.
+        assert seen["worker"] is None
+
+    def test_propagation_payload_carries_job(self):
+        trace.enable()
+        with JobContext("job-1"):
+            assert trace.current_context()["job"] == "job-1"
+
+    def test_activate_adopts_remote_job(self):
+        trace.activate({"enabled": True, "debug": False,
+                        "parent": None, "job": "job-9"})
+        try:
+            assert current_job() == "job-9"
+        finally:
+            trace.activate(None)
+        assert current_job() is None
+
+
+class TestSpanTagging:
+    def test_spans_carry_job_and_filter_cleanly(self):
+        trace.enable()
+        with JobContext("job-a"):
+            with trace.span("inside.a"):
+                pass
+        with JobContext("job-b"):
+            with trace.span("inside.b"):
+                pass
+        with trace.span("outside"):
+            pass
+        a_spans = trace.spans_for_job("job-a")
+        assert [s["name"] for s in a_spans] == ["inside.a"]
+        assert all(s["job"] == "job-a" for s in a_spans)
+        assert len(trace.spans()) == 3
+
+    def test_take_job_spans_drains_only_that_job(self):
+        trace.enable()
+        with JobContext("job-a"):
+            with trace.span("inside.a"):
+                pass
+        with trace.span("outside"):
+            pass
+        taken = trace.take_job_spans("job-a")
+        assert [s["name"] for s in taken] == ["inside.a"]
+        assert [s["name"] for s in trace.spans()] == ["outside"]
+
+    def test_chrome_events_expose_job_arg(self):
+        trace.enable()
+        with JobContext("job-a"):
+            with trace.span("inside.a"):
+                pass
+        events = [
+            e for e in trace.to_chrome_events() if e.get("ph") == "X"
+        ]
+        assert events[0]["args"]["job"] == "job-a"
+
+
+class TestRegistryInjection:
+    def test_registry_injects_job_label(self):
+        counter = obs.REGISTRY.counter("events_total")
+        with JobContext("job-1"):
+            counter.inc()
+        counter.inc()
+        assert counter.value(job="job-1") == 1
+        assert counter.value() == 1
+        assert counter.total() == 2
+
+    def test_standalone_metrics_do_not_inject(self):
+        counter = Counter("events_total")
+        with JobContext("job-1"):
+            counter.inc()
+        assert counter.value() == 1
+        assert counter.value(job="job-1") == 0
+
+    def test_plain_registry_does_not_inject(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        with JobContext("job-1"):
+            counter.inc()
+        assert counter.value() == 1
+
+    def test_explicit_job_label_wins(self):
+        counter = obs.REGISTRY.counter("events_total")
+        with JobContext("job-1"):
+            counter.inc(job="other")
+        assert counter.value(job="other") == 1
+        assert counter.value(job="job-1") == 0
+
+
+class TestLabelLifecycle:
+    def _populate(self):
+        counter = obs.REGISTRY.counter("events_total")
+        gauge = obs.REGISTRY.gauge("depth")
+        hist = obs.REGISTRY.histogram("latency", buckets=(1.0, 2.0))
+        counter.inc(2, kind="solve")
+        with JobContext("job-1"):
+            counter.inc(3, kind="solve")
+            gauge.set(7)
+            hist.observe(0.5)
+        return counter, gauge, hist
+
+    def test_filter_job_is_a_detached_snapshot(self):
+        counter, _, _ = self._populate()
+        view = obs.REGISTRY.filter_job("job-1")
+        samples = parse_prometheus(view.to_prometheus())
+        assert samples["events_total"]["samples"][
+            ("events_total", (("job", "job-1"), ("kind", "solve")))
+        ] == 3
+        # Detached: mutating the view leaves the registry untouched.
+        view.counter("events_total").inc(100, job="job-1")
+        assert counter.value(job="job-1", kind="solve") == 3
+
+    def test_rollup_folds_counts_and_evicts_gauges(self):
+        counter, gauge, hist = self._populate()
+        evicted = obs.REGISTRY.rollup_job("job-1")
+        assert evicted == 3
+        assert obs.REGISTRY.job_label_values() == set()
+        # Counter and histogram counts fold into the base series.
+        assert counter.value(kind="solve") == 5
+        assert hist.snapshot()["count"] == 1
+        # Gauges are point-in-time: evicted, not merged.
+        assert gauge.value() == 0
+
+    def test_round_trip_with_job_labels(self):
+        self._populate()
+        families = parse_prometheus(obs.REGISTRY.to_prometheus())
+        assert families["events_total"]["samples"][
+            ("events_total", (("job", "job-1"), ("kind", "solve")))
+        ] == 3
+        assert families["latency"]["samples"][
+            ("latency_count", (("job", "job-1"),))
+        ] == 1
+
+    def test_job_label_values_lists_live_jobs(self):
+        self._populate()
+        with JobContext("job-2"):
+            obs.REGISTRY.counter("events_total").inc()
+        assert obs.REGISTRY.job_label_values() == {"job-1", "job-2"}

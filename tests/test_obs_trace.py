@@ -125,6 +125,7 @@ class TestPropagation:
             context = trace.current_context()
         assert context == {
             "enabled": True, "debug": True, "parent": d.span_id,
+            "job": None,
         }
 
     def test_activate_adopts_remote_parent(self):

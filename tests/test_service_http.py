@@ -160,6 +160,114 @@ def test_cancel_endpoint(service, monkeypatch):
     assert client.wait(queued, timeout=5)["state"] == "cancelled"
 
 
+def test_event_stream_carries_eta_and_resources(service):
+    client, _ = service
+    job_id = client.submit(MC_PAYLOAD)["job_id"]
+    events = list(client.iter_events(job_id))
+    progress = [e for e in events if e["event"] == "progress"]
+    dones = [e["done"] for e in progress]
+    assert dones == sorted(dones), "done must be monotone"
+    for event in progress:
+        assert "eta_seconds" in event and "throughput" in event
+    # Once work has completed, the estimate is a finite number.
+    completed = [e for e in progress if e["done"] > 0]
+    assert completed
+    for event in completed:
+        assert event["eta_seconds"] is not None
+        assert event["eta_seconds"] < float("inf")
+    final = progress[-1]
+    assert final["done"] == final["total"] == 3
+    assert final["eta_seconds"] == 0.0
+    resources = final["resources"]
+    assert resources["wall_seconds"] > 0
+    assert resources["jobs_executed"] >= 1
+    # The final done==total progress precedes the terminal state.
+    assert events.index(final) < events.index(events[-1])
+    assert events[-1]["event"] == "state"
+    assert events[-1]["state"] == "done"
+
+
+def test_per_job_metrics_endpoint(service):
+    client, _ = service
+    job_id = client.submit(MC_PAYLOAD)["job_id"]
+    client.wait(job_id, timeout=60)
+    doc = client.job_metrics(job_id)
+    assert doc["job_id"] == job_id
+    assert doc["state"] == "done"
+    assert doc["families"], "a finished job has metric samples"
+    assert doc["resources"]["jobs_executed"] == 3
+    assert doc["run"]["counters"]["jobs_executed"] == 3
+    text = client.job_metrics_text(job_id)
+    families = parse_prometheus(text)
+    assert families
+    for family in families.values():
+        for (_, labels) in family["samples"]:
+            assert ("job", job_id) in labels, (
+                "every per-job sample must carry the job label"
+            )
+
+
+def test_per_job_trace_endpoint_and_isolation():
+    """Two jobs running concurrently must yield disjoint per-job
+    traces with zero span leakage between them."""
+    manager = JobManager(workers=2)
+    server = serve("127.0.0.1", 0, manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        "http://127.0.0.1:%d" % server.server_address[1]
+    )
+    try:
+        first = client.submit(MC_PAYLOAD)["job_id"]
+        second = client.submit({
+            "kind": "montecarlo",
+            "montecarlo": {"trials": 4, "seed": 2, "size": 8},
+        })["job_id"]
+        client.wait(first, timeout=60)
+        client.wait(second, timeout=60)
+        traces = {}
+        for job_id in (first, second):
+            doc = client.job_trace(job_id)
+            spans = [
+                e for e in doc["traceEvents"] if e.get("ph") == "X"
+            ]
+            assert spans, "a finished job has a trace"
+            names = {e["name"] for e in spans}
+            assert "service.job" in names
+            for event in spans:
+                assert event["args"]["job"] == job_id, (
+                    "span leaked across jobs"
+                )
+            traces[job_id] = {e["args"]["span_id"] for e in spans}
+        assert not (traces[first] & traces[second])
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown()
+        thread.join(timeout=5)
+
+
+def test_global_cardinality_stable_across_jobs(service):
+    """Completed jobs roll their label sets back into the base series,
+    so the global scrape does not grow with job count."""
+    client, _ = service
+
+    def sample_count():
+        families = parse_prometheus(client.metrics_text())
+        return sum(len(f["samples"]) for f in families.values())
+
+    counts = []
+    for seed in (11, 12, 13):
+        job_id = client.submit({
+            "kind": "montecarlo",
+            "montecarlo": {"trials": 3, "seed": seed, "size": 8},
+        })["job_id"]
+        client.wait(job_id, timeout=60)
+        counts.append(sample_count())
+    assert counts[0] == counts[1] == counts[2]
+    assert 'job="' not in client.metrics_text()
+
+
 def test_metrics_exposition(service):
     client, _ = service
     job_id = client.submit(MC_PAYLOAD)["job_id"]

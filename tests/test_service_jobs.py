@@ -165,6 +165,47 @@ def test_events_stream_progress_and_terminal_state(manager, monkeypatch):
     assert [e.seq for e in tail] == [seqs[-1]]
 
 
+def test_total_seeded_from_payload_before_engine_runs(
+    manager, monkeypatch
+):
+    """The payload's work estimate reaches the stream up front, even
+    when the engine never reports progress itself."""
+
+    def silent(payload, *, cache=None, metrics=None, progress=None,
+               should_cancel=None):
+        return {"schema": "test", "ok": True}
+
+    monkeypatch.setattr("repro.service.jobs.run_payload", silent)
+    record, _ = manager.submit(payload(seed=105))
+    manager.wait(record.job_id, timeout=30)
+    events = manager.events_since(record.job_id, after=0, timeout=0)
+    first_progress = next(e for e in events if e.event == "progress")
+    assert first_progress.total == 2  # montecarlo trials
+    assert first_progress.done == 0
+
+
+def test_final_progress_event_precedes_terminal_state(
+    manager, monkeypatch
+):
+    """Ordering contract of ``events_since``: a successful job always
+    ends with ``progress(done == total)`` then the terminal state."""
+
+    def silent(payload, *, cache=None, metrics=None, progress=None,
+               should_cancel=None):
+        return {"schema": "test", "ok": True}
+
+    monkeypatch.setattr("repro.service.jobs.run_payload", silent)
+    record, _ = manager.submit(payload(seed=106))
+    manager.wait(record.job_id, timeout=30)
+    events = manager.events_since(record.job_id, after=0, timeout=0)
+    assert events[-1].event == "state"
+    assert events[-1].state == JobState.DONE
+    final = events[-2]
+    assert final.event == "progress"
+    assert final.done == final.total == 2
+    assert final.eta_seconds == 0.0
+
+
 def test_engine_cache_dedupes_across_manager_restarts(tmp_path):
     cache_dir = str(tmp_path / "cache")
 
