@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-runtime bench-spice bench-batch \
-	examples results trace-demo faults-demo serve-demo lint \
-	lint-baseline clean
+	examples results trace-demo faults-demo campaign-demo serve-demo \
+	lint lint-baseline clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -61,6 +61,22 @@ faults-demo:
 		--cache-dir .repro-cache -o faults-demo-rerun.json
 	cmp faults-demo.json faults-demo-rerun.json
 
+# Declarative campaign demo (DESIGN.md S24): validate the example
+# file, run it through a cache, then resume against the same cache —
+# every unit stage replays from the stage cache and the two reports
+# must match byte-for-byte.  The same sequence (plus a mid-flight
+# kill) runs in CI as the campaign-smoke job.
+campaign-demo:
+	PYTHONPATH=src $(PYTHON) -m repro campaign validate \
+		examples/campaigns/fault-sweep.json
+	PYTHONPATH=src $(PYTHON) -m repro campaign run \
+		examples/campaigns/fault-sweep.json \
+		--cache-dir .repro-cache -o campaign-demo.json
+	PYTHONPATH=src $(PYTHON) -m repro campaign resume \
+		examples/campaigns/fault-sweep.json \
+		--cache-dir .repro-cache -o campaign-demo-rerun.json
+	cmp campaign-demo.json campaign-demo-rerun.json
+
 # Boot the job server on an ephemeral port, drive one Monte-Carlo
 # payload through submit -> event stream -> result with curl, verify
 # the result matches the CLI byte-for-byte, then shut down.  The same
@@ -112,5 +128,6 @@ clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results .repro-cache
 	rm -f last_run.json *.trace.json faults-demo.json faults-demo-rerun.json
 	rm -f lint-report.json serve-demo.json serve-demo-cli.json
+	rm -f campaign-demo.json campaign-demo-rerun.json
 	rm -f .serve-demo-port .serve-demo-receipt.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -73,6 +73,7 @@ class DeterminismRule(Rule):
         "repro.nn",
         "repro.functional",
         "repro.service",
+        "repro.campaign",
     )
 
     def check(self, info: ModuleInfo) -> Iterator[Finding]:

@@ -1,0 +1,475 @@
+"""Declarative campaign files: versioned JSON/TOML study definitions.
+
+The file format follows the 6tisch-simulator config shape
+(SNIPPETS.md #3): a ``version`` stamp, an ``execution`` block with
+``numCPUs`` / ``numRuns``, a ``settings`` block holding the ``regular``
+(base) parameters plus ``combination`` sweeps, and ``post`` hooks::
+
+    {
+      "version": 0,
+      "name": "fault-study",
+      "execution": {"numCPUs": 2, "numRuns": 2},
+      "settings": {
+        "regular": {
+          "kind": "faults",
+          "faults": {"modes": ["stuck_mixed"], "rates": [0, 0.05],
+                     "trials": 3, "seed": 7, "size": 8}
+        },
+        "combination": {"faults.size": [8, 16]}
+      },
+      "post": ["summary"]
+    }
+
+``combination`` maps dotted payload paths to value lists; the campaign
+expands their cartesian product (key order as written — both the
+strict JSON parser and TOML preserve it), overlays each combination on
+``regular``, and runs every combination ``numRuns`` times with the
+kind's seed advanced per run (``seed + run``).  Every expanded unit is
+validated **upfront** through
+:class:`~repro.service.schema.SimulationPayload` — the AsyncFlow
+stance (SNIPPETS.md #2): a campaign the runner does not fully
+understand must never start.  All rejections are path-addressed
+:class:`~repro.errors.ValidationError`\\ s
+(``settings.combination.faults.size[1]: must be an integer``).
+
+JSON files are parsed with :func:`repro.jsonio.loads_strict` (duplicate
+keys rejected with a path); TOML rides on :mod:`tomllib` where
+available (Python 3.11+) and fails with a clear error elsewhere — TOML
+rejects duplicate keys natively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError, ValidationError
+from repro.jsonio import loads_strict
+from repro.runtime.jobs import content_key
+from repro.service.schema import (
+    ExecutionSpec,
+    PayloadKind,
+    SimulationPayload,
+    _expect_int,
+    _expect_mapping,
+    _expect_number,
+    _reject_unknown_keys,
+    _reprefix,
+)
+
+__all__ = ["CampaignConfig", "CampaignUnit", "POST_HOOKS",
+           "CAMPAIGN_FILE_VERSION", "CAMPAIGN_SCHEMA"]
+
+#: The only accepted ``version`` value; bump on breaking format changes.
+CAMPAIGN_FILE_VERSION = 0
+
+#: Stamp folded into campaign fingerprints and stage cache keys.
+CAMPAIGN_SCHEMA = "repro-campaign-v1"
+
+#: Built-in post-processing hooks (see :mod:`repro.campaign.runner`).
+POST_HOOKS = ("summary",)
+
+_TOP_LEVEL = ("version", "name", "execution", "settings", "post")
+_EXECUTION_FIELDS = ("numCPUs", "numRuns", "chunk_size", "timeout",
+                     "retries", "min_sweep_for_parallel")
+
+#: Where each payload kind keeps its per-run seed; kinds missing here
+#: are deterministic per run, so ``numRuns > 1`` is rejected for them.
+_SEED_PATHS = {
+    PayloadKind.MONTECARLO: ("montecarlo", "seed"),
+    PayloadKind.FAULTS: ("faults", "seed"),
+}
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One expanded unit of work: a combination at one run index."""
+
+    stage: str
+    combo_index: int
+    run: int
+    combination: Mapping[str, Any]
+    seed: Optional[int]
+    payload: SimulationPayload
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """A fully validated campaign: spec echo plus expanded units."""
+
+    version: int
+    name: str
+    num_runs: int
+    execution: ExecutionSpec
+    regular: Mapping[str, Any]
+    combination: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    post: Tuple[str, ...]
+    units: Tuple[CampaignUnit, ...]
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignConfig":
+        """Load and validate a campaign file (``.json`` or ``.toml``)."""
+        file_path = Path(path)
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read campaign file {path!r}: {exc}")
+        if file_path.suffix.lower() == ".toml":
+            data = _parse_toml(text, path)
+        else:
+            try:
+                data = loads_strict(text)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"campaign file {path!r} is not valid JSON: {exc}"
+                ) from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "") -> "CampaignConfig":
+        """Validate a campaign document (the only entrance).
+
+        ``path`` prefixes every error path (the service embeds campaign
+        documents under its ``campaign`` payload section).
+        """
+        try:
+            return cls._from_dict(data)
+        except ValidationError as exc:
+            raise (_reprefix(exc, path) if path else exc) from None
+
+    @classmethod
+    def _from_dict(cls, data: Any) -> "CampaignConfig":
+        data = _expect_mapping(data, "")
+        _reject_unknown_keys(data, _TOP_LEVEL, "")
+        if "version" not in data:
+            raise ValidationError(
+                "missing required field", path="version",
+                allowed=[CAMPAIGN_FILE_VERSION],
+            )
+        version = _expect_int(data["version"], "version")
+        if version != CAMPAIGN_FILE_VERSION:
+            raise ValidationError(
+                "unsupported campaign file version", path="version",
+                value=version, allowed=[CAMPAIGN_FILE_VERSION],
+            )
+        name = data.get("name")
+        if not isinstance(name, str) or not name.strip():
+            raise ValidationError(
+                "campaigns need a non-empty name", path="name", value=name,
+            )
+        num_runs, execution = _parse_execution(data.get("execution", {}))
+
+        settings = _expect_mapping(data.get("settings"), "settings") \
+            if "settings" in data else None
+        if settings is None:
+            raise ValidationError(
+                "missing required field", path="settings",
+            )
+        _reject_unknown_keys(
+            settings, ("regular", "combination"), "settings"
+        )
+        if "regular" not in settings:
+            raise ValidationError(
+                "missing required field", path="settings.regular",
+            )
+        regular = _expect_mapping(settings["regular"], "settings.regular")
+        if "execution" in regular:
+            raise ValidationError(
+                "campaign execution lives in the top-level 'execution' "
+                "block, not inside settings.regular",
+                path="settings.regular.execution",
+            )
+        if regular.get("kind") == "campaign":
+            raise ValidationError(
+                "campaigns cannot nest campaigns",
+                path="settings.regular.kind", value="campaign",
+            )
+        combination = _parse_combination(settings.get("combination", {}))
+        post = _parse_post(data.get("post", []))
+
+        units = _expand_units(
+            dict(regular), combination, num_runs, execution
+        )
+        return cls(
+            version=version,
+            name=name.strip(),
+            num_runs=num_runs,
+            execution=execution,
+            regular={k: regular[k] for k in regular},
+            combination=combination,
+            post=post,
+            units=units,
+        )
+
+    # -- canonical forms -----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe echo (embedded in report documents)."""
+        return {
+            "version": self.version,
+            "name": self.name,
+            "execution": {
+                "numCPUs": self.execution.jobs,
+                "numRuns": self.num_runs,
+                "chunk_size": self.execution.chunk_size,
+                "timeout": self.execution.timeout,
+                "retries": self.execution.retries,
+                "min_sweep_for_parallel":
+                    self.execution.min_sweep_for_parallel,
+            },
+            "settings": {
+                "regular": dict(self.regular),
+                "combination": {
+                    key: list(values) for key, values in self.combination
+                },
+            },
+            "post": list(self.post),
+        }
+
+    def identity(self) -> Dict[str, Any]:
+        """Result-determining content only — engine knobs excluded.
+
+        Two campaigns that differ solely in ``numCPUs`` / chunking /
+        timeouts expand to identical units and must share a
+        fingerprint (the engine's schedule-independence guarantee);
+        the identity is therefore built from the expanded units'
+        :meth:`~repro.service.schema.SimulationPayload.result_identity`.
+        """
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "version": self.version,
+            "name": self.name,
+            "num_runs": self.num_runs,
+            "post": list(self.post),
+            "units": [
+                {
+                    "stage": unit.stage,
+                    "combination": dict(unit.combination),
+                    "run": unit.run,
+                    "seed": unit.seed,
+                    "payload": unit.payload.result_identity(),
+                }
+                for unit in self.units
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        return content_key(CAMPAIGN_SCHEMA, self.identity())
+
+    def total_work(self) -> int:
+        """Engine jobs across all units (the progress denominator)."""
+        return sum(unit.payload.total_work() for unit in self.units)
+
+    def describe(self) -> str:
+        return (
+            f"campaign:{self.name} ({len(self.units)} units, "
+            f"{self.total_work()} jobs)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Parsing helpers
+# ----------------------------------------------------------------------
+def _parse_toml(text: str, path: str) -> Any:
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: no stdlib TOML, no new deps.
+        raise ConfigError(
+            f"cannot load {path!r}: TOML campaign files need Python "
+            "3.11+ (stdlib tomllib); use the JSON form instead"
+        ) from None
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(
+            f"campaign file {path!r} is not valid TOML: {exc}"
+        ) from None
+
+
+def _parse_execution(data: Any) -> Tuple[int, ExecutionSpec]:
+    data = _expect_mapping(data, "execution")
+    _reject_unknown_keys(data, _EXECUTION_FIELDS, "execution")
+    num_runs = _expect_int(
+        data.get("numRuns", 1), "execution.numRuns", minimum=1
+    )
+    num_cpus = _expect_int(
+        data.get("numCPUs", 1), "execution.numCPUs", minimum=0
+    )
+    chunk_size = data.get("chunk_size")
+    if chunk_size is not None:
+        chunk_size = _expect_int(
+            chunk_size, "execution.chunk_size", minimum=1
+        )
+    timeout = data.get("timeout")
+    if timeout is not None:
+        timeout = _expect_number(timeout, "execution.timeout")
+        if timeout <= 0:
+            raise ValidationError(
+                "must be positive when given",
+                path="execution.timeout", value=timeout,
+            )
+    retries = _expect_int(
+        data.get("retries", 1), "execution.retries", minimum=0
+    )
+    min_sweep = _expect_int(
+        data.get("min_sweep_for_parallel", 16),
+        "execution.min_sweep_for_parallel", minimum=2,
+    )
+    spec = ExecutionSpec(
+        jobs=num_cpus, chunk_size=chunk_size, timeout=timeout,
+        retries=retries, min_sweep_for_parallel=min_sweep,
+    )
+    return num_runs, spec
+
+
+def _parse_combination(
+    data: Any,
+) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+    data = _expect_mapping(data, "settings.combination")
+    out: List[Tuple[str, Tuple[Any, ...]]] = []
+    for key, values in data.items():
+        where = f"settings.combination.{key}"
+        if not isinstance(key, str) or not key or any(
+            not segment for segment in key.split(".")
+        ):
+            raise ValidationError(
+                "combination keys are dotted payload paths "
+                "(e.g. 'faults.size')", path=where, value=key,
+            )
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ValidationError(
+                "must be a non-empty list of candidate values",
+                path=where, value=values,
+            )
+        out.append((key, tuple(values)))
+    return tuple(out)
+
+
+def _parse_post(data: Any) -> Tuple[str, ...]:
+    if not isinstance(data, (list, tuple)):
+        raise ValidationError(
+            "must be a list of post-hook names", path="post", value=data,
+            allowed=list(POST_HOOKS),
+        )
+    hooks: List[str] = []
+    for index, hook in enumerate(data):
+        if hook not in POST_HOOKS:
+            raise ValidationError(
+                "unknown post hook", path=f"post[{index}]", value=hook,
+                allowed=list(POST_HOOKS),
+            )
+        if hook in hooks:
+            raise ValidationError(
+                "post hook listed twice", path=f"post[{index}]",
+                value=hook,
+            )
+        hooks.append(hook)
+    return tuple(hooks)
+
+
+# ----------------------------------------------------------------------
+# Unit expansion
+# ----------------------------------------------------------------------
+def _deep_copy_json(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return {key: _deep_copy_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_deep_copy_json(item) for item in value]
+    return value
+
+
+def _set_path(
+    doc: Dict[str, Any], dotted: str, value: Any, error_path: str
+) -> None:
+    """Overlay ``value`` at ``dotted`` (creating mappings as needed)."""
+    segments = dotted.split(".")
+    node = doc
+    for segment in segments[:-1]:
+        child = node.get(segment)
+        if child is None:
+            child = node[segment] = {}
+        elif not isinstance(child, dict):
+            raise ValidationError(
+                f"path segment {segment!r} does not address an object "
+                "in settings.regular", path=error_path, value=dotted,
+            )
+        node = child
+    node[segments[-1]] = _deep_copy_json(value)
+
+
+def _validate_unit(
+    doc: Dict[str, Any], execution: ExecutionSpec
+) -> SimulationPayload:
+    """Validate one expanded unit document into a payload.
+
+    Errors are re-addressed under ``settings.regular`` — the campaign
+    file location the offending value (base or combination overlay)
+    landed in.
+    """
+    merged = dict(doc)
+    merged["execution"] = execution.to_dict()
+    try:
+        return SimulationPayload.from_dict(merged)
+    except ValidationError as exc:
+        raise _reprefix(exc, "settings.regular") from None
+
+
+def _seed_of(payload: SimulationPayload) -> Optional[int]:
+    if payload.kind is PayloadKind.MONTECARLO:
+        return payload.montecarlo.seed
+    if payload.kind is PayloadKind.FAULTS:
+        return payload.faults.seed
+    return None
+
+
+def _expand_units(
+    regular: Dict[str, Any],
+    combination: Tuple[Tuple[str, Tuple[Any, ...]], ...],
+    num_runs: int,
+    execution: ExecutionSpec,
+) -> Tuple[CampaignUnit, ...]:
+    keys = [key for key, _values in combination]
+    value_lists = [values for _key, values in combination]
+    combos = (
+        list(itertools.product(*value_lists)) if combination else [()]
+    )
+    units: List[CampaignUnit] = []
+    for combo_index, chosen in enumerate(combos):
+        doc = _deep_copy_json(regular)
+        overlay = dict(zip(keys, chosen))
+        for key, value in overlay.items():
+            _set_path(
+                doc, key, value, f"settings.combination.{key}"
+            )
+        base_payload = _validate_unit(doc, execution)
+        base_seed = _seed_of(base_payload)
+        if num_runs > 1 and base_payload.kind not in _SEED_PATHS:
+            raise ValidationError(
+                f"kind {base_payload.kind.value!r} is deterministic per "
+                "run (no seed to advance); numRuns must be 1",
+                path="execution.numRuns", value=num_runs,
+            )
+        for run in range(num_runs):
+            if num_runs == 1:
+                payload, seed = base_payload, base_seed
+            else:
+                section, field_name = _SEED_PATHS[base_payload.kind]
+                seed = base_seed + run
+                run_doc = _deep_copy_json(doc)
+                _set_path(
+                    run_doc, f"{section}.{field_name}", seed,
+                    "execution.numRuns",
+                )
+                payload = _validate_unit(run_doc, execution)
+            units.append(CampaignUnit(
+                stage=f"unit-{combo_index:03d}-run-{run}",
+                combo_index=combo_index,
+                run=run,
+                combination=overlay,
+                seed=seed,
+                payload=payload,
+            ))
+    return tuple(units)

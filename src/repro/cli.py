@@ -18,6 +18,11 @@ The subcommands cover the software flow of the paper's Fig. 3:
   mode x network into accuracy-vs-fault-rate curves with confidence
   intervals (see :mod:`repro.faults`); ``--output`` writes a
   byte-reproducible campaign JSON;
+* ``campaign`` — declarative campaign files (JSON, or TOML on Python
+  3.11+): ``validate`` checks a file and summarizes its expansion,
+  ``run`` executes it through the stage-DAG runner
+  (:mod:`repro.campaign`), ``resume`` re-runs an interrupted campaign
+  against its cache so completed stages replay without engine work;
 * ``netlist`` — export a SPICE netlist for a random-programmed crossbar
   of the configured size (the hand-off path to external simulators);
 * ``runtime-stats`` — the job engine's last-run metrics and cache
@@ -424,6 +429,73 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign.config import CampaignConfig
+    from repro.campaign.runner import run_campaign_config
+
+    config = CampaignConfig.from_file(args.file)
+    cache = _make_cache(args)
+    if args.resume and cache is None:
+        print(
+            "error: campaign resume needs a result cache; pass "
+            "--cache-dir (or set $REPRO_CACHE_DIR) pointing at the "
+            "interrupted run's cache", file=sys.stderr,
+        )
+        return 2
+    metrics = RunMetrics()
+    _log.info(
+        "campaign %r: %d units, %d jobs total, numCPUs=%d%s",
+        config.name, len(config.units), config.total_work(),
+        config.execution.jobs if args.jobs is None else args.jobs,
+        " (resume)" if args.resume else "",
+    )
+    run = run_campaign_config(
+        config, jobs=args.jobs, cache=cache, metrics=metrics,
+    )
+    rows = []
+    for name, stats in run.stage_stats.items():
+        rows.append([
+            name,
+            "yes" if stats["resumed"] else "-",
+            str(stats["jobs"]),
+            str(stats["cache_hits"]),
+            f"{stats['elapsed_seconds']:.2f}",
+        ])
+    print(format_table(
+        ["stage", "resumed", "jobs", "cache hits", "seconds"], rows,
+    ))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(run.to_json())
+        _log.info("campaign report written to %s", args.output)
+    _finish_run(cache, metrics)
+    return 0
+
+
+def _cmd_campaign_validate(args: argparse.Namespace) -> int:
+    from repro.campaign.config import CampaignConfig
+
+    # Validation errors propagate as MnsimError -> exit code 2.
+    config = CampaignConfig.from_file(args.file)
+    combo_sizes = " x ".join(
+        str(len(values)) for _key, values in config.combination
+    ) or "1"
+    print(format_table(
+        ["field", "value"],
+        [
+            ["name", config.name],
+            ["fingerprint", config.fingerprint()],
+            ["combinations", combo_sizes],
+            ["runs per combination", str(config.num_runs)],
+            ["units", str(len(config.units))],
+            ["engine jobs", str(config.total_work())],
+            ["numCPUs", str(config.execution.jobs)],
+            ["post hooks", ", ".join(config.post) or "-"],
+        ],
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.jobs import JobManager
     from repro.service.server import serve
@@ -726,6 +798,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic campaign JSON to this file",
     )
     faults.set_defaults(func=_cmd_faults)
+
+    campaign_cmd = sub.add_parser(
+        "campaign",
+        help="declarative campaign files: validate, run, resume",
+    )
+    campaign_sub = campaign_cmd.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _add_campaign_run_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "file", help="campaign file (.json, or .toml on Python 3.11+)"
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=None,
+            help="override the file's execution.numCPUs "
+            "(results are identical for any value)",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            help="persistent result-cache directory "
+            "(default: $REPRO_CACHE_DIR if set, else caching is off)",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the result cache even if a directory is "
+            "configured",
+        )
+        parser.add_argument(
+            "--output", "-o",
+            help="write the deterministic campaign report JSON here",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="validate and execute a campaign file"
+    )
+    _add_campaign_run_flags(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run, resume=False)
+
+    campaign_validate = campaign_sub.add_parser(
+        "validate",
+        help="validate a campaign file and summarize its expansion",
+    )
+    campaign_validate.add_argument(
+        "file", help="campaign file (.json, or .toml on Python 3.11+)"
+    )
+    campaign_validate.set_defaults(func=_cmd_campaign_validate)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume",
+        help="re-run an interrupted campaign from its cache "
+        "(completed stages replay without engine work)",
+    )
+    _add_campaign_run_flags(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_run, resume=True)
 
     netlist = sub.add_parser(
         "netlist", help="export a SPICE netlist of one crossbar"

@@ -24,6 +24,7 @@ from typing import (
 )
 
 from repro.arch.accelerator import Accelerator, AcceleratorSummary
+from repro.campaign.dag import DagRunner, Stage, StageContext, register_executor
 from repro.config import SimConfig
 from repro.dse.space import DesignSpace
 from repro.errors import ExplorationError
@@ -233,30 +234,87 @@ def explore(
         (per-sweep completion callback / cooperative cancellation).
     """
     space = space if space is not None else DesignSpace()
-    configs = list(space.configs(base_config))
-    fingerprint = network_fingerprint(network)
-    specs = [
-        simulation_spec(config, network, fingerprint) for config in configs
+    # The sweep as a three-stage DAG on the shared campaign runner:
+    # expand the grid, shard the solves through the engine, filter.
+    # ``len(space)`` counts exactly the configs the map stage yields,
+    # so the solve stage's weight (the progress denominator) is known
+    # before any simulation runs.
+    stages = [
+        Stage(
+            name="map",
+            executor="dse.map",
+            params={
+                "config": base_config, "network": network, "space": space,
+            },
+        ),
+        Stage(
+            name="solve",
+            executor="dse.solve",
+            depends_on=("map",),
+            weight=len(space),
+        ),
+        Stage(
+            name="report",
+            executor="dse.report",
+            params={"max_error_rate": max_error_rate},
+            depends_on=("map", "solve"),
+        ),
     ]
-    # Report the total up front so progress consumers (the service's
-    # ETA estimator) know the work size before the first chunk lands.
-    if progress is not None:
-        progress(0, len(specs))
+    runner = DagRunner(
+        stages,
+        cache=cache,
+        metrics=metrics,
+        policy=policy if policy is not None else RunPolicy(jobs=jobs),
+        progress=progress,
+        should_cancel=should_cancel,
+    )
     with obs_trace.span(
-        "dse.explore", points=len(configs), network=network.name,
+        "dse.explore", points=len(space), network=network.name,
     ):
-        summaries = run_jobs(
-            _evaluate_point,
-            specs,
-            policy=policy if policy is not None else RunPolicy(jobs=jobs),
-            cache=cache,
-            encode=_encode_summary,
-            decode=_decode_summary,
-            metrics=metrics,
-            progress=progress,
-            should_cancel=should_cancel,
-            batch_worker=_evaluate_points_batch,
-        )
+        return runner.run()["report"]
+
+
+@register_executor("dse.map")
+def _stage_map(stage: Stage, context: StageContext) -> Dict[str, Any]:
+    """Expand the design grid into configs and engine job specs."""
+    space: DesignSpace = stage.params["space"]
+    network: Network = stage.params["network"]
+    configs = list(space.configs(stage.params["config"]))
+    fingerprint = network_fingerprint(network)
+    return {
+        "configs": configs,
+        "specs": [
+            simulation_spec(config, network, fingerprint)
+            for config in configs
+        ],
+    }
+
+
+@register_executor("dse.solve")
+def _stage_solve(
+    stage: Stage, context: StageContext
+) -> List[AcceleratorSummary]:
+    """Shard the point simulations through the job engine."""
+    return run_jobs(
+        _evaluate_point,
+        context.upstream["map"]["specs"],
+        policy=context.policy,
+        cache=context.cache,
+        encode=_encode_summary,
+        decode=_decode_summary,
+        metrics=context.metrics,
+        progress=context.progress,
+        should_cancel=context.should_cancel,
+        batch_worker=_evaluate_points_batch,
+    )
+
+
+@register_executor("dse.report")
+def _stage_report(stage: Stage, context: StageContext) -> List[DesignPoint]:
+    """Pair configs with summaries, dropping constraint violations."""
+    max_error_rate = stage.params["max_error_rate"]
+    configs = context.upstream["map"]["configs"]
+    summaries = context.upstream["solve"]
     points: List[DesignPoint] = []
     for config, summary in zip(configs, summaries):
         if max_error_rate is not None and (

@@ -1,0 +1,71 @@
+"""Strict JSON parsing: duplicate keys are validation errors.
+
+``json.loads`` silently keeps the *last* occurrence of a repeated
+object key, so a document like ``{"numRuns": 1, "numRuns": 100}``
+sails through "strict" schema validation with a surprise value — the
+validator never sees the first binding.  Both service payloads and
+campaign files are contracts where that silence is a bug: the whole
+validation-first stance (DESIGN.md S21) is that a document the server
+does not fully understand must never run.
+
+:func:`loads_strict` closes the hole.  Objects are parsed into an
+intermediate pairs form (``object_pairs_hook``) and then resolved in a
+single walk that tracks the dotted path of every object, so a repeated
+key raises a path-addressed
+:class:`~repro.errors.ValidationError` — ``execution.numRuns:
+duplicate object key`` — instead of silently shadowing the earlier
+binding.  Everything else (types, ordering, numbers) is exactly
+``json.loads``; well-formed documents round-trip unchanged, including
+key order, which campaign ``combination`` sweeps rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["loads_strict"]
+
+
+class _Pairs:
+    """Marker wrapper for an object's raw key/value pairs."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: List[Tuple[str, Any]]) -> None:
+        self.pairs = pairs
+
+
+def _resolve(node: Any, path: str) -> Any:
+    if isinstance(node, _Pairs):
+        out = {}
+        for key, value in node.pairs:
+            where = f"{path}.{key}" if path else str(key)
+            if key in out:
+                raise ValidationError(
+                    "duplicate object key", path=where, value=key,
+                )
+            out[key] = _resolve(value, where)
+        return out
+    if isinstance(node, list):
+        return [
+            _resolve(item, f"{path}[{index}]")
+            for index, item in enumerate(node)
+        ]
+    return node
+
+
+def loads_strict(text: str) -> Any:
+    """Parse JSON, rejecting duplicate object keys with a field path.
+
+    Raises
+    ------
+    json.JSONDecodeError
+        For malformed JSON (same as :func:`json.loads`).
+    ValidationError
+        For a repeated key anywhere in the document, addressed by its
+        dotted path (e.g. ``settings.regular.faults.seed``).
+    """
+    return _resolve(json.loads(text, object_pairs_hook=_Pairs), "")

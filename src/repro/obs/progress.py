@@ -55,9 +55,22 @@ class ProgressTracker:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._clock = clock
+        self.reset(total)
+
+    def reset(self, total: int = 0) -> None:
+        """Discard all accumulated state for a fresh attempt.
+
+        ``update`` clamps ``done`` monotone on purpose (the engine's
+        cache stage may re-report a count), which means a *restarted*
+        stage reusing a tracker would silently drop every report until
+        it overtook the previous attempt — a frozen ETA built from
+        stale throughput.  Restarts must call ``reset`` (or build a new
+        tracker) so the count, the EWMA and the latency histogram all
+        start from zero.
+        """
         self.done = 0
         self.total = int(total)
-        self._started = clock()
+        self._started = self._clock()
         self._last_time = self._started
         self._ewma_rate: Optional[float] = None
         # Private, unregistered, and *not* job-scoped: the tracker runs

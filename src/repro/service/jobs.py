@@ -262,6 +262,15 @@ class JobManager:
         Returns immediately (possibly empty) once the job is terminal;
         otherwise waits up to ``timeout`` seconds for new events.
 
+        The wait is a ``Condition.wait_for`` on a *this-job* predicate:
+        the manager's condition variable is shared by every job, so a
+        bare ``wait`` would return early (and empty) whenever any
+        *other* job appended an event — a long-poll on a quiet job
+        degenerated into a busy poll under concurrent load.
+        ``wait_for`` re-evaluates the predicate on each wakeup and
+        keeps waiting out the remaining deadline until this job has
+        fresh events or goes terminal.
+
         Ordering contract: a job that completes successfully always
         appends a final ``progress`` event with ``done == total``
         *before* its terminal ``state`` event (enforced in
@@ -276,10 +285,10 @@ class JobManager:
             def fresh() -> List[JobEvent]:
                 return [e for e in record.events if e.seq > after]
 
-            events = fresh()
-            if events or record.state in JobState.TERMINAL:
-                return events
-            self._wake.wait(timeout=timeout)
+            self._wake.wait_for(
+                lambda: bool(fresh()) or record.state in JobState.TERMINAL,
+                timeout=timeout,
+            )
             return fresh()
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> str:

@@ -70,6 +70,7 @@ class PayloadKind(enum.Enum):
     EXPLORE = "explore"
     MONTECARLO = "montecarlo"
     FAULTS = "faults"
+    CAMPAIGN = "campaign"
 
 
 class NetworkTopology(enum.Enum):
@@ -589,6 +590,7 @@ _KIND_SECTION = {
     PayloadKind.EXPLORE: "sweep",
     PayloadKind.MONTECARLO: "montecarlo",
     PayloadKind.FAULTS: "faults",
+    PayloadKind.CAMPAIGN: "campaign",
 }
 
 #: Kinds that map a network through the accelerator hierarchy; faults
@@ -596,7 +598,7 @@ _KIND_SECTION = {
 _NETWORK_KINDS = (PayloadKind.SIMULATE, PayloadKind.EXPLORE)
 
 _TOP_LEVEL_FIELDS = ("kind", "config", "network", "sweep", "montecarlo",
-                     "faults", "execution")
+                     "faults", "campaign", "execution")
 
 
 @dataclass(frozen=True)
@@ -609,6 +611,9 @@ class SimulationPayload:
     sweep: Optional[SweepSpec] = None
     montecarlo: Optional[MonteCarloSpec] = None
     faults: Optional[FaultsSpec] = None
+    # A validated repro.campaign.config.CampaignConfig (typed Any to
+    # keep repro.campaign a lazy import — it imports this module).
+    campaign: Optional[Any] = None
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     @classmethod
@@ -628,6 +633,9 @@ class SimulationPayload:
                 allowed=[k.value for k in PayloadKind],
             )
         kind = _expect_enum(PayloadKind, data["kind"], "kind")
+
+        if kind is PayloadKind.CAMPAIGN:
+            return cls._campaign_from_dict(data)
 
         config_data = data.get("config", {})
         _expect_mapping(config_data, "config")
@@ -656,7 +664,7 @@ class SimulationPayload:
         # Workload sections: exactly the declared kind's section may be
         # present; the others are rejected, not ignored.
         own_section = _KIND_SECTION[kind]
-        for section in ("sweep", "montecarlo", "faults"):
+        for section in ("sweep", "montecarlo", "faults", "campaign"):
             if section in data and section != own_section:
                 raise ValidationError(
                     f"does not apply to kind={kind.value!r}",
@@ -676,9 +684,51 @@ class SimulationPayload:
             montecarlo=montecarlo, faults=faults, execution=execution,
         )
 
+    @classmethod
+    def _campaign_from_dict(cls, data: Mapping[str, Any]) -> \
+            "SimulationPayload":
+        """Validate ``kind="campaign"`` — a whole study as one payload.
+
+        A campaign file carries its own per-unit configuration and its
+        own ``execution`` block, so every other top-level section is
+        inconsistent input and rejected, not ignored.
+        """
+        for section in ("config", "network", "sweep", "montecarlo",
+                        "faults"):
+            if section in data:
+                raise ValidationError(
+                    "does not apply to kind='campaign' (campaign files "
+                    "carry per-unit settings)", path=section,
+                )
+        if "execution" in data:
+            raise ValidationError(
+                "campaigns carry their own execution block "
+                "(campaign.execution.numCPUs)", path="execution",
+            )
+        if "campaign" not in data:
+            raise ValidationError(
+                "required for kind='campaign'", path="campaign",
+            )
+        # Deferred import: repro.campaign.config imports this module.
+        from repro.campaign.config import CampaignConfig
+
+        campaign = CampaignConfig.from_dict(
+            data["campaign"], path="campaign"
+        )
+        return cls(
+            kind=PayloadKind.CAMPAIGN,
+            campaign=campaign,
+            execution=campaign.execution,
+        )
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-safe form (fingerprints derive from this)."""
+        if self.kind is PayloadKind.CAMPAIGN:
+            return {
+                "kind": self.kind.value,
+                "campaign": self.campaign.to_dict(),
+            }
         out: Dict[str, Any] = {
             "kind": self.kind.value,
             "config": self.config.to_dict(),
@@ -702,6 +752,13 @@ class SimulationPayload:
         engine's schedule-independence guarantee — so they share one
         job id and dedupe onto the same cache rows.
         """
+        if self.kind is PayloadKind.CAMPAIGN:
+            # CampaignConfig.identity() already excludes engine knobs
+            # (numCPUs / chunking / timeouts) from every unit.
+            return {
+                "kind": self.kind.value,
+                "campaign": self.campaign.identity(),
+            }
         identity = self.to_dict()
         del identity["execution"]
         return identity
@@ -720,6 +777,8 @@ class SimulationPayload:
         service can seed a job's ``total`` (and its ETA denominator)
         before any engine code runs.
         """
+        if self.kind is PayloadKind.CAMPAIGN:
+            return self.campaign.total_work()
         if self.kind is PayloadKind.EXPLORE:
             return len(self.sweep.to_design_space())
         if self.kind is PayloadKind.MONTECARLO:
@@ -734,6 +793,8 @@ class SimulationPayload:
 
     def describe(self) -> str:
         """One-line human summary for logs and job listings."""
+        if self.kind is PayloadKind.CAMPAIGN:
+            return f"campaign:{self.campaign.name}"
         target = self.network.spec_string() if self.network else (
             ",".join(self.faults.networks) if self.faults else "crossbar"
         )

@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ValidationError
+from repro.jsonio import loads_strict
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.service.jobs import JobManager, JobState
@@ -174,12 +175,14 @@ class _Handler(BaseHTTPRequestHandler):
         if body is None:
             return
         try:
-            data = json.loads(body.decode("utf-8"))
+            # Strict parse: a duplicate key is a path-addressed
+            # ValidationError (the structured 400 below), never a
+            # silently-shadowed binding (see repro.jsonio).
+            data = loads_strict(body.decode("utf-8"))
+            payload = SimulationPayload.from_dict(data)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, f"request body is not JSON: {exc}")
             return
-        try:
-            payload = SimulationPayload.from_dict(data)
         except ValidationError as exc:
             # The structured rejection contract: the offending field's
             # path, value, and allowed vocabulary — never a traceback,

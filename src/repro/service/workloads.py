@@ -236,11 +236,35 @@ def _run_faults(
     return result.to_dict()
 
 
+def _run_campaign(
+    payload: SimulationPayload,
+    *,
+    cache: Optional[ResultCache],
+    metrics: Optional[RunMetrics],
+    progress: ProgressFn,
+    should_cancel: CancelFn,
+) -> Dict[str, Any]:
+    # Deferred import: repro.campaign.runner imports this module.
+    from repro.campaign.runner import run_campaign_config
+
+    run = run_campaign_config(
+        payload.campaign,
+        cache=cache,
+        metrics=metrics,
+        progress=progress,
+        should_cancel=should_cancel,
+    )
+    # The report *is* the CLI `campaign run --output` document, so the
+    # service/CLI byte-identity contract extends to campaigns.
+    return run.document
+
+
 _RUNNERS = {
     PayloadKind.SIMULATE: _run_simulate,
     PayloadKind.EXPLORE: _run_explore,
     PayloadKind.MONTECARLO: _run_montecarlo,
     PayloadKind.FAULTS: _run_faults,
+    PayloadKind.CAMPAIGN: _run_campaign,
 }
 
 

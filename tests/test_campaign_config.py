@@ -1,0 +1,227 @@
+"""Declarative campaign files: validation, expansion, identity."""
+
+import json
+
+import pytest
+
+from repro.campaign.config import CampaignConfig
+from repro.errors import ConfigError, ValidationError
+
+BASE = {
+    "version": 0,
+    "name": "study",
+    "execution": {"numCPUs": 1, "numRuns": 2},
+    "settings": {
+        "regular": {
+            "kind": "montecarlo",
+            "montecarlo": {"trials": 2, "seed": 5, "size": 8},
+        },
+        "combination": {"montecarlo.sigma": [0.05, 0.1]},
+    },
+    "post": ["summary"],
+}
+
+
+def doc(**overrides):
+    out = json.loads(json.dumps(BASE))
+    out.update(overrides)
+    return out
+
+
+class TestExpansion:
+    def test_combination_times_runs(self):
+        config = CampaignConfig.from_dict(doc())
+        assert [u.stage for u in config.units] == [
+            "unit-000-run-0", "unit-000-run-1",
+            "unit-001-run-0", "unit-001-run-1",
+        ]
+        assert [u.seed for u in config.units] == [5, 6, 5, 6]
+        assert config.units[0].combination == {"montecarlo.sigma": 0.05}
+        assert config.units[2].combination == {"montecarlo.sigma": 0.1}
+        assert config.units[2].payload.montecarlo.sigma == 0.1
+
+    def test_total_work_sums_unit_jobs(self):
+        config = CampaignConfig.from_dict(doc())
+        assert config.total_work() == 4 * 2  # 4 units x 2 trials
+
+    def test_single_run_keeps_base_payload_untouched(self):
+        d = doc(execution={"numCPUs": 1, "numRuns": 1})
+        config = CampaignConfig.from_dict(d)
+        assert len(config.units) == 2
+        assert all(u.run == 0 for u in config.units)
+        assert [u.seed for u in config.units] == [5, 5]
+
+    def test_cartesian_product_uses_file_key_order(self):
+        d = doc()
+        d["settings"]["combination"] = {
+            "montecarlo.sigma": [0.05, 0.1],
+            "montecarlo.size": [8, 16],
+        }
+        d["execution"]["numRuns"] = 1
+        config = CampaignConfig.from_dict(d)
+        combos = [
+            (u.payload.montecarlo.sigma, u.payload.montecarlo.size)
+            for u in config.units
+        ]
+        assert combos == [(0.05, 8), (0.05, 16), (0.1, 8), (0.1, 16)]
+
+    def test_execution_knobs_reach_unit_payloads(self):
+        d = doc()
+        d["execution"].update({"numCPUs": 3, "chunk_size": 2})
+        config = CampaignConfig.from_dict(d)
+        assert config.execution.jobs == 3
+        assert all(u.payload.execution.jobs == 3 for u in config.units)
+        assert all(
+            u.payload.execution.chunk_size == 2 for u in config.units
+        )
+
+
+class TestIdentity:
+    def test_engine_knobs_do_not_change_the_fingerprint(self):
+        serial = CampaignConfig.from_dict(doc())
+        wide = doc()
+        wide["execution"]["numCPUs"] = 8
+        wide["execution"]["chunk_size"] = 4
+        assert CampaignConfig.from_dict(wide).fingerprint() == \
+            serial.fingerprint()
+
+    def test_result_determining_fields_do(self):
+        base = CampaignConfig.from_dict(doc()).fingerprint()
+        reseeded = doc()
+        reseeded["settings"]["regular"]["montecarlo"]["seed"] = 6
+        assert CampaignConfig.from_dict(reseeded).fingerprint() != base
+        renamed = doc(name="other-study")
+        assert CampaignConfig.from_dict(renamed).fingerprint() != base
+
+
+class TestValidation:
+    @pytest.mark.parametrize("mutate, path", [
+        (lambda d: d.pop("version"), "version"),
+        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.update(name="  "), "name"),
+        (lambda d: d.pop("settings"), "settings"),
+        (lambda d: d.update(bogus=1), "bogus"),
+        (lambda d: d["settings"].pop("regular"), "settings.regular"),
+        (lambda d: d["settings"]["regular"].update(execution={}),
+         "settings.regular.execution"),
+        (lambda d: d["execution"].update(numRuns=0), "execution.numRuns"),
+        (lambda d: d["execution"].update(numCPUs=-1), "execution.numCPUs"),
+        (lambda d: d.update(post=["unknown-hook"]), "post[0]"),
+        (lambda d: d.update(post=["summary", "summary"]), "post[1]"),
+        (lambda d: d["settings"]["combination"].update({"": [1]}),
+         "settings.combination."),
+        (lambda d: d["settings"]["combination"].update(
+            {"montecarlo.size": []}), "settings.combination.montecarlo.size"),
+    ])
+    def test_path_addressed_rejections(self, mutate, path):
+        d = doc()
+        mutate(d)
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == path
+
+    def test_nested_campaigns_rejected(self):
+        d = doc()
+        d["settings"]["regular"]["kind"] = "campaign"
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == "settings.regular.kind"
+
+    def test_bad_payload_value_prefixed_to_regular(self):
+        d = doc()
+        d["settings"]["regular"]["montecarlo"]["trials"] = "many"
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == "settings.regular.montecarlo.trials"
+
+    def test_bad_combination_value_blamed_on_the_overlay(self):
+        d = doc()
+        d["settings"]["combination"] = {"montecarlo.size": [8, "huge"]}
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == "settings.regular.montecarlo.size"
+
+    def test_override_through_non_mapping_rejected(self):
+        d = doc()
+        d["settings"]["combination"] = {"kind.sub": [1]}
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == "settings.combination.kind.sub"
+
+    def test_seedless_kind_rejects_multiple_runs(self):
+        d = doc()
+        d["settings"]["regular"] = {
+            "kind": "simulate", "network": {"topology": "validation-mlp"},
+        }
+        d["settings"].pop("combination")
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d)
+        assert excinfo.value.path == "execution.numRuns"
+
+    def test_service_embedding_prefixes_paths(self):
+        d = doc()
+        d["execution"]["numRuns"] = 0
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_dict(d, path="campaign")
+        assert excinfo.value.path == "campaign.execution.numRuns"
+
+
+class TestFromFile:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(doc()), encoding="utf-8")
+        config = CampaignConfig.from_file(str(path))
+        assert config.name == "study"
+        assert len(config.units) == 4
+
+    def test_duplicate_key_in_file_rejected_with_path(self, tmp_path):
+        path = tmp_path / "dup.json"
+        path.write_text(
+            '{"version": 0, "version": 1}', encoding="utf-8"
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            CampaignConfig.from_file(str(path))
+        assert excinfo.value.path == "version"
+
+    def test_json_syntax_error_is_config_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            CampaignConfig.from_file(str(path))
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CampaignConfig.from_file(str(tmp_path / "absent.json"))
+
+    def test_toml_form(self, tmp_path):
+        tomllib = pytest.importorskip(
+            "tomllib", reason="TOML campaigns need Python 3.11+"
+        )
+        assert tomllib is not None
+        path = tmp_path / "c.toml"
+        path.write_text(
+            'version = 0\n'
+            'name = "study"\n'
+            '[execution]\n'
+            'numCPUs = 1\n'
+            'numRuns = 2\n'
+            '[settings.regular]\n'
+            'kind = "montecarlo"\n'
+            '[settings.regular.montecarlo]\n'
+            'trials = 2\nseed = 5\nsize = 8\n'
+            '[settings.combination]\n'
+            '"montecarlo.sigma" = [0.05, 0.1]\n',
+            encoding="utf-8",
+        )
+        config = CampaignConfig.from_file(str(path))
+        # The TOML spelling expands to the same study as the JSON one
+        # (minus post hooks), so unit identities line up.
+        json_config = CampaignConfig.from_dict(doc(post=[]))
+        assert config.fingerprint() == json_config.fingerprint()
+
+    def test_bad_toml_is_config_error(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "broken.toml"
+        path.write_text("version = = 0", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            CampaignConfig.from_file(str(path))

@@ -1,0 +1,193 @@
+"""End-to-end campaigns: byte-identity, interruption, resume."""
+
+import json
+
+import pytest
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.runner import run_campaign_config
+from repro.errors import JobCancelled
+from repro.runtime.cache import ResultCache
+from repro.runtime.metrics import RunMetrics
+
+CAMPAIGN = {
+    "version": 0,
+    "name": "resume-study",
+    "execution": {
+        "numCPUs": 1,
+        "numRuns": 2,
+        "chunk_size": 1,
+        "min_sweep_for_parallel": 2,
+    },
+    "settings": {
+        "regular": {
+            "kind": "montecarlo",
+            "montecarlo": {"trials": 2, "seed": 3, "size": 8},
+        },
+        "combination": {"montecarlo.sigma": [0.05, 0.1]},
+    },
+    "post": ["summary"],
+}
+
+
+def config(**execution_overrides):
+    doc = json.loads(json.dumps(CAMPAIGN))
+    doc["execution"].update(execution_overrides)
+    return CampaignConfig.from_dict(doc)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The uninterrupted serial report — the byte-identity reference."""
+    return run_campaign_config(config()).to_json()
+
+
+class TestByteIdentity:
+    def test_runs_are_deterministic(self, baseline):
+        assert run_campaign_config(config()).to_json() == baseline
+
+    def test_parallel_matches_serial(self, baseline):
+        run = run_campaign_config(config(), jobs=2)
+        assert run.to_json() == baseline
+
+    def test_file_level_numcpus_matches_serial(self, baseline):
+        run = run_campaign_config(config(numCPUs=2))
+        assert run.to_json() == baseline
+
+    def test_report_shape(self, baseline):
+        doc = json.loads(baseline)
+        assert doc["schema"] == "repro-campaign-v1"
+        assert doc["name"] == "resume-study"
+        assert [u["stage"] for u in doc["units"]] == [
+            "unit-000-run-0", "unit-000-run-1",
+            "unit-001-run-0", "unit-001-run-1",
+        ]
+        rows = doc["post"]["summary"]["rows"]
+        assert [r["metric"] for r in rows] == ["mean_abs_error"] * 4
+
+
+class _CancelAtDone:
+    """Cooperative interruption once ``done`` reaches a threshold.
+
+    The engine checks ``should_cancel`` at chunk boundaries and the
+    DAG runner at stage boundaries; triggering on the campaign-wide
+    ``done`` count makes the kill point deterministic for any worker
+    count.  With 2 jobs per unit, a threshold of 3 interrupts *inside*
+    the second unit after the first unit completed — the mid-stage
+    kill the resume machinery exists for.
+    """
+
+    def __init__(self, done_threshold):
+        self.done_threshold = done_threshold
+        self.fired = False
+
+    def progress(self, done, total):
+        if done >= self.done_threshold:
+            self.fired = True
+
+    def should_cancel(self):
+        return self.fired
+
+
+def _interrupt_then_resume(cache, jobs, baseline, done_threshold=3):
+    interrupter = _CancelAtDone(done_threshold)
+    with pytest.raises(JobCancelled):
+        run_campaign_config(
+            config(), jobs=jobs, cache=cache,
+            progress=interrupter.progress,
+            should_cancel=interrupter.should_cancel,
+        )
+
+    metrics = RunMetrics()
+    resumed = run_campaign_config(
+        config(), jobs=jobs, cache=cache, metrics=metrics,
+    )
+    assert resumed.to_json() == baseline
+    return resumed, metrics
+
+
+class TestInterruptionAndResume:
+    def test_serial_resume_is_byte_identical(self, tmp_path, baseline):
+        cache = ResultCache(tmp_path / "cache")
+        resumed, _metrics = _interrupt_then_resume(cache, None, baseline)
+        stats = resumed.stage_stats
+        # The first unit completed before the kill: it replays from
+        # the sqlite stage cache with zero engine work.  The unit the
+        # kill landed in lost its in-flight chunks (the engine only
+        # persists completed runs) and re-executes.
+        assert stats["unit-000-run-0"]["resumed"] is True
+        assert stats["unit-000-run-0"]["jobs"] == 0
+        assert stats["unit-000-run-1"]["resumed"] is False
+        assert stats["unit-000-run-1"]["jobs"] == 2
+
+    def test_parallel_resume_is_byte_identical(self, tmp_path, baseline):
+        cache = ResultCache(tmp_path / "cache")
+        resumed, _metrics = _interrupt_then_resume(cache, 2, baseline)
+        stats = resumed.stage_stats
+        assert stats["unit-000-run-0"]["resumed"] is True
+        assert stats["unit-000-run-0"]["jobs"] == 0
+
+    def test_interruption_at_a_stage_boundary(self, tmp_path, baseline):
+        # Threshold 2 = exactly the first unit's job count: the flag
+        # trips on its final chunk report, the stage still completes
+        # (and is cached), and the runner cancels at the boundary
+        # before the second unit starts.
+        cache = ResultCache(tmp_path / "cache")
+        resumed, _metrics = _interrupt_then_resume(
+            cache, None, baseline, done_threshold=2
+        )
+        assert resumed.stage_stats["unit-000-run-0"]["resumed"] is True
+
+    def test_fully_cached_rerun_does_no_engine_work(self, tmp_path,
+                                                    baseline):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign_config(config(), cache=cache)
+        metrics = RunMetrics()
+        again = run_campaign_config(config(), cache=cache, metrics=metrics)
+        assert again.to_json() == baseline
+        assert all(
+            stats["resumed"]
+            for name, stats in again.stage_stats.items()
+            if name.startswith("unit-")
+        )
+        assert metrics.counters.get("jobs_executed", 0) == 0
+
+    def test_overridden_jobs_share_the_same_cache_rows(self, tmp_path,
+                                                       baseline):
+        # Stage cache keys exclude engine knobs: a serial run's cache
+        # resumes a --jobs 2 rerun wholesale.
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign_config(config(), cache=cache)
+        wide = run_campaign_config(config(), jobs=2, cache=cache)
+        assert wide.to_json() == baseline
+        assert all(
+            stats["resumed"]
+            for name, stats in wide.stage_stats.items()
+            if name.startswith("unit-")
+        )
+
+
+class TestServiceEquivalence:
+    def test_campaign_payload_result_is_the_report(self, baseline):
+        from repro.service.schema import SimulationPayload
+        from repro.service.workloads import render_document, run_payload
+
+        payload = SimulationPayload.from_dict({
+            "kind": "campaign",
+            "campaign": json.loads(json.dumps(CAMPAIGN)),
+        })
+        assert render_document(run_payload(payload)) == baseline
+
+    def test_unit_results_match_the_direct_payload_documents(self):
+        from repro.service.schema import SimulationPayload
+        from repro.service.workloads import run_payload
+
+        run = run_campaign_config(config())
+        unit = run.document["units"][0]
+        direct = run_payload(SimulationPayload.from_dict({
+            "kind": "montecarlo",
+            "montecarlo": {
+                "trials": 2, "seed": 3, "size": 8, "sigma": 0.05,
+            },
+        }))
+        assert unit["result"] == direct

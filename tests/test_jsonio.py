@@ -1,0 +1,51 @@
+"""Strict JSON parsing: duplicate object keys are rejected, with paths."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.jsonio import loads_strict
+
+
+class TestLoadsStrict:
+    def test_plain_documents_parse_identically(self):
+        text = json.dumps({
+            "kind": "faults",
+            "faults": {"rates": [0.0, 0.5], "trials": 3},
+            "nested": {"deep": [{"a": 1}, {"b": None}]},
+        })
+        assert loads_strict(text) == json.loads(text)
+
+    def test_scalars_and_arrays(self):
+        assert loads_strict("3") == 3
+        assert loads_strict("[1, 2, {\"x\": true}]") == [1, 2, {"x": True}]
+
+    def test_top_level_duplicate(self):
+        with pytest.raises(ValidationError) as excinfo:
+            loads_strict('{"trials": 1, "trials": 2}')
+        err = excinfo.value
+        assert err.path == "trials"
+        assert err.value == "trials"
+        assert "duplicate" in str(err)
+
+    def test_nested_duplicate_has_dotted_path(self):
+        with pytest.raises(ValidationError) as excinfo:
+            loads_strict('{"faults": {"seed": 1, "seed": 2}}')
+        assert excinfo.value.path == "faults.seed"
+
+    def test_duplicate_inside_array_element(self):
+        with pytest.raises(ValidationError) as excinfo:
+            loads_strict('{"post": [{}, {"k": 1, "k": 2}]}')
+        assert excinfo.value.path == "post[1].k"
+
+    def test_last_binding_never_shadows_silently(self):
+        # The stdlib default quietly keeps the last value; strict mode
+        # must refuse rather than pick one.
+        assert json.loads('{"jobs": 1, "jobs": 8}') == {"jobs": 8}
+        with pytest.raises(ValidationError):
+            loads_strict('{"jobs": 1, "jobs": 8}')
+
+    def test_syntax_errors_stay_json_errors(self):
+        with pytest.raises(json.JSONDecodeError):
+            loads_strict("{not json")

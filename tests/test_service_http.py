@@ -281,3 +281,34 @@ def test_metrics_exposition(service):
         if ("event", "submitted") in labels
     ]
     assert submitted and submitted[0] >= 1
+
+
+def test_duplicate_json_keys_rejected_with_path(service):
+    """Strict body parsing: a duplicate key is a structured 400.
+
+    ``json.loads`` silently keeps the *last* binding, so a client
+    typo like two ``montecarlo`` sections would previously run with
+    whichever half survived; the strict parser refuses upfront and
+    names the offending key's path.
+    """
+    import urllib.error
+    import urllib.request
+
+    client, manager = service
+    body = (
+        '{"kind": "montecarlo",'
+        ' "montecarlo": {"trials": 2, "seed": 0, "size": 8},'
+        ' "montecarlo": {"trials": 9999, "seed": 1, "size": 8}}'
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        client.base_url + "/jobs", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    response = excinfo.value
+    assert response.code == 400
+    error = json.loads(response.read().decode("utf-8"))["error"]
+    assert error["path"] == "montecarlo"
+    assert "duplicate" in error["message"]
+    assert manager.snapshot() == [], "rejected payloads must not enqueue"

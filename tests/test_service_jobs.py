@@ -228,3 +228,78 @@ def test_engine_cache_dedupes_across_manager_restarts(tmp_path):
         assert second.result_text(record2.job_id) == text
     finally:
         second.shutdown()
+
+
+class TestLongPollIsolation:
+    """events_since must wait out its timeout on *this* job's silence.
+
+    The manager's condition variable is shared by every job, so the
+    old single ``Condition.wait`` returned early (and empty) whenever
+    any other job appended an event — a long-poll on a quiet job
+    degenerated into a busy poll under concurrent load.
+    """
+
+    @staticmethod
+    def _inject_running(manager, job_id, seed):
+        from repro.service.jobs import JobRecord
+
+        record = JobRecord(
+            job_id=job_id, payload=payload(seed=seed),
+            state=JobState.RUNNING,
+        )
+        with manager._wake:
+            manager._jobs[job_id] = record
+        return record
+
+    def test_unrelated_jobs_events_do_not_end_the_poll(self, manager):
+        noisy = self._inject_running(manager, "job-noisy", seed=1)
+        self._inject_running(manager, "job-quiet", seed=2)
+
+        stop = threading.Event()
+
+        def chatter():
+            while not stop.is_set():
+                with manager._wake:
+                    noisy.done += 1
+                    manager._append_event(noisy, "progress")
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=chatter, daemon=True)
+        thread.start()
+        try:
+            start = time.monotonic()
+            events = manager.events_since(
+                "job-quiet", after=0, timeout=0.6
+            )
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert events == []
+        # The broken wait returned at the noisy job's first notify
+        # (~0.02 s); the predicate wait must hold the full timeout.
+        assert elapsed >= 0.55
+        assert len(manager.events_since("job-noisy", after=0)) >= 1
+
+    def test_own_jobs_event_wakes_the_poll_promptly(self, manager):
+        self._inject_running(manager, "job-noisy", seed=1)
+        quiet = self._inject_running(manager, "job-quiet", seed=2)
+
+        def append_later():
+            time.sleep(0.1)
+            with manager._wake:
+                quiet.done = 1
+                manager._append_event(quiet, "progress")
+
+        thread = threading.Thread(target=append_later, daemon=True)
+        thread.start()
+        try:
+            start = time.monotonic()
+            events = manager.events_since(
+                "job-quiet", after=0, timeout=10.0
+            )
+            elapsed = time.monotonic() - start
+        finally:
+            thread.join(timeout=5)
+        assert [e.event for e in events] == ["progress"]
+        assert elapsed < 5.0, "must wake on its own event, not timeout"
