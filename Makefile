@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-runtime bench-spice bench-batch \
 	examples results trace-demo faults-demo campaign-demo serve-demo \
-	lint lint-baseline clean
+	lint lint-graph lint-baseline clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -115,6 +115,13 @@ lint:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src \
 		|| echo "ruff not installed; skipped (pip install ruff==0.5.7)"
+
+# Project-analysis rules only (R7-R9: lock discipline, thread
+# lifecycle, determinism taint) with the call-graph pass and its
+# build-time figure in the summary line.
+lint-graph:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro \
+		--baseline lint-baseline.json --graph --select R7,R8,R9
 
 # Regenerate lint-baseline.json from the current findings.  Newly
 # grandfathered entries get a placeholder justification — replace it

@@ -124,10 +124,32 @@ class Baseline:
         prune: bool = True,
     ) -> None:
         """Absorb every current finding; keep hand-written justifications
-        for entries that already existed, drop fixed ones when ``prune``."""
+        for entries that already existed, drop fixed ones when ``prune``.
+
+        Justifications are matched by fingerprint first, then by
+        ``(rule, message)`` for entries whose fingerprint no longer
+        matches anything live: a module rename changes the fingerprint
+        (the module is part of the hash) but not the violation, and
+        silently downgrading its hand-written justification to the
+        default would lose the argument that got it grandfathered.
+        """
+        paired = fingerprint_findings(findings)
+        live = {digest for _, digest in paired}
+        orphans: Dict[Tuple[str, str], List[dict]] = {}
+        for digest in sorted(self.entries):
+            if digest in live:
+                continue
+            entry = self.entries[digest]
+            orphans.setdefault(
+                (entry["rule"], entry["message"]), []
+            ).append(entry)
         fresh: Dict[str, dict] = {}
-        for finding, digest in fingerprint_findings(findings):
+        for finding, digest in paired:
             existing = self.entries.get(digest)
+            if existing is None:
+                moved = orphans.get((finding.rule, finding.message))
+                if moved:
+                    existing = moved.pop(0)
             fresh[digest] = {
                 "fingerprint": digest,
                 "rule": finding.rule,

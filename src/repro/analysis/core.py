@@ -20,9 +20,19 @@ grandfather list.
 
 Inline suppression: a ``# lint: allow=R3 <reason>`` comment on the
 flagged line (or the line above it) silences the named rule(s) there;
+a comma-separated list (``allow=R1,R7``) names several rules and
 ``allow=*`` silences everything.  Suppressions are for invariants a
 human has argued are safe — the reason text is mandatory by
 convention and checked in review, not by the tool.
+
+Rules come in two shapes.  Per-module rules implement ``check`` and
+see one :class:`ModuleInfo` at a time.  Project rules set
+``needs_graph = True`` and implement ``check_project`` against a
+:class:`repro.analysis.graph.ProjectIndex` built once over *every*
+analyzed module — call graph, import resolution, class hierarchy —
+so they can reason across modules (lock discipline, thread lifecycle,
+cross-module determinism taint; DESIGN.md S25).  Both shapes share
+scope filtering, suppressions, fingerprints, and the baseline.
 """
 
 from __future__ import annotations
@@ -120,6 +130,10 @@ class Rule:
     name: str = ""
     description: str = ""
     scope: Sequence[str] = ()
+    #: Project rules need the whole-project index (call graph, class
+    #: hierarchy); they implement ``check_project`` instead of
+    #: ``check`` and run in the project-analysis pass.
+    needs_graph: bool = False
 
     def applies_to(self, module: str) -> bool:
         if not self.scope:
@@ -132,13 +146,38 @@ class Rule:
     def check(self, info: ModuleInfo) -> Iterator[Finding]:  # pragma: no cover
         raise NotImplementedError
 
+    def check_project(self, project) -> Iterator[Finding]:  # pragma: no cover
+        """Project-pass body for ``needs_graph`` rules: yield findings
+        over a :class:`repro.analysis.graph.ProjectIndex`."""
+        raise NotImplementedError
+
     def run(self, info: ModuleInfo) -> Iterator[Finding]:
         """``check`` filtered through scope and inline suppressions."""
-        if not self.applies_to(info.module):
+        if self.needs_graph or not self.applies_to(info.module):
             return
         for found in self.check(info):
             if not info.is_suppressed(found.line, found.rule):
                 yield found
+
+    def run_project(self, project) -> Iterator[Finding]:
+        """``check_project`` filtered through scope and suppressions.
+
+        Scope applies to the module the finding is *reported in* (the
+        evidence may span modules); suppressions come from that
+        module's own ``# lint: allow=`` comments, so graph-backed
+        findings are silenced exactly like per-module ones.
+        """
+        if not self.needs_graph:
+            return
+        for found in self.check_project(project):
+            if not self.applies_to(found.module):
+                continue
+            info = project.modules.get(found.module)
+            if info is not None and info.is_suppressed(
+                found.line, found.rule
+            ):
+                continue
+            yield found
 
 
 #: rule_id -> rule instance, in registration order.
@@ -169,9 +208,10 @@ def _module_name(rel_path: Path) -> str:
     """Dotted module name for a repo-relative file path.
 
     ``src/repro/runtime/cache.py`` -> ``repro.runtime.cache``.  Files
-    outside a ``src`` root fall back to their path parts from the last
-    ``repro`` component, else the bare stem — fixtures in temp dirs can
-    instead pass an explicit module to :func:`parse_source`.
+    outside a ``src`` root keep their path parts from the last
+    ``repro`` component, else all their relative parts — so fixture
+    package trees under a temp root get real dotted names and the
+    project index can resolve their imports.
     """
     parts = list(rel_path.with_suffix("").parts)
     if parts and parts[-1] == "__init__":
@@ -180,8 +220,6 @@ def _module_name(rel_path: Path) -> str:
         parts = parts[parts.index("src") + 1:]
     elif "repro" in parts:
         parts = parts[parts.index("repro"):]
-    else:
-        parts = parts[-1:]
     return ".".join(parts) or rel_path.stem
 
 
@@ -213,9 +251,21 @@ def parse_source(
 
 
 def parse_module(path: Path, root: Optional[Path] = None) -> ModuleInfo:
-    """Parse one file; ``root`` anchors the reported relative path."""
+    """Parse one file; ``root`` anchors the reported relative path.
+
+    Parsed modules are memoized on ``(path, root, mtime, size)`` so a
+    multi-rule run — and especially the project pass, which revisits
+    every module to build the index — parses each file exactly once
+    per content version.  Edited files re-parse on the next call.
+    """
     path = path.resolve()
     root = (root or Path.cwd()).resolve()
+    stat = path.stat()
+    cache_key = (str(path), str(root))
+    cached = _MODULE_CACHE.get(cache_key)
+    signature = (stat.st_mtime_ns, stat.st_size)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
     try:
         rel = path.relative_to(root)
     except ValueError:
@@ -223,7 +273,12 @@ def parse_module(path: Path, root: Optional[Path] = None) -> ModuleInfo:
     source = path.read_text(encoding="utf-8")
     info = parse_source(source, module=_module_name(rel), path=path)
     info.rel_path = rel.as_posix()
+    _MODULE_CACHE[cache_key] = (signature, info)
     return info
+
+
+#: (path, root) -> ((mtime_ns, size), parsed ModuleInfo)
+_MODULE_CACHE: Dict[tuple, tuple] = {}
 
 
 def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
@@ -253,11 +308,22 @@ def analyze_paths(
     *,
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
+    graph: bool = True,
+    stats: Optional[Dict[str, float]] = None,
 ) -> List[Finding]:
     """Run ``rules`` (default: all registered) over every file under
-    ``paths``; returns findings sorted by location."""
+    ``paths``; returns findings sorted by location.
+
+    ``graph=True`` (the default) additionally runs the project pass:
+    the whole-project index is built **once** over the parsed modules
+    and shared by every ``needs_graph`` rule.  Pass ``graph=False``
+    for a cheap per-module-only sweep.  ``stats``, when given, is
+    filled with ``graph_build_seconds`` / ``graph_modules`` (the CI
+    wall-time guard reads these out of the JSON report).
+    """
     active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
+    infos: List[ModuleInfo] = []
     for path in iter_python_files(paths):
         try:
             info = parse_module(path, root=root)
@@ -269,8 +335,19 @@ def analyze_paths(
                 message=f"syntax error: {exc.msg}",
             ))
             continue
+        infos.append(info)
         for rule in active:
             findings.extend(rule.run(info))
+    graph_rules = [rule for rule in active if rule.needs_graph]
+    if graph and graph_rules and infos:
+        from repro.analysis.graph import build_index
+
+        project = build_index(infos)
+        if stats is not None:
+            stats["graph_build_seconds"] = project.build_seconds
+            stats["graph_modules"] = len(project.modules)
+        for rule in graph_rules:
+            findings.extend(rule.run_project(project))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -280,12 +357,26 @@ def analyze_source(
     *,
     module: str,
     rules: Optional[Sequence[Rule]] = None,
+    graph: bool = True,
 ) -> List[Finding]:
-    """Run rules over an in-memory snippet (the fixture-test entry)."""
+    """Run rules over an in-memory snippet (the fixture-test entry).
+
+    ``needs_graph`` rules see a single-module project index — enough
+    for intra-class/intra-module evidence (the R7/R8 fixtures); tests
+    that need genuine cross-module taint write a temp tree and use
+    :func:`analyze_paths`.
+    """
     info = parse_source(source, module=module)
     active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
     for rule in active:
         findings.extend(rule.run(info))
+    graph_rules = [rule for rule in active if rule.needs_graph]
+    if graph and graph_rules:
+        from repro.analysis.graph import build_index
+
+        project = build_index([info])
+        for rule in graph_rules:
+            findings.extend(rule.run_project(project))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings

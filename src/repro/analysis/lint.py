@@ -60,6 +60,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--select", metavar="IDS", default=None,
         help="comma-separated rule ids to run (e.g. R1,R4)",
     )
+    parser.add_argument(
+        "--graph", action=argparse.BooleanOptionalAction, default=True,
+        help="run the project-analysis pass (call graph, R7-R9); "
+        "--no-graph restricts to per-module rules",
+    )
 
 
 def _select_rules(spec: Optional[str]):
@@ -92,7 +97,11 @@ def run_lint(args: argparse.Namespace) -> int:
             "(run from the repository root, or pass explicit paths)"
         )
     checked = len(list(iter_python_files(paths)))
-    findings = analyze_paths(paths, rules=_select_rules(args.select))
+    stats: dict = {}
+    findings = analyze_paths(
+        paths, rules=_select_rules(args.select),
+        graph=getattr(args, "graph", True), stats=stats,
+    )
 
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE_NAME).exists():
@@ -114,9 +123,12 @@ def run_lint(args: argparse.Namespace) -> int:
     if baseline_path and not args.no_baseline:
         baseline = Baseline.load(baseline_path)
         findings, grandfathered = baseline.split(findings)
+        # Stale-entry hints only make sense when every rule ran: a
+        # --select/--no-graph run simply didn't look for the others.
+        full_run = not args.select and getattr(args, "graph", True)
         for stale in baseline.stale_fingerprints(
             findings + grandfathered
-        ):
+        ) if full_run else []:
             entry = baseline.entries[stale]
             _log.info(
                 "baseline entry %s (%s in %s) is fixed — remove it",
@@ -127,10 +139,11 @@ def run_lint(args: argparse.Namespace) -> int:
         print(render_json(
             findings, grandfathered=grandfathered,
             checked_files=checked, baseline_path=baseline_path,
+            stats=stats,
         ))
     else:
         print(render_tree(
             findings, grandfathered=grandfathered,
-            checked_files=checked,
+            checked_files=checked, stats=stats,
         ))
     return 2 if findings else 0

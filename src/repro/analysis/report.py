@@ -16,6 +16,7 @@ def render_tree(
     *,
     grandfathered: Sequence[Finding] = (),
     checked_files: int = 0,
+    stats: Optional[dict] = None,
 ) -> str:
     """Group findings by file into an indented terminal tree."""
     lines: List[str] = []
@@ -38,6 +39,11 @@ def render_tree(
         summary += f" ({checked_files} file(s) checked)"
     if grandfathered:
         summary += f"; {len(grandfathered)} grandfathered in baseline"
+    if stats and "graph_build_seconds" in stats:
+        summary += (
+            f"; project index: {stats.get('graph_modules', 0)} "
+            f"module(s) in {stats['graph_build_seconds']:.2f}s"
+        )
     lines.append(summary)
     return "\n".join(lines)
 
@@ -48,6 +54,7 @@ def render_json(
     grandfathered: Sequence[Finding] = (),
     checked_files: int = 0,
     baseline_path: Optional[str] = None,
+    stats: Optional[dict] = None,
 ) -> str:
     """Stable machine-readable report (consumed by the CI lint job)."""
     def encode(items: Sequence[Finding]) -> List[dict]:
@@ -65,14 +72,21 @@ def render_json(
             for finding, digest in fingerprint_findings(items)
         ]
 
+    summary = {
+        "new": len(findings),
+        "grandfathered": len(grandfathered),
+        "files_checked": checked_files,
+        "baseline": baseline_path,
+    }
+    if stats:
+        # Graph-pass timing for the CI wall-time guard; absent when
+        # the project pass is skipped (--no-graph).
+        for key in ("graph_build_seconds", "graph_modules"):
+            if key in stats:
+                summary[key] = stats[key]
     payload = {
         "findings": encode(findings),
         "grandfathered": encode(grandfathered),
-        "summary": {
-            "new": len(findings),
-            "grandfathered": len(grandfathered),
-            "files_checked": checked_files,
-            "baseline": baseline_path,
-        },
+        "summary": summary,
     }
     return json.dumps(payload, indent=2, sort_keys=True)

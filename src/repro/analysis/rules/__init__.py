@@ -20,7 +20,22 @@ R5    units            scale arithmetic in ``circuits``/``tech`` uses
 R6    hot-loop-solve   no point-wise ``.solve()``/``.solve_many()``
                        calls inside loops in ``accuracy``/``dse``/
                        ``faults`` — batch through ``solve_batch``
+R7*   lock-discipline  attributes written under a class's lock are not
+                       touched bare elsewhere; ``Condition.wait``
+                       needs ``wait_for``/a predicate loop; notify
+                       holds the lock (call-graph aware)
+R8*   thread-lifecycle non-daemon threads are joined; executors and
+                       HTTP servers have a with/shutdown path
+                       (subclasses via the class hierarchy)
+R9*   determinism-     wall-clock/global-RNG sources stay >= 4 call
+      taint            hops away from ``canonical()``/``content_key``/
+                       ``fingerprint()`` sinks, project-wide
 ====  ===============  ====================================================
+
+Rules marked ``*`` are project rules (``needs_graph = True``): they
+run in the project-analysis pass over the whole-project semantic
+index (:mod:`repro.analysis.graph`, DESIGN.md S25) instead of one
+module at a time.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
@@ -28,6 +43,9 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     exceptions,
     forksafety,
     hotloop,
+    lifecycle,
+    locks,
     purity,
+    tainting,
     units,
 )

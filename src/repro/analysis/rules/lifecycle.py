@@ -1,0 +1,263 @@
+"""R8 — thread and executor lifecycle (graph-backed).
+
+A non-daemon ``threading.Thread`` that is never joined keeps the
+interpreter alive after ``main`` returns; a ``ProcessPoolExecutor`` or
+``ThreadingHTTPServer`` created outside a ``with`` block / try-finally
+shutdown path leaks worker processes and listening sockets on every
+exception between creation and teardown.  Both already carry repo
+conventions (the job manager joins its executor threads in
+``shutdown``; the runtime pool funnels every executor through
+``_shutdown_pool``), so the rule enforces them:
+
+* **threads** — a ``threading.Thread(...)`` construction without
+  ``daemon=True`` needs *join evidence*: some ``.join(...)`` attribute
+  call in the enclosing class (any method) or, for module-level code,
+  anywhere in the module.  Daemon threads are exempt — dying with the
+  process is their documented contract.
+* **executors / servers** — constructing ``ProcessPoolExecutor`` /
+  ``ThreadPoolExecutor`` / ``ThreadingHTTPServer``-family classes
+  (including project subclasses, resolved through the index's base
+  chains — this is why the rule needs the graph) is legal only when
+  the instance is (a) a ``with`` context manager, (b) bound to a name
+  or ``self`` attribute on which a ``shutdown()`` / ``close()`` /
+  ``server_close()`` / ``terminate()`` call exists in the same class
+  or module, or (c) immediately returned by a factory in a module
+  that contains such a shutdown call (the warm-pool pattern:
+  ``_acquire_pool`` returns, ``_shutdown_pool`` releases).  Anything
+  else is a leak-on-exception and is flagged.
+
+The evidence is intentionally name-based rather than flow-based
+(``executor.shutdown`` anywhere in the module clears ``executor =
+ProcessPoolExecutor(...)``); the rule aims at create-and-forget, not
+at proving the teardown runs on every path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules._ast_util import dotted_chain
+
+#: Constructors owning OS resources that need an explicit teardown.
+_EXECUTOR_NAMES = {
+    "ProcessPoolExecutor", "ThreadPoolExecutor",
+}
+_SERVER_NAMES = {
+    "ThreadingHTTPServer", "HTTPServer", "TCPServer", "UDPServer",
+    "ThreadingTCPServer", "ThreadingUDPServer",
+}
+
+_SHUTDOWN_METHODS = {
+    "shutdown", "close", "server_close", "terminate", "join",
+}
+
+
+def _receiver_text(node: ast.AST) -> Optional[str]:
+    """``executor`` / ``self._pool`` as text, else None."""
+    chain = dotted_chain(node)
+    if chain is None:
+        return None
+    return ".".join(chain)
+
+
+class _ModuleShutdowns:
+    """Names on which a shutdown-ish method is called, per scope."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: class name -> receiver texts; "" is module scope (module
+        #: functions and top level).
+        self.by_scope: Dict[str, Set[str]] = {"": set()}
+        self.join_scopes: Dict[str, bool] = {"": False}
+        self._scan(tree, "")
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.by_scope[node.name] = set()
+                self.join_scopes[node.name] = False
+                self._scan(node, node.name)
+
+    def _scan(self, root: ast.AST, scope: str) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in _SHUTDOWN_METHODS:
+                continue
+            receiver = node.func.value
+            # ``", ".join(parts)`` is string plumbing, not lifecycle.
+            if isinstance(receiver, (ast.Constant, ast.JoinedStr)):
+                continue
+            if method == "join":
+                self.join_scopes[scope] = True
+                continue
+            text = _receiver_text(receiver)
+            if text is not None:
+                self.by_scope[scope].add(text)
+
+    def has_shutdown_for(self, scope: str, name: Optional[str]) -> bool:
+        candidates = self.by_scope.get(scope, set()) | self.by_scope[""]
+        if name is None:
+            return bool(candidates)
+        return name in candidates
+
+    def has_join(self, scope: str) -> bool:
+        return self.join_scopes.get(scope, False) or self.join_scopes[""]
+
+
+@register
+class ThreadLifecycleRule(Rule):
+    rule_id = "R8"
+    name = "thread-lifecycle"
+    description = (
+        "Non-daemon threads need a reachable join; executors and "
+        "HTTP servers need a with-block or shutdown/close path "
+        "(subclasses resolved through the project index)."
+    )
+    scope = ()
+    needs_graph = True
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for module_name in sorted(project.modules):
+            info = project.modules[module_name]
+            shutdowns = _ModuleShutdowns(info.tree)
+            resource_classes = self._resource_classes(project, info)
+            for function in sorted(
+                project.functions_in(module_name),
+                key=lambda f: f.qualname,
+            ):
+                scope = ""
+                if function.cls is not None:
+                    cls = project.classes.get(function.cls)
+                    if cls is not None:
+                        scope = cls.name
+                yield from self._check_function(
+                    project, info, function, scope, shutdowns,
+                    resource_classes,
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resource_classes(project, info) -> Dict[str, str]:
+        """Project classes in scope here whose base chain reaches an
+        executor/server type, mapped to the matched base name."""
+        out: Dict[str, str] = {}
+        for cls in project.classes.values():
+            for base in project.base_chain(cls.qualname):
+                leaf = base.rsplit(".", 1)[-1]
+                if leaf in _SERVER_NAMES | _EXECUTOR_NAMES:
+                    out[cls.qualname] = leaf
+                    break
+        return out
+
+    def _check_function(
+        self, project, info, function, scope, shutdowns,
+        resource_classes,
+    ) -> Iterator[Finding]:
+        with_exprs, returned = self._contexts(function.node)
+        for call in function.calls:
+            if call.chain is None:
+                continue
+            leaf = call.chain[-1]
+            resource: Optional[str] = None
+            if leaf in _EXECUTOR_NAMES | _SERVER_NAMES and (
+                len(call.chain) > 1 or call.kind == "class"
+                or leaf == call.chain[0]
+            ):
+                resource = leaf
+            elif call.kind == "class" and call.target in resource_classes:
+                resource = resource_classes[call.target]
+            if resource is None:
+                if leaf == "Thread" and call.chain[0] in (
+                    "Thread", "threading"
+                ):
+                    yield from self._check_thread(
+                        info, function, call, scope, shutdowns
+                    )
+                continue
+            if id(call.node) in with_exprs:
+                continue
+            bound = self._binding(function.node, call.node)
+            if bound is not None and shutdowns.has_shutdown_for(
+                scope, bound
+            ):
+                continue
+            if id(call.node) in returned or (
+                bound is not None and bound in self._returned_names(
+                    function.node
+                )
+            ):
+                if shutdowns.has_shutdown_for(scope, None):
+                    continue  # factory paired with a teardown path
+            yield info.finding(
+                self, call.node,
+                f"{resource} constructed in {function.name}() outside "
+                "a with-block and without a shutdown/close path for "
+                "its binding; leaks workers/sockets on any exception "
+                "before teardown (wrap in with/try-finally, or pair "
+                "the factory with an explicit shutdown helper)",
+            )
+
+    def _check_thread(
+        self, info, function, call, scope, shutdowns,
+    ) -> Iterator[Finding]:
+        for keyword in call.node.keywords:
+            if keyword.arg == "daemon" and (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return
+        if shutdowns.has_join(scope):
+            return
+        owner = scope or "module"
+        yield info.finding(
+            self, call.node,
+            f"non-daemon Thread created in {function.name}() with no "
+            f".join() anywhere in the enclosing {owner}; the thread "
+            "outlives its owner and blocks interpreter exit (join it "
+            "in a shutdown path, or make it daemon=True with a "
+            "documented reason)",
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _contexts(root: ast.AST) -> Tuple[Set[int], Set[int]]:
+        """ids of Call nodes that are withitem contexts / returned."""
+        with_exprs: Set[int] = set()
+        returned: Set[int] = set()
+        for node in ast.walk(root):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        with_exprs.add(id(expr))
+            elif isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Call
+            ):
+                returned.add(id(node.value))
+        return with_exprs, returned
+
+    @staticmethod
+    def _binding(root: ast.AST, call: ast.Call) -> Optional[str]:
+        """The name/self-attr a constructor call is assigned to."""
+        for node in ast.walk(root):
+            if isinstance(node, ast.Assign) and node.value is call:
+                for target in node.targets:
+                    text = _receiver_text(target)
+                    if text is not None:
+                        return text
+            elif isinstance(node, ast.AnnAssign) and node.value is call:
+                return _receiver_text(node.target)
+        return None
+
+    @staticmethod
+    def _returned_names(root: ast.AST) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(root):
+            if isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Name
+            ):
+                out.add(node.value.id)
+        return out

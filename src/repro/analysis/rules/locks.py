@@ -1,0 +1,371 @@
+"""R7 — lock discipline inside threaded classes (graph-backed).
+
+The service layer shipped exactly one concurrency bug family twice:
+state shared between threads guarded by a lock in one method and
+touched bare in another, and condition variables used without a
+predicate.  The PR 6 ``JobManager.events_since`` long-poll used a bare
+``Condition.wait`` on a condition shared by every job, so any *other*
+job's event woke it into an early empty return — found by hand only in
+PR 9.  Per-module rules cannot express the invariant because the
+evidence spans methods: whether ``self._queue`` may be touched without
+``self._lock`` in ``_drain`` depends on who calls ``_drain`` and
+under what lock — a call-graph question.
+
+For every class that creates a ``threading.Lock`` / ``RLock`` /
+``Condition`` instance attribute — directly or in a base class,
+resolved through the project index's class hierarchy — this rule
+checks:
+
+* **guarded-attribute discipline** — an instance attribute *written*
+  inside a ``with self.<lock>`` block in any method is shared mutable
+  state; reading or writing it outside a lock-held region in another
+  method races.  Mutating-method calls and subscript stores
+  (``self._jobs[k] = v``, ``self._queue.append``) count as writes.
+  ``__init__`` is exempt (it runs before the object escapes).
+* **lock-held helper methods** — a method whose intra-class call
+  sites (via the project call graph) all sit inside lock-held
+  regions, and which is never called from outside the class, is
+  itself lock-held (the ``# Caller holds the lock`` convention made
+  machine-checkable); its bare accesses and ``notify`` calls are
+  legal.  Computed as a greatest fixpoint so helper chains
+  (``cancel -> _finish -> _append_event``) resolve.
+* **bare Condition.wait** — ``self.<cond>.wait(...)`` outside any
+  enclosing ``while`` loop returns spuriously and on every broadcast;
+  require ``wait_for`` or an explicit predicate loop.
+* **notify outside the lock** — ``notify`` / ``notify_all`` on a
+  condition attribute in a region that does not hold the lock (and in
+  a method not proven lock-held) raises ``RuntimeError`` at runtime or,
+  worse, races the waiter's predicate read.
+
+All lock attributes of a class are treated as one lock: the repo's
+convention is a single ``Lock`` plus ``Condition(self._lock)`` views
+of it (``JobManager._lock`` / ``_wake``), and distinguishing them
+without alias analysis would only manufacture false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules._ast_util import dotted_chain
+
+#: threading constructors whose instances guard shared state.
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+_COND_CTOR = "Condition"
+
+#: Receiver-method calls that mutate the receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "add", "update", "clear", "pop", "popitem",
+    "remove", "discard", "insert", "setdefault", "appendleft",
+    "popleft", "sort",
+}
+
+_NOTIFY_METHODS = {"notify", "notify_all"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class _Access:
+    """One interesting event inside a method body."""
+
+    __slots__ = ("attr", "node", "held", "kind", "in_while")
+
+    def __init__(self, attr: str, node: ast.AST, held: bool,
+                 kind: str, in_while: bool = False) -> None:
+        self.attr = attr
+        self.node = node
+        self.held = held          # lexically inside ``with self.<lock>``
+        self.kind = kind          # read | write | wait | notify | call
+        self.in_while = in_while  # some ancestor while within the method
+
+
+class _MethodScan:
+    """Lexical scan of one method: accesses + self-call sites."""
+
+    def __init__(self, locks: Set[str]) -> None:
+        self.locks = locks
+        self.accesses: List[_Access] = []
+        #: (method name, call site held?)
+        self.self_calls: List[Tuple[str, bool]] = []
+
+    def scan(self, method: ast.AST) -> None:
+        for statement in getattr(method, "body", []):
+            self._visit(statement, held=False, in_while=False)
+
+    def _with_holds(self, node: ast.AST) -> bool:
+        for item in getattr(node, "items", []):
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                return True
+        return False
+
+    def _visit(self, node: ast.AST, *, held: bool,
+               in_while: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def is its own execution context: calls through
+            # it are not charged to this method's lock region.  Its
+            # body is still scanned (unheld) so bare accesses surface.
+            for child in node.body:
+                self._visit(child, held=False, in_while=False)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held or self._with_holds(node)
+            for item in node.items:
+                self._expr(item.context_expr, held, in_while)
+            for child in node.body:
+                self._visit(child, held=inner, in_while=in_while)
+            return
+        if isinstance(node, ast.While):
+            self._expr(node.test, held, True)
+            for child in [*node.body, *node.orelse]:
+                self._visit(child, held=held, in_while=True)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, held, in_while)
+            else:
+                self._visit(child, held=held, in_while=in_while)
+
+    def _expr(self, node: ast.AST, held: bool, in_while: bool) -> None:
+        stack: List[ast.AST] = [node]
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.Lambda, ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                continue  # separate execution context (see _visit)
+            stack.extend(ast.iter_child_nodes(child))
+            if isinstance(child, ast.Call):
+                self._call(child, held, in_while)
+            elif isinstance(child, ast.Attribute):
+                attr = _self_attr(child)
+                if attr is None or attr in self.locks:
+                    continue
+                kind = (
+                    "write"
+                    if isinstance(child.ctx, (ast.Store, ast.Del))
+                    else "read"
+                )
+                self.accesses.append(
+                    _Access(attr, child, held, kind, in_while)
+                )
+            elif (isinstance(child, ast.Subscript)
+                    and isinstance(child.ctx, (ast.Store, ast.Del))):
+                attr = _self_attr(child.value)
+                if attr is not None and attr not in self.locks:
+                    self.accesses.append(
+                        _Access(attr, child, held, "write", in_while)
+                    )
+
+    def _call(self, node: ast.Call, held: bool, in_while: bool) -> None:
+        chain = dotted_chain(node.func)
+        if chain is None:
+            return
+        # self.method(...) — a candidate lock-held helper call site.
+        if len(chain) == 2 and chain[0] == "self":
+            self.self_calls.append((chain[1], held))
+            return
+        # self.<attr>.<method>(...)
+        if len(chain) == 3 and chain[0] == "self":
+            attr, method = chain[1], chain[2]
+            if attr in self.locks:
+                if method == "wait":
+                    self.accesses.append(
+                        _Access(attr, node, held, "wait", in_while)
+                    )
+                elif method in _NOTIFY_METHODS:
+                    self.accesses.append(
+                        _Access(attr, node, held, "notify", in_while)
+                    )
+                return
+            if method in _MUTATING_METHODS:
+                self.accesses.append(
+                    _Access(attr, node, held, "write", in_while)
+                )
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "R7"
+    name = "lock-discipline"
+    description = (
+        "Attributes written under a class's lock must not be touched "
+        "bare elsewhere; Condition.wait needs wait_for/a predicate "
+        "loop; notify requires the lock (call-graph aware)."
+    )
+    scope = ()  # any class creating threading locks, anywhere in repro
+    needs_graph = True
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for cls_qualname in sorted(project.classes):
+            cls = project.classes[cls_qualname]
+            yield from self._check_class(project, cls)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, project, cls) -> Iterator[Finding]:
+        info = project.modules.get(cls.module)
+        if info is None:
+            return
+        locks, conds = self._lock_attrs(project, cls)
+        if not locks:
+            return
+
+        scans: Dict[str, _MethodScan] = {}
+        for method_name, method_qualname in cls.methods.items():
+            function = project.functions.get(method_qualname)
+            if function is None:
+                continue
+            scan = _MethodScan(locks)
+            scan.scan(function.node)
+            scans[method_name] = scan
+
+        held_methods = self._lock_held_methods(project, cls, scans)
+
+        guarded: Dict[str, str] = {}  # attr -> first guarding method
+        for method_name, scan in sorted(scans.items()):
+            if method_name == "__init__":
+                continue
+            effective = method_name in held_methods
+            for access in scan.accesses:
+                if access.kind == "write" and (
+                    access.held or effective
+                ):
+                    guarded.setdefault(access.attr, method_name)
+
+        for method_name, scan in sorted(scans.items()):
+            if method_name == "__init__":
+                continue
+            held_method = method_name in held_methods
+            reported: Set[str] = set()
+            for access in scan.accesses:
+                if access.kind in ("read", "write"):
+                    if (access.attr in guarded
+                            and not access.held
+                            and not held_method
+                            and access.attr not in reported):
+                        reported.add(access.attr)
+                        yield info.finding(
+                            self, access.node,
+                            f"attribute '{access.attr}' of "
+                            f"{cls.name} is written under the lock "
+                            f"(e.g. in {guarded[access.attr]}()) but "
+                            f"accessed without it in {method_name}(); "
+                            "take the lock or prove every caller "
+                            "holds it",
+                        )
+                elif access.kind == "wait":
+                    if access.attr in conds and not access.in_while:
+                        yield info.finding(
+                            self, access.node,
+                            f"bare Condition.wait on "
+                            f"self.{access.attr} in {cls.name}."
+                            f"{method_name}(): any notify_all (or a "
+                            "spurious wakeup) returns it early with "
+                            "the predicate still false — use "
+                            "wait_for(predicate, timeout) or an "
+                            "explicit while-predicate loop",
+                        )
+                elif access.kind == "notify":
+                    if not access.held and not held_method:
+                        yield info.finding(
+                            self, access.node,
+                            f"self.{access.attr}."
+                            f"{_notify_name(access.node)}() in "
+                            f"{cls.name}.{method_name}() outside the "
+                            "owning lock: notify requires the lock "
+                            "held (RuntimeError at runtime, and the "
+                            "waiter's predicate read races)",
+                        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lock_attrs(project, cls) -> Tuple[Set[str], Set[str]]:
+        """Instance attrs bound to threading Lock/RLock/Condition.
+
+        Walks the project base chain so a lock created in a base
+        (``_Metric.__init__`` sets ``self._lock``) guards subclass
+        methods too — inheritance must not launder the discipline.
+        """
+        locks: Set[str] = set()
+        conds: Set[str] = set()
+        methods: List[str] = []
+        for base_qualname in project.base_chain(cls.qualname):
+            base = project.classes.get(base_qualname)
+            if base is not None:
+                methods.extend(base.methods.values())
+        for method_qualname in methods:
+            function = project.functions.get(method_qualname)
+            if function is None:
+                continue
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                chain = dotted_chain(node.value.func)
+                if chain is None or chain[-1] not in _LOCK_CTORS:
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    locks.add(attr)
+                    if chain[-1] == _COND_CTOR:
+                        conds.add(attr)
+        return locks, conds
+
+    @staticmethod
+    def _lock_held_methods(
+        project, cls, scans: Dict[str, _MethodScan],
+    ) -> Set[str]:
+        """Greatest fixpoint of "every call site holds the lock".
+
+        A method qualifies when it has at least one intra-class call
+        site, every such site is lexically inside a ``with self.<lock>``
+        block or in a method itself proven lock-held, and the project
+        call graph records no caller outside the class.
+        """
+        sites: Dict[str, List[Tuple[str, bool]]] = {}
+        for caller_name, scan in scans.items():
+            for callee_name, held in scan.self_calls:
+                sites.setdefault(callee_name, []).append(
+                    (caller_name, held)
+                )
+
+        external: Set[str] = set()
+        for method_name, method_qualname in cls.methods.items():
+            for caller in project.callers(method_qualname):
+                caller_info = project.functions.get(caller)
+                if caller_info is None or caller_info.cls != cls.qualname:
+                    external.add(method_name)
+
+        held = {
+            name for name in scans
+            if name in sites and name not in external
+            and name != "__init__"
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(held):
+                ok = all(
+                    site_held or caller in held
+                    for caller, site_held in sites.get(name, [])
+                )
+                if not ok:
+                    held.discard(name)
+                    changed = True
+        return held
+
+
+def _notify_name(node: ast.Call) -> str:
+    chain = dotted_chain(node.func)
+    return chain[-1] if chain else "notify"

@@ -117,7 +117,9 @@ class CampaignConfig:
         try:
             text = file_path.read_text(encoding="utf-8")
         except OSError as exc:
-            raise ConfigError(f"cannot read campaign file {path!r}: {exc}")
+            raise ConfigError(
+                f"cannot read campaign file {path!r}: {exc}"
+            ) from exc
         if file_path.suffix.lower() == ".toml":
             data = _parse_toml(text, path)
         else:

@@ -542,7 +542,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         except OSError as exc:  # URLError: service not reachable
             raise MnsimError(
                 f"cannot reach service at {args.url!r}: {exc}"
-            )
+            ) from exc
         print(render_report(spans, k=args.top, max_depth=args.depth))
         return 0
     if not args.trace_file:
@@ -554,7 +554,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             args.trace_file, k=args.top, max_depth=args.depth,
         ))
     except (OSError, ValueError) as exc:
-        raise MnsimError(f"cannot read trace {args.trace_file!r}: {exc}")
+        raise MnsimError(
+            f"cannot read trace {args.trace_file!r}: {exc}"
+        ) from exc
     return 0
 
 
@@ -565,7 +567,9 @@ def _cmd_jobs_list(args: argparse.Namespace) -> int:
     try:
         jobs = client.jobs()
     except OSError as exc:
-        raise MnsimError(f"cannot reach service at {args.url!r}: {exc}")
+        raise MnsimError(
+            f"cannot reach service at {args.url!r}: {exc}"
+        ) from exc
     if not jobs:
         print("no jobs known to the service")
         return 0
@@ -599,7 +603,9 @@ def _cmd_jobs_watch(args: argparse.Namespace) -> int:
                 final_state = event.get("state")
                 print(f"state: {final_state}", flush=True)
     except OSError as exc:
-        raise MnsimError(f"cannot reach service at {args.url!r}: {exc}")
+        raise MnsimError(
+            f"cannot reach service at {args.url!r}: {exc}"
+        ) from exc
     return 0 if final_state == "done" else 1
 
 

@@ -73,10 +73,10 @@ def _parse_network_spec(spec: str) -> Optional[Tuple[int, ...]]:
         body = spec[len("mlp:"):]
         try:
             sizes = tuple(int(token) for token in body.split(","))
-        except ValueError:
+        except ValueError as exc:
             raise ConfigError(
                 f"bad MLP spec {spec!r}: sizes must be integers"
-            )
+            ) from exc
         if len(sizes) < 2 or any(s < 1 for s in sizes):
             raise ConfigError(
                 f"bad MLP spec {spec!r}: need >= 2 positive neuron counts"

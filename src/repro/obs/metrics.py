@@ -169,7 +169,8 @@ class Counter(_Metric):
             self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_labelset(labels), 0)
+        with self._lock:
+            return self._values.get(_labelset(labels), 0)
 
     def total(self, **labels: Any) -> float:
         """Sum over every sample whose labels *include* ``labels``.
@@ -211,18 +212,22 @@ class Counter(_Metric):
         return len(doomed)
 
     def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            values = dict(self._values)
         return {
             "type": self.kind,
             "help": self.help,
             "values": {
-                _format_labels(k) or "": v for k, v in self._values.items()
+                _format_labels(k) or "": v for k, v in values.items()
             },
         }
 
     def exposition(self) -> List[str]:
+        with self._lock:
+            values = sorted(self._values.items())
         return [
             f"{self.name}{_format_labels(k)} {_format_value(v)}"
-            for k, v in sorted(self._values.items())
+            for k, v in values
         ]
 
 
@@ -245,7 +250,8 @@ class Gauge(_Metric):
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_labelset(labels), 0.0)
+        with self._lock:
+            return self._values.get(_labelset(labels), 0.0)
 
     def _label_keys(self) -> List[LabelSet]:
         with self._lock:
@@ -271,18 +277,22 @@ class Gauge(_Metric):
         return len(doomed)
 
     def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            values = dict(self._values)
         return {
             "type": self.kind,
             "help": self.help,
             "values": {
-                _format_labels(k) or "": v for k, v in self._values.items()
+                _format_labels(k) or "": v for k, v in values.items()
             },
         }
 
     def exposition(self) -> List[str]:
+        with self._lock:
+            values = sorted(self._values.items())
         return [
             f"{self.name}{_format_labels(k)} {_format_value(v)}"
-            for k, v in sorted(self._values.items())
+            for k, v in values
         ]
 
 
@@ -338,11 +348,14 @@ class Histogram(_Metric):
 
     def snapshot(self, **labels: Any) -> Dict[str, Any]:
         """``{"count", "sum", "mean"}`` for one label set (zeros if unseen)."""
-        state = self._states.get(_labelset(labels))
-        if state is None:
-            return {"count": 0, "sum": 0.0, "mean": 0.0}
-        mean = state.total / state.count if state.count else 0.0
-        return {"count": state.count, "sum": state.total, "mean": mean}
+        with self._lock:
+            state = self._states.get(_labelset(labels))
+            if state is None:
+                return {"count": 0, "sum": 0.0, "mean": 0.0}
+            mean = state.total / state.count if state.count else 0.0
+            return {
+                "count": state.count, "sum": state.total, "mean": mean,
+            }
 
     def quantile(self, q: float, **labels: Any) -> Optional[float]:
         """Estimated ``q``-quantile for one label set, or None if empty.
@@ -412,40 +425,46 @@ class Histogram(_Metric):
 
     def to_dict(self) -> Dict[str, Any]:
         values = {}
-        for key, state in self._states.items():
-            cumulative = []
-            running = 0
-            for count in state.bucket_counts:
-                running += count
-                cumulative.append(running)
-            values[_format_labels(key) or ""] = {
-                "buckets": dict(
-                    zip([str(b) for b in self.bounds] + ["+Inf"], cumulative)
-                ),
-                "sum": state.total,
-                "count": state.count,
-            }
+        with self._lock:
+            for key, state in self._states.items():
+                cumulative = []
+                running = 0
+                for count in state.bucket_counts:
+                    running += count
+                    cumulative.append(running)
+                values[_format_labels(key) or ""] = {
+                    "buckets": dict(
+                        zip(
+                            [str(b) for b in self.bounds] + ["+Inf"],
+                            cumulative,
+                        )
+                    ),
+                    "sum": state.total,
+                    "count": state.count,
+                }
         return {"type": self.kind, "help": self.help, "values": values}
 
     def exposition(self) -> List[str]:
         lines: List[str] = []
-        for key, state in sorted(self._states.items()):
-            running = 0
-            for bound, count in zip(
-                list(self.bounds) + [math.inf], state.bucket_counts
-            ):
-                running += count
-                le = _labelset({"le": _format_value(bound)})
+        with self._lock:
+            for key, state in sorted(self._states.items()):
+                running = 0
+                for bound, count in zip(
+                    list(self.bounds) + [math.inf], state.bucket_counts
+                ):
+                    running += count
+                    le = _labelset({"le": _format_value(bound)})
+                    lines.append(
+                        f"{self.name}_bucket"
+                        f"{_format_labels(key + le)} {running}"
+                    )
                 lines.append(
-                    f"{self.name}_bucket{_format_labels(key + le)} {running}"
+                    f"{self.name}_sum{_format_labels(key)} "
+                    f"{_format_value(state.total)}"
                 )
-            lines.append(
-                f"{self.name}_sum{_format_labels(key)} "
-                f"{_format_value(state.total)}"
-            )
-            lines.append(
-                f"{self.name}_count{_format_labels(key)} {state.count}"
-            )
+                lines.append(
+                    f"{self.name}_count{_format_labels(key)} {state.count}"
+                )
         return lines
 
 
@@ -471,6 +490,14 @@ class MetricsRegistry:
     # -- registration --------------------------------------------------
     def _get_or_create(self, cls, name: str, help_text: str,
                        **kwargs: Any) -> _Metric:
+        """Register-or-return under the lock.
+
+        A ``buckets=None`` kwarg means "whatever is registered": it
+        skips the bounds check against an existing histogram and falls
+        back to :data:`DEFAULT_BUCKETS` on first registration.  The
+        peek-then-create sequence stays entirely inside the lock so
+        concurrent first registrations cannot race.
+        """
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -491,6 +518,8 @@ class MetricsRegistry:
                 if help_text and not existing.help:
                     existing.help = help_text
                 return existing
+            if "buckets" in kwargs and kwargs["buckets"] is None:
+                kwargs["buckets"] = DEFAULT_BUCKETS
             metric = cls(name, help_text, **kwargs)
             metric._job_scoped = self.job_scoped
             self._metrics[name] = metric
@@ -509,21 +538,18 @@ class MetricsRegistry:
         """Get-or-create; ``buckets=None`` means "whatever is
         registered" (:data:`DEFAULT_BUCKETS` on first registration),
         while explicit bounds must match an existing registration."""
-        if buckets is None:
-            existing = self._metrics.get(name)
-            if existing is not None and isinstance(existing, Histogram):
-                return self._get_or_create(Histogram, name, help_text)
-            buckets = DEFAULT_BUCKETS
         return self._get_or_create(
             Histogram, name, help_text, buckets=buckets
         )
 
     # -- introspection -------------------------------------------------
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def get(self, name: str) -> Optional[_Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def reset(self) -> None:
         """Drop every registered metric (tests and fresh CLI runs)."""
@@ -575,10 +601,9 @@ class MetricsRegistry:
     # -- export --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe snapshot of every metric, name-sorted."""
-        return {
-            name: self._metrics[name].to_dict()
-            for name in sorted(self._metrics)
-        }
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in items}
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -586,8 +611,9 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Prometheus text exposition (format version 0.0.4)."""
         lines: List[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, metric in items:
             if metric.help:
                 lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")

@@ -100,7 +100,9 @@ def reference_solve(
 
     max_rounds = max_iterations if nonlinear else 1
     previous = None
-    for iterations in range(1, max_rounds + 1):
+    # The loop variable is read *after* the loop (iteration count in
+    # the packaged result), which B007 cannot see.
+    for iterations in range(1, max_rounds + 1):  # noqa: B007
         matrix, rhs = reference_assemble(network, conductances, inputs)
         voltages = spla.spsolve(matrix, rhs)
         if np.any(~np.isfinite(voltages)):

@@ -643,7 +643,9 @@ class CrossbarNetwork:
             "solver.solve", rows=self.rows, cols=self.cols,
             nonlinear=nonlinear,
         ) as solve_span:
-            for iterations in range(1, max_rounds + 1):
+            # Read after the loop (returned iteration count) — a B007
+            # blind spot.
+            for iterations in range(1, max_rounds + 1):  # noqa: B007
                 matrix = self._matrix(conductances)
                 if lu is None:
                     lu = self._factorize(matrix)

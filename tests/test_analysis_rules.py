@@ -524,8 +524,41 @@ class TestLintCli:
     def test_rules_listing(self, tmp_path):
         result = self._run("--rules", cwd=tmp_path)
         assert result.returncode == 0
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6",
+                        "R7", "R8", "R9"):
             assert rule_id in result.stdout
+
+    def test_graph_flag_controls_project_pass(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "service" / "store.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(textwrap.dedent("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+
+                def peek(self, key):
+                    return self._data.get(key)
+        """))
+        with_graph = self._run("src", "--format", "json", cwd=tmp_path)
+        assert with_graph.returncode == 2
+        payload = json.loads(with_graph.stdout)
+        assert payload["findings"][0]["rule"] == "R7"
+        assert payload["summary"]["graph_build_seconds"] >= 0.0
+        assert payload["summary"]["graph_modules"] >= 1
+
+        without = self._run(
+            "src", "--no-graph", "--format", "json", cwd=tmp_path,
+        )
+        assert without.returncode == 0, without.stdout
+        summary = json.loads(without.stdout)["summary"]
+        assert "graph_build_seconds" not in summary
 
 
 # ----------------------------------------------------------------------
@@ -579,7 +612,7 @@ class TestRepoIsClean:
 
     def test_registered_rule_set(self):
         assert sorted(r.rule_id for r in all_rules()) == [
-            "R1", "R2", "R3", "R4", "R5", "R6",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
         ]
 
 
@@ -673,3 +706,573 @@ class TestHotLoopSolveRule:
         """
         assert not findings_for(source, "repro.faults.campaign",
                                 rule="R6")
+
+
+# ----------------------------------------------------------------------
+# R7 lock-discipline (graph rule)
+# ----------------------------------------------------------------------
+class TestLockDisciplineRule:
+    # The PR 6 long-poll bug, rediscovered by hand in PR 9: a bare
+    # Condition.wait on a condition shared by every job, so any other
+    # job's event wakes it into an early empty return.
+    EVENTS_SINCE_BUG = """
+        import threading
+
+        class JobManager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._wake = threading.Condition(self._lock)
+                self._events = {}
+
+            def events_since(self, job_id, cursor, timeout):
+                with self._wake:
+                    events = self._events.get(job_id, [])[cursor:]
+                    if not events:
+                        self._wake.wait(timeout)
+                        events = self._events.get(job_id, [])[cursor:]
+                    return events
+    """
+
+    EVENTS_SINCE_FIXED = """
+        import threading
+
+        class JobManager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._wake = threading.Condition(self._lock)
+                self._events = {}
+
+            def events_since(self, job_id, cursor, timeout):
+                with self._wake:
+                    self._wake.wait_for(
+                        lambda: len(self._events.get(job_id, [])) > cursor,
+                        timeout,
+                    )
+                    return self._events.get(job_id, [])[cursor:]
+    """
+
+    def test_pr9_events_since_bug_flagged(self):
+        found = findings_for(self.EVENTS_SINCE_BUG,
+                             "repro.service.fixture", rule="R7")
+        assert len(found) == 1
+        assert "bare Condition.wait" in found[0].message
+        assert "wait_for" in found[0].message
+
+    def test_wait_for_fix_is_clean(self):
+        assert not findings_for(self.EVENTS_SINCE_FIXED,
+                                "repro.service.fixture", rule="R7")
+
+    def test_while_predicate_loop_is_clean(self):
+        source = """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._items = []
+
+                def pop(self):
+                    with self._cond:
+                        while not self._items:
+                            self._cond.wait()
+                        return self._items.pop()
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_unguarded_read_of_guarded_attr_flagged(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+
+                def peek(self, key):
+                    return self._data.get(key)
+        """
+        found = findings_for(source, "repro.service.fixture", rule="R7")
+        assert len(found) == 1
+        assert "_data" in found[0].message
+        assert "peek" in found[0].message
+
+    def test_lock_held_helper_fixpoint_clean(self):
+        # _append is only ever called from inside the locked region,
+        # and nothing outside the class calls it: the "# Caller holds
+        # the lock" convention, proven instead of trusted.
+        source = """
+            import threading
+
+            class Log:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+
+                def record(self, event):
+                    with self._lock:
+                        self._events.append("pre")
+                        self._append(event)
+
+                def _append(self, event):
+                    self._events.append(event)
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_helper_with_unlocked_call_site_flagged(self):
+        source = """
+            import threading
+
+            class Log:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+
+                def record(self, event):
+                    with self._lock:
+                        self._events.append("pre")
+                        self._append(event)
+
+                def record_unlocked(self, event):
+                    self._append(event)
+
+                def _append(self, event):
+                    self._events.append(event)
+        """
+        found = findings_for(source, "repro.service.fixture", rule="R7")
+        assert found, "helper with an unlocked call site must be flagged"
+        assert any("_events" in f.message for f in found)
+
+    def test_notify_outside_lock_flagged(self):
+        source = """
+            import threading
+
+            class Waker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._ready = False
+
+                def arm(self):
+                    with self._cond:
+                        self._ready = True
+                    self._cond.notify_all()
+        """
+        found = findings_for(source, "repro.service.fixture", rule="R7")
+        assert len(found) == 1
+        assert "notify" in found[0].message
+
+    def test_notify_inside_lock_clean(self):
+        source = """
+            import threading
+
+            class Waker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._ready = False
+
+                def arm(self):
+                    with self._cond:
+                        self._ready = True
+                        self._cond.notify_all()
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_inherited_lock_guards_subclass(self):
+        # The lock lives in the base class; the subclass writes under
+        # it in one method and reads bare in another — inheritance
+        # must not launder the discipline (the metrics.py bug family).
+        source = """
+            import threading
+
+            class Base:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+            class Child(Base):
+                def __init__(self):
+                    super().__init__()
+                    self._values = {}
+
+                def inc(self, key):
+                    with self._lock:
+                        self._values[key] = 1
+
+                def value(self, key):
+                    return self._values.get(key)
+        """
+        found = findings_for(source, "repro.obs.fixture", rule="R7")
+        assert len(found) == 1
+        assert "_values" in found[0].message
+
+    def test_init_writes_exempt(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+                    self._data["boot"] = True
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+
+# ----------------------------------------------------------------------
+# R8 thread/executor lifecycle (graph rule)
+# ----------------------------------------------------------------------
+class TestThreadLifecycleRule:
+    def test_executor_without_shutdown_flagged(self):
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(tasks):
+                executor = ProcessPoolExecutor(max_workers=2)
+                return [executor.submit(t) for t in tasks]
+        """
+        found = findings_for(source, "repro.runtime.fixture", rule="R8")
+        assert len(found) == 1
+        assert "ProcessPoolExecutor" in found[0].message
+
+    def test_with_block_clean(self):
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(tasks):
+                with ProcessPoolExecutor(max_workers=2) as executor:
+                    return [f.result() for f in map(executor.submit, tasks)]
+        """
+        assert not findings_for(source, "repro.runtime.fixture",
+                                rule="R8")
+
+    def test_class_scoped_shutdown_clean(self):
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Pool:
+                def start(self):
+                    self._executor = ProcessPoolExecutor(max_workers=2)
+
+                def stop(self):
+                    self._executor.shutdown(wait=True)
+        """
+        assert not findings_for(source, "repro.runtime.fixture",
+                                rule="R8")
+
+    def test_factory_with_module_teardown_clean(self):
+        # The warm-pool pattern: a factory returns the executor and a
+        # sibling helper owns the teardown.
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def acquire(workers):
+                return ProcessPoolExecutor(max_workers=workers)
+
+            def release(executor):
+                executor.shutdown(wait=False)
+        """
+        assert not findings_for(source, "repro.runtime.fixture",
+                                rule="R8")
+
+    def test_bare_factory_without_teardown_flagged(self):
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def acquire(workers):
+                return ProcessPoolExecutor(max_workers=workers)
+        """
+        found = findings_for(source, "repro.runtime.fixture", rule="R8")
+        assert len(found) == 1
+
+    def test_project_server_subclass_resolved(self):
+        # Constructing a *subclass* of ThreadingHTTPServer is only
+        # visible through the index's class hierarchy.
+        source = """
+            from http.server import ThreadingHTTPServer
+
+            class ApiServer(ThreadingHTTPServer):
+                daemon_threads = True
+
+            def serve(address):
+                server = ApiServer(address, None)
+                server.serve_forever()
+        """
+        found = findings_for(source, "repro.service.fixture", rule="R8")
+        assert len(found) == 1
+        assert "ThreadingHTTPServer" in found[0].message
+
+    def test_non_daemon_thread_without_join_flagged(self):
+        source = """
+            import threading
+
+            def start(worker):
+                thread = threading.Thread(target=worker)
+                thread.start()
+        """
+        found = findings_for(source, "repro.service.fixture", rule="R8")
+        assert len(found) == 1
+        assert "join" in found[0].message
+
+    def test_daemon_thread_clean(self):
+        source = """
+            import threading
+
+            def start(worker):
+                thread = threading.Thread(target=worker, daemon=True)
+                thread.start()
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R8")
+
+    def test_thread_with_class_join_clean(self):
+        source = """
+            import threading
+
+            class Runner:
+                def start(self, worker):
+                    self._thread = threading.Thread(target=worker)
+                    self._thread.start()
+
+                def shutdown(self):
+                    self._thread.join(timeout=5)
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R8")
+
+
+# ----------------------------------------------------------------------
+# R9 cross-module determinism taint (graph rule)
+# ----------------------------------------------------------------------
+class TestDeterminismTaintRule:
+    def _tree(self, tmp_path, files):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        for name, source in files.items():
+            (pkg / name).write_text(textwrap.dedent(source))
+        return pkg
+
+    def test_cross_module_adjacency_flagged(self, tmp_path):
+        pkg = self._tree(tmp_path, {
+            "clockmod.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "keys.py": """
+                from pkg.clockmod import stamp
+
+                def canonical(value):
+                    return repr(value)
+
+                def make_key(payload):
+                    meta = stamp()
+                    return canonical({"payload": payload, "meta": meta})
+            """,
+        })
+        found = [f for f in analyze_paths([pkg], root=tmp_path)
+                 if f.rule == "R9"]
+        assert len(found) == 1
+        assert found[0].module == "pkg.clockmod"
+        assert "time.time()" in found[0].message
+        assert "canonical" in found[0].message
+
+    def test_direct_mix_is_zero_hops(self, tmp_path):
+        pkg = self._tree(tmp_path, {
+            "mix.py": """
+                import time
+
+                def canonical(value):
+                    return repr(value)
+
+                def make_key(payload):
+                    return canonical((payload, time.time()))
+            """,
+        })
+        found = [f for f in analyze_paths([pkg], root=tmp_path)
+                 if f.rule == "R9"]
+        assert len(found) == 1
+        assert "0 hop(s)" in found[0].message
+
+    def test_beyond_hop_bound_invisible(self, tmp_path):
+        # stamp <- w1 <- w2 <- w3 <- mixer: 4 hops up, out of range.
+        pkg = self._tree(tmp_path, {
+            "deep.py": """
+                import time
+
+                def canonical(value):
+                    return repr(value)
+
+                def stamp():
+                    return time.time()
+
+                def w1():
+                    return stamp()
+
+                def w2():
+                    return w1()
+
+                def w3():
+                    return w2()
+
+                def make_key(payload):
+                    return canonical((payload, w3()))
+            """,
+        })
+        found = [f for f in analyze_paths([pkg], root=tmp_path)
+                 if f.rule == "R9"]
+        assert found == []
+
+    def test_no_graph_disables_rule(self, tmp_path):
+        pkg = self._tree(tmp_path, {
+            "mix.py": """
+                import time
+
+                def canonical(value):
+                    return repr(value)
+
+                def make_key(payload):
+                    return canonical((payload, time.time()))
+            """,
+        })
+        found = [f for f in analyze_paths([pkg], root=tmp_path,
+                                          graph=False)
+                 if f.rule == "R9"]
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# Suppression of graph rules (multi-rule allow lists, allow=*)
+# ----------------------------------------------------------------------
+class TestGraphRuleSuppression:
+    STORE = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def peek(self, key):
+                return self._data.get(key)%s
+    """
+
+    def test_multi_rule_allow_silences_graph_rule(self):
+        source = self.STORE % "  # lint: allow=R1,R7 snapshot read"
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_multi_rule_allow_is_not_a_wildcard(self):
+        source = self.STORE % "  # lint: allow=R1,R8 wrong rules"
+        assert findings_for(source, "repro.service.fixture", rule="R7")
+
+    def test_star_allows_graph_rule(self):
+        source = self.STORE % "  # lint: allow=*"
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_line_above_allow_on_graph_rule(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+
+                def peek(self, key):
+                    # lint: allow=R7 lock-free snapshot by design
+                    return self._data.get(key)
+        """
+        assert not findings_for(source, "repro.service.fixture",
+                                rule="R7")
+
+    def test_multi_rule_allow_covers_both_rules_on_one_line(self):
+        # One line tripping R1; the same allow list names R1 and R7.
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # lint: allow=R1,R7 metadata only
+        """
+        assert not findings_for(source, "repro.runtime.fixture",
+                                rule="R1")
+
+
+# ----------------------------------------------------------------------
+# Baseline rename round-trip (justifications survive module renames)
+# ----------------------------------------------------------------------
+class TestBaselineRename:
+    def test_rename_keeps_justification(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "runtime"
+        src_dir.mkdir(parents=True)
+        (src_dir / "__init__.py").write_text("")
+        wall = src_dir / "wall.py"
+        wall.write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        src = tmp_path / "src"
+        baseline = Baseline()
+        baseline.update_from(analyze_paths([src], root=tmp_path))
+        fingerprint = next(iter(baseline.entries))
+        baseline.entries[fingerprint]["justification"] = (
+            "metadata only, argued in review"
+        )
+
+        # Rename the module: the fingerprint changes (module is part
+        # of the hash) but the violation is the same one.
+        wall.rename(src_dir / "clock.py")
+        baseline.update_from(analyze_paths([src], root=tmp_path))
+
+        assert len(baseline.entries) == 1
+        entry = next(iter(baseline.entries.values()))
+        assert entry["fingerprint"] != fingerprint
+        assert entry["module"] == "repro.runtime.clock"
+        assert entry["justification"] == "metadata only, argued in review"
+
+    def test_distinct_violations_do_not_cross_match(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "runtime"
+        src_dir.mkdir(parents=True)
+        (src_dir / "__init__.py").write_text("")
+        (src_dir / "wall.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        src = tmp_path / "src"
+        baseline = Baseline()
+        baseline.update_from(analyze_paths([src], root=tmp_path))
+        for entry in baseline.entries.values():
+            entry["justification"] = "wall-clock argued safe"
+
+        # The old violation is *fixed* and an unrelated one appears:
+        # the justification must not leak onto the new finding.
+        (src_dir / "wall.py").write_text(
+            "import random\n\ndef draw():\n    return random.random()\n"
+        )
+        baseline.update_from(analyze_paths([src], root=tmp_path))
+        entry = next(iter(baseline.entries.values()))
+        assert "random.random" in entry["message"]
+        assert entry["justification"] == (
+            "grandfathered by --update-baseline"
+        )
